@@ -1,0 +1,318 @@
+// Benchmarks: one testing.B benchmark per table/figure of the paper's
+// evaluation, each exercising the experiment's workload at a fixed
+// representative configuration. Each iteration executes one transaction
+// attempt; custom metrics report commit and abort rates so the shape the
+// figure plots (who wins, who starves) is visible from `go test -bench`.
+//
+// The full parameter sweeps behind EXPERIMENTS.md are produced by
+// cmd/ermia-bench, which shares the same workload drivers.
+package ermia
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ermia/internal/bench"
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/micro"
+	"ermia/internal/tpcc"
+	"ermia/internal/tpce"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+func benchEngines(b *testing.B) []string { return bench.AllEngines }
+
+func openEngine(b *testing.B, name string) engine.DB {
+	b.Helper()
+	db, err := bench.OpenEngine(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// runTxns drives b.N transaction attempts and reports commit/abort rates.
+func runTxns(b *testing.B, exec func(i int, rng *xrand.Rand) error) {
+	rng := xrand.New(0xBE)
+	commits, aborts := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := exec(i, rng)
+		switch {
+		case err == nil:
+			commits++
+		case engine.IsRetryable(err):
+			aborts++
+		case tpcc.IsUserAbort(err):
+			// intentional rollback
+		default:
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := commits + aborts; n > 0 {
+		b.ReportMetric(float64(commits)/float64(n)*100, "commit%")
+	}
+}
+
+// BenchmarkFig1Microbenchmark: the paper's opening experiment — 1k-read
+// transactions with a 1% write ratio (the regime where Silo's curve has
+// already collapsed while ERMIA holds).
+func BenchmarkFig1Microbenchmark(b *testing.B) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := micro.NewDriver(db, micro.Config{Rows: 20000, Reads: 1000, WriteRatio: 0.01})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error { return d.Run(0, rng) })
+		})
+	}
+}
+
+// tpccBench runs a TPC-C mix as a benchmark body.
+func tpccBench(b *testing.B, mix []tpcc.MixEntry, cfg tpcc.Config) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpcc.NewDriver(db, cfg)
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpcc.Pick(mix, rng), 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig2TPCC: the standard TPC-C mix whose per-type commit rates
+// Figure 2 (left) breaks down.
+func BenchmarkFig2TPCC(b *testing.B) {
+	tpccBench(b, tpcc.StandardMix, tpcc.Config{Warehouses: 2, Items: 1000})
+}
+
+// BenchmarkFig2TPCCHybrid: TPC-C plus the 10%-size Q2* read-mostly
+// transaction, Figure 2 (right).
+func BenchmarkFig2TPCCHybrid(b *testing.B) {
+	tpccBench(b, tpcc.HybridMix, tpcc.Config{Warehouses: 2, Items: 1000, Q2SizePct: 10})
+}
+
+// BenchmarkFig5Q2Star: the Q2* transaction alone at 40% size — the point
+// where Figure 5 shows Silo two orders of magnitude behind.
+func BenchmarkFig5Q2Star(b *testing.B) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpcc.NewDriver(db, tpcc.Config{Warehouses: 1, Items: 1000, Q2SizePct: 40})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpcc.Q2Star, 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig6AssetEval: the TPC-E AssetEval read-mostly transaction at
+// 20% size, Figure 6's workhorse.
+func BenchmarkFig6AssetEval(b *testing.B) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpce.NewDriver(db, tpce.Config{Customers: 200, AssetEvalSizePct: 20})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpce.AssetEval, 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig7TPCE: the stock TPC-E mix of Figure 7 (right).
+func BenchmarkFig7TPCE(b *testing.B) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpce.NewDriver(b2DB(db), tpce.Config{Customers: 200})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpce.Pick(tpce.StandardMix, rng), 0, rng)
+			})
+		})
+	}
+}
+
+func b2DB(db engine.DB) engine.DB { return db }
+
+// BenchmarkFig8TPCCSkewed: TPC-C with 80-20 warehouse skew, Figure 8
+// (right).
+func BenchmarkFig8TPCCSkewed(b *testing.B) {
+	tpccBench(b, tpcc.StandardMix,
+		tpcc.Config{Warehouses: 4, Items: 1000, Access: tpcc.AccessSkew})
+}
+
+// BenchmarkFig9TPCEHybrid: the 10%-AssetEval hybrid mix of Figure 9 (left).
+func BenchmarkFig9TPCEHybrid(b *testing.B) {
+	for _, eng := range benchEngines(b) {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpce.NewDriver(db, tpce.Config{Customers: 200, AssetEvalSizePct: 10})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpce.Pick(tpce.HybridMix, rng), 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig10Logging compares ERMIA-SI's single log reservation per
+// transaction against a reservation per update operation (Figure 10).
+func BenchmarkFig10Logging(b *testing.B) {
+	for _, perOp := range []bool{false, true} {
+		name := "Per-TX"
+		if perOp {
+			name = "Per-OP"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := core.Open(core.Config{
+				WAL:             wal.Config{SegmentSize: 64 << 20, BufferSize: 8 << 20},
+				LogPerOperation: perOp,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			d := tpcc.NewDriver(db, tpcc.Config{Warehouses: 1, Items: 1000})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpcc.Pick(tpcc.StandardMix, rng), 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig11Breakdown runs TPC-C with component profiling on and
+// reports the Figure 11 percentages as custom metrics.
+func BenchmarkFig11Breakdown(b *testing.B) {
+	db, err := core.Open(core.Config{
+		WAL:     wal.Config{SegmentSize: 64 << 20, BufferSize: 8 << 20},
+		Profile: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	d := tpcc.NewDriver(db, tpcc.Config{Warehouses: 1, Items: 1000})
+	if err := d.Load(); err != nil {
+		b.Fatal(err)
+	}
+	prof := db.WorkerProfile(0)
+	baseIdx, baseInd, baseLg := prof.Index.Load(), prof.Indirect.Load(), prof.Log.Load()
+	start := time.Now()
+	runTxns(b, func(i int, rng *xrand.Rand) error {
+		return d.Run(tpcc.Pick(tpcc.StandardMix, rng), 0, rng)
+	})
+	total := time.Since(start).Nanoseconds()
+	if total > 0 {
+		b.ReportMetric(float64(prof.Index.Load()-baseIdx)/float64(total)*100, "index%")
+		b.ReportMetric(float64(prof.Indirect.Load()-baseInd)/float64(total)*100, "indir%")
+		b.ReportMetric(float64(prof.Log.Load()-baseLg)/float64(total)*100, "log%")
+	}
+}
+
+// BenchmarkFig12Q2StarLatency measures the committed latency of large Q2*
+// transactions (60% size), the quantity Figure 12 plots.
+func BenchmarkFig12Q2StarLatency(b *testing.B) {
+	for _, eng := range []string{bench.EngERMIASI, bench.EngERMIASSN} {
+		b.Run(eng, func(b *testing.B) {
+			db := openEngine(b, eng)
+			defer db.Close()
+			d := tpcc.NewDriver(db, tpcc.Config{Warehouses: 1, Items: 1000, Q2SizePct: 60})
+			if err := d.Load(); err != nil {
+				b.Fatal(err)
+			}
+			runTxns(b, func(i int, rng *xrand.Rand) error {
+				return d.Run(tpcc.Q2Star, 0, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkTable1HybridThroughput: the absolute ERMIA-SI hybrid throughput
+// of Table 1 at the 10% mark.
+func BenchmarkTable1HybridThroughput(b *testing.B) {
+	for _, workload := range []string{"TPC-C-hybrid", "TPC-E-hybrid"} {
+		b.Run(workload, func(b *testing.B) {
+			db := openEngine(b, bench.EngERMIASI)
+			defer db.Close()
+			if workload == "TPC-C-hybrid" {
+				d := tpcc.NewDriver(db, tpcc.Config{Warehouses: 2, Items: 1000, Q2SizePct: 10})
+				if err := d.Load(); err != nil {
+					b.Fatal(err)
+				}
+				runTxns(b, func(i int, rng *xrand.Rand) error {
+					return d.Run(tpcc.Pick(tpcc.HybridMix, rng), 0, rng)
+				})
+			} else {
+				d := tpce.NewDriver(db, tpce.Config{Customers: 200, AssetEvalSizePct: 10})
+				if err := d.Load(); err != nil {
+					b.Fatal(err)
+				}
+				runTxns(b, func(i int, rng *xrand.Rand) error {
+					return d.Run(tpce.Pick(tpce.HybridMix, rng), 0, rng)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkCoreCommitPath measures the raw ERMIA commit path (begin, one
+// update, commit) — the engine's floor latency.
+func BenchmarkCoreCommitPath(b *testing.B) {
+	db := openEngine(b, bench.EngERMIASI)
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	txn := db.Begin(0)
+	for i := 0; i < 1000; i++ {
+		if err := txn.Insert(tbl, []byte(fmt.Sprintf("k%04d", i)), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := db.Begin(0)
+		k := []byte(fmt.Sprintf("k%04d", i%1000))
+		if _, err := txn.Get(tbl, k); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Update(tbl, k, []byte("new")); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command ermia-demo is a small transactional key-value shell over the
+// ERMIA engine, useful for poking at the system by hand:
+//
+//	ermia-demo -dir /tmp/ermia-data
+//
+// Commands (one per line on stdin):
+//
+//	put <key> <value>     insert or update a record
+//	get <key>             read a record
+//	del <key>             delete a record
+//	scan [prefix]         list records
+//	checkpoint            take a fuzzy checkpoint
+//	stats                 engine counters
+//	gc                    run a garbage-collection sweep
+//	quit
+//
+// With -dir, the database recovers from the directory's log on startup, so
+// killing the process and restarting demonstrates recovery.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ermia"
+)
+
+func main() {
+	dir := flag.String("dir", "", "data directory (empty: in-memory)")
+	serializable := flag.Bool("serializable", true, "enable SSN serializability")
+	flag.Parse()
+
+	opts := ermia.Options{Dir: *dir, Serializable: *serializable}
+	var db *ermia.DB
+	var err error
+	if *dir != "" {
+		if db, err = ermia.Recover(opts); err == nil {
+			fmt.Println("recovered existing database from", *dir)
+		}
+	}
+	if db == nil {
+		if db, err = ermia.Open(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+	}
+	defer db.Close()
+	tbl := db.CreateTable("kv")
+
+	fmt.Println("ermia-demo ready (put/get/del/scan/checkpoint/stats/gc/quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			key, val := []byte(fields[1]), []byte(strings.Join(fields[2:], " "))
+			err := ermia.WithRetry(db, 0, func(txn ermia.Txn) error {
+				if err := txn.Insert(tbl, key, val); errors.Is(err, ermia.ErrDuplicate) {
+					return txn.Update(tbl, key, val)
+				} else if err != nil {
+					return err
+				}
+				return nil
+			})
+			report(err, "ok")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			txn := db.Begin(0)
+			v, err := txn.Get(tbl, []byte(fields[1]))
+			txn.Abort()
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%s\n", v)
+			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			err := ermia.WithRetry(db, 0, func(txn ermia.Txn) error {
+				return txn.Delete(tbl, []byte(fields[1]))
+			})
+			report(err, "deleted")
+		case "scan":
+			var lo, hi []byte
+			if len(fields) > 1 {
+				lo = []byte(fields[1])
+				hi = append([]byte(fields[1]), 0xFF)
+			}
+			txn := db.Begin(0)
+			n := 0
+			err := txn.Scan(tbl, lo, hi, func(k, v []byte) bool {
+				fmt.Printf("  %s = %s\n", k, v)
+				n++
+				return n < 100
+			})
+			txn.Abort()
+			report(err, fmt.Sprintf("%d records", n))
+		case "checkpoint":
+			report(db.Checkpoint(), "checkpoint written")
+		case "gc":
+			fmt.Printf("pruned %d versions\n", db.RunGC())
+		case "stats":
+			s := db.Stats()
+			fmt.Printf("commits=%d aborts=%d ww-aborts=%d ssn-aborts=%d phantom=%d pruned=%d durable-lsn=%d\n",
+				s.Commits.Load(), s.Aborts.Load(), s.WWAborts.Load(),
+				s.SerialAborts.Load(), s.PhantomAborts.Load(),
+				s.VersionsPruned.Load(), db.Log().DurableOffset())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}
+
+func report(err error, ok string) {
+	if err != nil {
+		fmt.Println("error:", err)
+	} else {
+		fmt.Println(ok)
+	}
+}

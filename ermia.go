@@ -1,0 +1,224 @@
+// Package ermia is a from-scratch Go reproduction of ERMIA (Kim, Wang,
+// Johnson, Pandis — SIGMOD 2016), a memory-optimized database engine for
+// heterogeneous workloads. It exposes the ERMIA engine (snapshot isolation,
+// with serializability via the Serial Safety Net when requested), the
+// Silo-style lightweight-OCC baseline the paper compares against, and a
+// common transaction interface that lets the same application code run on
+// either.
+//
+// Quick start:
+//
+//	db, err := ermia.Open(ermia.Options{Serializable: true})
+//	defer db.Close()
+//	accounts := db.CreateTable("accounts")
+//	err = ermia.WithRetry(db, 0, func(txn ermia.Txn) error {
+//	    return txn.Insert(accounts, []byte("alice"), []byte("100"))
+//	})
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper's
+// evaluation reproduced on this implementation.
+package ermia
+
+import (
+	"time"
+
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/silo"
+	"ermia/internal/wal"
+)
+
+// DB is the ERMIA engine (internal/core.DB re-exported): snapshot-isolation
+// MVCC over latch-free indirection arrays, a single-fetch-and-add
+// centralized log, epoch-based resource management, and optional SSN
+// serializability. It implements the engine-agnostic interface used by the
+// benchmarks, plus Checkpoint, WaitDurable, RunGC, and Stats.
+type DB = core.DB
+
+// SiloDB is the Silo-OCC baseline engine (internal/silo.DB re-exported).
+type SiloDB = silo.DB
+
+// Txn is one transaction: Get/Insert/Update/Delete/Scan, ended by exactly
+// one Commit or Abort.
+type Txn = engine.Txn
+
+// Table identifies a table within a DB.
+type Table = engine.Table
+
+// Engine is the interface both DB and SiloDB satisfy; write applications
+// against it to stay engine-agnostic.
+type Engine = engine.DB
+
+// Storage abstracts the log medium (heap or directory).
+type Storage = wal.Storage
+
+// NewMemStorage returns a heap-backed Storage, useful for tests and for
+// crash-recovery experiments (it can snapshot its durable state).
+func NewMemStorage() *wal.MemStorage { return wal.NewMemStorage() }
+
+// CoreTable is the ERMIA engine's concrete table type, exposing Len and the
+// secondary-index machinery.
+type CoreTable = core.Table
+
+// SecondaryIndex is an ERMIA-native secondary access path: secondary keys
+// map directly to OIDs, so record updates touch no index and secondary
+// reads skip the primary probe (paper §2).
+type SecondaryIndex = core.SecondaryIndex
+
+// SecondaryEntry names one secondary key for Txn.InsertWithSecondary.
+type SecondaryEntry = core.SecondaryEntry
+
+// Re-exported error taxonomy. Conflicts (write-write, read validation,
+// serialization, phantom) are retryable; use IsRetryable or WithRetry.
+var (
+	ErrNotFound      = engine.ErrNotFound
+	ErrDuplicate     = engine.ErrDuplicate
+	ErrWriteConflict = engine.ErrWriteConflict
+	ErrSerialization = engine.ErrSerialization
+	ErrPhantom       = engine.ErrPhantom
+)
+
+// IsRetryable reports whether err is a concurrency conflict worth retrying.
+func IsRetryable(err error) bool { return engine.IsRetryable(err) }
+
+// Isolation selects the concurrency-control scheme (re-exported from
+// internal/core): SnapshotIsolation, SSN, or ReadValidation.
+type Isolation = core.Isolation
+
+// Isolation levels.
+const (
+	// SnapshotIsolation is plain SI: readers never block or abort writers
+	// and vice versa, but write skew is possible (ERMIA-SI).
+	SnapshotIsolation = core.SnapshotIsolation
+	// SSN is serializable SI via the Serial Safety Net (ERMIA-SSN).
+	SSN = core.SSN
+	// ReadValidation is serializable multi-version OCC: commit-time
+	// read-set validation on the same physical layer (ERMIA-RV). Writers
+	// win over readers, reproducing lightweight-OCC behaviour.
+	ReadValidation = core.ReadValidation
+)
+
+// Options configures an ERMIA engine.
+type Options struct {
+	// Serializable overlays the SSN certifier on snapshot isolation
+	// (ERMIA-SSN). Off, transactions run under plain SI (ERMIA-SI).
+	// Shorthand for Isolation: SSN.
+	Serializable bool
+	// Isolation selects the CC scheme explicitly; it wins over
+	// Serializable when set.
+	Isolation Isolation
+	// Dir, when non-empty, stores the log and checkpoints in that
+	// directory; otherwise everything stays on the heap (the paper logs to
+	// tmpfs).
+	Dir string
+	// Storage overrides the log medium directly (takes precedence over
+	// Dir). Useful for crash-recovery testing with wal.MemStorage.
+	Storage Storage
+	// SegmentSize and BufferSize tune the log manager (defaults 64MiB/4MiB).
+	SegmentSize uint64
+	BufferSize  uint64
+	// GCInterval runs the background version garbage collector; zero
+	// disables it (call DB.RunGC manually).
+	GCInterval time.Duration
+	// LogPerOperation emulates per-operation WAL round trips instead of
+	// one log reservation per transaction (the Figure 10 ablation).
+	LogPerOperation bool
+	// Profile enables the per-worker cycle breakdown (Figure 11).
+	Profile bool
+}
+
+func (o Options) coreConfig() (core.Config, error) {
+	st := o.Storage
+	if st == nil && o.Dir != "" {
+		ds, err := wal.NewDirStorage(o.Dir)
+		if err != nil {
+			return core.Config{}, err
+		}
+		st = ds
+	}
+	return core.Config{
+		WAL: wal.Config{
+			SegmentSize: o.SegmentSize,
+			BufferSize:  o.BufferSize,
+			Storage:     st,
+		},
+		Serializable:    o.Serializable,
+		Isolation:       o.Isolation,
+		LogPerOperation: o.LogPerOperation,
+		GCInterval:      o.GCInterval,
+		Profile:         o.Profile,
+	}, nil
+}
+
+// Open creates a fresh ERMIA engine.
+func Open(opts Options) (*DB, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(cfg)
+}
+
+// Recover rebuilds an ERMIA engine from an existing log (and checkpoint, if
+// one exists) in opts.Dir or opts.Storage, then resumes it. The procedure
+// is identical after a clean shutdown and after a crash.
+func Recover(opts Options) (*DB, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.Recover(cfg)
+}
+
+// SiloOptions configures the baseline engine.
+type SiloOptions struct {
+	// Snapshots enables Silo's copy-on-write read-only snapshots, used by
+	// BeginReadOnly transactions.
+	Snapshots bool
+	// EpochInterval is the group-commit / snapshot epoch period.
+	EpochInterval time.Duration
+	// Storage holds the value log; required for RecoverSilo.
+	Storage Storage
+}
+
+func (o SiloOptions) config() silo.Config {
+	return silo.Config{
+		Snapshots:     o.Snapshots,
+		EpochInterval: o.EpochInterval,
+		Storage:       o.Storage,
+	}
+}
+
+// OpenSilo creates a Silo-OCC baseline engine.
+func OpenSilo(opts SiloOptions) (*SiloDB, error) {
+	return silo.Open(opts.config())
+}
+
+// RecoverSilo rebuilds a Silo engine from its value log (SiloR-style
+// replay, last writer per key wins by commit TID).
+func RecoverSilo(opts SiloOptions) (*SiloDB, error) {
+	return silo.Recover(opts.config())
+}
+
+// WithRetry runs fn in a transaction on worker's slot, retrying on
+// concurrency conflicts until it commits or fn fails with a non-retryable
+// error. fn must be idempotent.
+func WithRetry(db Engine, worker int, fn func(Txn) error) error {
+	for {
+		txn := db.Begin(worker)
+		if err := fn(txn); err != nil {
+			txn.Abort()
+			if IsRetryable(err) {
+				continue
+			}
+			return err
+		}
+		err := txn.Commit()
+		if err == nil {
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ermia
+
+go 1.22

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExperimentsSmoke runs every experiment at a tiny scale, asserting it
+// completes and produces its table. This exercises the full harness (all
+// three engines, every workload, every sweep) end to end; skipped under
+// -short because the loads dominate.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	for _, name := range ExperimentOrder {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			params := Params{
+				Threads:   2,
+				Duration:  150 * time.Millisecond,
+				Items:     1000,
+				Customers: 60,
+				MicroRows: 3000,
+				Out:       &sb,
+			}
+			if err := Experiments[name](params); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "#") || len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s produced no table:\n%s", name, out)
+			}
+		})
+	}
+}
+
+func TestOpenEngineNames(t *testing.T) {
+	for _, name := range AllEngines {
+		db, err := OpenEngine(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		db.Close()
+	}
+	if _, err := OpenEngine("bogus"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	p.setDefaults()
+	if p.Threads == 0 || p.Duration == 0 || p.Items == 0 || p.MicroRows == 0 || p.Customers == 0 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	full := Params{Full: true}
+	full.setDefaults()
+	if full.Threads != 24 || full.Items != 100000 {
+		t.Fatalf("full defaults: %+v", full)
+	}
+}

@@ -1,0 +1,7 @@
+package bench
+
+import "ermia/internal/engine"
+
+// isRetryable mirrors engine.IsRetryable; kept in a tiny wrapper so the
+// harness's outcome taxonomy stays in one place.
+func isRetryable(err error) bool { return engine.IsRetryable(err) }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ermia/internal/mvcc"
+	"ermia/internal/wal"
+)
+
+// Checkpoint takes a fuzzy snapshot of the OID arrays (§3.7): it logs a
+// checkpoint-begin record, dumps every table's live (key, OID, newest
+// committed version) to a checkpoint blob in the log's storage, and logs a
+// checkpoint-end record naming the blob once it is durable. Recovery
+// restores the snapshot and rolls forward from the begin offset; entries
+// copied non-atomically after the begin record are deduplicated by the
+// replay's apply-if-newer rule.
+//
+// The blob name encodes the begin offset, playing the role of the paper's
+// checkpoint marker file.
+func (db *DB) Checkpoint() error {
+	// Begin record.
+	res, err := db.log.Reserve(0, wal.BlockCheckpointBegin)
+	if err != nil {
+		return err
+	}
+	res.Commit()
+	beginOff := res.Offset()
+	name := fmt.Sprintf("ckpt-%016x", beginOff)
+
+	buf := db.encodeCheckpoint(nil)
+	f, err := db.cfg.WAL.Storage.Create(name)
+	if err != nil {
+		return fmt.Errorf("core: create checkpoint: %w", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("core: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close checkpoint: %w", err)
+	}
+
+	// End record locates the durable snapshot.
+	end, err := db.log.Reserve(len(name), wal.BlockCheckpointEnd)
+	if err != nil {
+		return err
+	}
+	end.Append([]byte(name))
+	end.Commit()
+	db.lastCkptBegin.Store(beginOff)
+	return nil
+}
+
+// TruncateLog frees log segments the newest checkpoint made redundant:
+// recovery replays only blocks after the checkpoint-begin offset, so
+// segments wholly before it carry no needed state. The checkpoint-end
+// record is forced durable first — otherwise a crash between truncation and
+// the end record's flush would leave neither the checkpoint nor the log
+// prefix. Returns the removed segment file names.
+func (db *DB) TruncateLog() ([]string, error) {
+	begin := db.lastCkptBegin.Load()
+	if begin == 0 {
+		return nil, nil // no checkpoint this run
+	}
+	if err := db.log.Flush(); err != nil {
+		return nil, err
+	}
+	return db.log.Truncate(begin)
+}
+
+// encodeCheckpoint serializes the catalogs, every table's live records, and
+// every secondary index's bindings.
+func (db *DB) encodeCheckpoint(buf []byte) []byte {
+	tables := db.allTables()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
+	for _, t := range tables {
+		buf = binary.LittleEndian.AppendUint32(buf, t.id)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.name)))
+		buf = append(buf, t.name...)
+	}
+	db.mu.Lock()
+	secs := make([]*SecondaryIndex, 0, len(db.secondaries.byID))
+	for _, si := range db.secondaries.byID {
+		secs = append(secs, si)
+	}
+	db.mu.Unlock()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(secs)))
+	for _, si := range secs {
+		buf = binary.LittleEndian.AppendUint32(buf, si.id)
+		buf = binary.LittleEndian.AppendUint32(buf, si.tbl.id)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(si.name)))
+		buf = append(buf, si.name...)
+	}
+	// Main entry count placeholder, patched after the scan.
+	countAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, 0)
+	var nEntries uint64
+	for _, t := range tables {
+		t.idx.Scan(nil, nil, nil, func(key []byte, oid mvcc.OID) bool {
+			// Newest committed version: skip TID-stamped in-flight heads.
+			v := t.arr.Head(oid)
+			for v != nil && mvcc.IsTID(v.CLSN()) {
+				v = v.Next()
+			}
+			if v == nil {
+				return true // dangling entry from an aborted insert
+			}
+			flags := uint8(0)
+			if v.Tombstone {
+				flags = 1
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, t.id)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(oid))
+			buf = append(buf, flags)
+			buf = binary.LittleEndian.AppendUint64(buf, v.CLSN())
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+			buf = append(buf, key...)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Data)))
+			buf = append(buf, v.Data...)
+			nEntries++
+			return true
+		})
+	}
+	binary.LittleEndian.PutUint64(buf[countAt:], nEntries)
+	// Secondary bindings: (index id, skey, oid) until end of blob.
+	for _, si := range secs {
+		si.idx.Scan(nil, nil, nil, func(skey []byte, oid mvcc.OID) bool {
+			buf = binary.LittleEndian.AppendUint32(buf, si.id)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(oid))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(skey)))
+			buf = append(buf, skey...)
+			return true
+		})
+	}
+	return buf
+}
+
+// loadCheckpoint restores a checkpoint blob into an empty DB.
+func (db *DB) loadCheckpoint(buf []byte) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("core: checkpoint truncated")
+	}
+	nTables := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	for i := uint32(0); i < nTables; i++ {
+		if len(buf) < 6 {
+			return fmt.Errorf("core: checkpoint catalog truncated")
+		}
+		id := binary.LittleEndian.Uint32(buf)
+		nlen := int(binary.LittleEndian.Uint16(buf[4:]))
+		buf = buf[6:]
+		if len(buf) < nlen {
+			return fmt.Errorf("core: checkpoint table name truncated")
+		}
+		db.createTableRecovered(id, string(buf[:nlen]))
+		buf = buf[nlen:]
+	}
+	if len(buf) < 4 {
+		return fmt.Errorf("core: checkpoint index catalog truncated")
+	}
+	nIdx := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	for i := uint32(0); i < nIdx; i++ {
+		if len(buf) < 10 {
+			return fmt.Errorf("core: checkpoint index entry truncated")
+		}
+		id := binary.LittleEndian.Uint32(buf)
+		tableID := binary.LittleEndian.Uint32(buf[4:])
+		nlen := int(binary.LittleEndian.Uint16(buf[8:]))
+		buf = buf[10:]
+		if len(buf) < nlen {
+			return fmt.Errorf("core: checkpoint index name truncated")
+		}
+		if db.createSecondaryRecovered(id, tableID, string(buf[:nlen])) == nil {
+			return fmt.Errorf("core: checkpoint index references unknown table %d", tableID)
+		}
+		buf = buf[nlen:]
+	}
+	if len(buf) < 8 {
+		return fmt.Errorf("core: checkpoint entry count truncated")
+	}
+	nEntries := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	for e := uint64(0); e < nEntries; e++ {
+		if len(buf) < 25 {
+			return fmt.Errorf("core: checkpoint entry truncated")
+		}
+		id := binary.LittleEndian.Uint32(buf)
+		oid := mvcc.OID(binary.LittleEndian.Uint64(buf[4:]))
+		flags := buf[12]
+		clsn := binary.LittleEndian.Uint64(buf[13:])
+		klen := int(binary.LittleEndian.Uint32(buf[21:]))
+		buf = buf[25:]
+		if len(buf) < klen+4 {
+			return fmt.Errorf("core: checkpoint key truncated")
+		}
+		key := append([]byte(nil), buf[:klen]...)
+		vlen := int(binary.LittleEndian.Uint32(buf[klen:]))
+		buf = buf[klen+4:]
+		if len(buf) < vlen {
+			return fmt.Errorf("core: checkpoint value truncated")
+		}
+		val := append([]byte(nil), buf[:vlen]...)
+		buf = buf[vlen:]
+
+		t := db.tableByID(id)
+		if t == nil {
+			return fmt.Errorf("core: checkpoint entry for unknown table %d", id)
+		}
+		db.applyVersion(t, oid, key, val, clsn, flags == 1, true)
+	}
+	// Secondary bindings run to the end of the blob.
+	for len(buf) > 0 {
+		if len(buf) < 16 {
+			return fmt.Errorf("core: checkpoint secondary entry truncated")
+		}
+		id := binary.LittleEndian.Uint32(buf)
+		oid := mvcc.OID(binary.LittleEndian.Uint64(buf[4:]))
+		sklen := int(binary.LittleEndian.Uint32(buf[12:]))
+		buf = buf[16:]
+		if len(buf) < sklen {
+			return fmt.Errorf("core: checkpoint secondary key truncated")
+		}
+		si := db.secondaryByID(id)
+		if si == nil {
+			return fmt.Errorf("core: checkpoint binding for unknown index %d", id)
+		}
+		si.idx.InsertIfAbsent(append([]byte(nil), buf[:sklen]...), oid)
+		buf = buf[sklen:]
+	}
+	return nil
+}
+
+// applyVersion installs a recovered version at oid if it is newer than what
+// the slot already holds; withKey also (re)binds key → oid in the index.
+// Recovery is single-threaded, so plain stores suffice.
+func (db *DB) applyVersion(t *Table, oid mvcc.OID, key, val []byte, clsn uint64, tombstone, withKey bool) {
+	t.arr.EnsureAllocated(oid)
+	if withKey && len(key) > 0 {
+		t.idx.InsertIfAbsent(key, oid)
+	}
+	head := t.arr.Head(oid)
+	if head != nil && head.CLSN() >= clsn {
+		return // checkpoint or earlier replay already delivered it
+	}
+	v := mvcc.NewVersion(val, clsn, tombstone)
+	v.MaxPstamp(clsn)
+	v.SetNext(head)
+	t.arr.Install(oid, v)
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"runtime"
+
+	"ermia/internal/engine"
+	"ermia/internal/mvcc"
+	"ermia/internal/txnid"
+	"ermia/internal/wal"
+)
+
+// Commit runs pre-commit and post-commit (§3.1, §3.6). Pre-commit obtains
+// the commit LSN with one fetch-and-add, runs the CC commit protocol (SSN's
+// Algorithm 1 when serializable), copies the private log records into the
+// reserved central-buffer space, and flips the state to committed — the
+// point at which all updates become atomically visible. Post-commit
+// replaces TID stamps in the write set with the commit LSN and releases
+// resources.
+//
+// On a conflict error the transaction has already been aborted.
+func (t *Txn) Commit() error {
+	if t.done {
+		return engine.ErrAborted
+	}
+	if len(t.writes) == 0 {
+		// Read-only: nothing to log or install. Serializable modes still
+		// validate — a read-only transaction can close a cycle.
+		var err error
+		switch t.mode {
+		case SSN:
+			err = t.ssnReadOnlyCommit()
+		case ReadValidation:
+			err = t.rvCommit()
+		}
+		if err != nil {
+			t.Abort()
+			return err
+		}
+		t.finish(true)
+		return nil
+	}
+
+	// Encode the write set into the private buffer (unless per-op logging
+	// already shipped the records, in which case the commit block is just
+	// the anchor of the chain).
+	t.logBuf = t.logBuf[:0]
+	if !t.db.cfg.LogPerOperation {
+		for i := range t.writes {
+			t.logBuf = t.encodeWrite(t.logBuf, &t.writes[i])
+			if len(t.logBuf) > t.db.log.MaxPayload()-512 {
+				// Oversized footprint: spill into a backward-linked
+				// overflow block (§3.3, feature 4).
+				if err := t.spillOverflow(); err != nil {
+					t.Abort()
+					return err
+				}
+			}
+		}
+	}
+
+	// Single global synchronization point: commit LSN + log space.
+	ls := t.clock()
+	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockCommit)
+	t.accLog(ls)
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	cstamp := res.Offset()
+	t.db.tids.SetCommitting(t.tid, cstamp)
+
+	switch t.mode {
+	case SSN:
+		if err := t.ssnCommit(cstamp); err != nil {
+			res.Abort() // the claimed space becomes a skip record
+			t.Abort()
+			return err
+		}
+	case ReadValidation:
+		if err := t.rvCommit(); err != nil {
+			res.Abort()
+			t.Abort()
+			return err
+		}
+	}
+
+	// Populate the reserved space and commit the block.
+	ls = t.clock()
+	res.SetPrev(t.opChain)
+	res.Append(t.logBuf)
+	res.Commit()
+	t.accLog(ls)
+
+	t.db.tids.SetCommitted(t.tid)
+
+	// Post-commit: replace TID stamps with the commit LSN so readers check
+	// visibility without chasing our context.
+	ps := t.clock()
+	for i := range t.writes {
+		w := &t.writes[i]
+		w.newV.MaxPstamp(cstamp) // new version: cstamp = pstamp = t.cstamp
+		if t.ssn && w.prev != nil {
+			w.prev.SetSstamp(t.sstamp) // final π(V) for the overwritten version
+		}
+		w.newV.SetCLSN(cstamp)
+	}
+	t.accIndirect(ps)
+
+	t.finish(true)
+	return nil
+}
+
+// ssnCommit is SSN's commit protocol (Algorithm 1) with the parallel
+// coordination the implementation needs: overwritten versions are tagged
+// with our TID so concurrent committers chase our context, and committing
+// readers with smaller commit stamps are waited out so their η updates are
+// seen.
+func (t *Txn) ssnCommit(cstamp uint64) error {
+	// Phantom protection: validate the node set after entering pre-commit.
+	for _, h := range t.nodeSet {
+		if !h.Valid() {
+			t.db.stats.PhantomAborts.Add(1)
+			return engine.ErrPhantom
+		}
+	}
+
+	// Tag overwritten versions so concurrent readers account the edge.
+	for i := range t.writes {
+		if p := t.writes[i].prev; p != nil {
+			p.SetSstamp(mvcc.TIDStamp(t.tid))
+		}
+	}
+
+	// Finalize η(T): latest committed reader/creator among overwritten
+	// versions. Readers still committing with smaller stamps must finish
+	// first — they publish their η updates before flipping to committed.
+	for i := range t.writes {
+		p := t.writes[i].prev
+		if p == nil {
+			continue
+		}
+		t.waitReaders(p, cstamp)
+		if ps := p.Pstamp(); ps > t.pstamp {
+			t.pstamp = ps
+		}
+	}
+
+	// Finalize π(T): earliest committed successor among read versions.
+	if cstamp < t.sstamp {
+		t.sstamp = cstamp
+	}
+	for _, v := range t.reads {
+		if ss := t.resolveSstamp(v, cstamp); ss < t.sstamp {
+			t.sstamp = ss
+		}
+	}
+
+	// The exclusion window test: a predecessor may not also be a successor.
+	if t.sstamp <= t.pstamp {
+		t.db.stats.SerialAborts.Add(1)
+		return engine.ErrSerialization
+	}
+
+	// Commit is now certain. Publish η(V) for reads before the status
+	// flips so overwriters that waited on us observe the update.
+	for _, v := range t.reads {
+		v.MaxPstamp(cstamp)
+	}
+	return nil
+}
+
+// ssnReadOnlyCommit runs the exclusion test for a transaction with no
+// writes; η(T) came entirely from forward processing. The pseudo commit
+// stamp sits just below the log's current offset so it can never collide
+// with a real writer's stamp: a writer reserving now gets exactly
+// CurrentOffset, and the reader genuinely serializes before it (it cannot
+// have seen that writer's versions).
+func (t *Txn) ssnReadOnlyCommit() error {
+	cstamp := t.db.log.CurrentOffset() - 1
+	if cstamp < t.sstamp {
+		t.sstamp = cstamp
+	}
+	for _, v := range t.reads {
+		if ss := t.resolveSstamp(v, cstamp); ss < t.sstamp {
+			t.sstamp = ss
+		}
+	}
+	if t.sstamp <= t.pstamp {
+		t.db.stats.SerialAborts.Add(1)
+		return engine.ErrSerialization
+	}
+	for _, v := range t.reads {
+		v.MaxPstamp(cstamp)
+	}
+	return nil
+}
+
+// waitReaders blocks until every in-flight reader of v that entered
+// pre-commit with a stamp before cstamp has resolved, so its η(V) update is
+// visible to us.
+func (t *Txn) waitReaders(v *mvcc.Version, cstamp uint64) {
+	v.Readers(func(slot int) {
+		if slot == t.worker {
+			return
+		}
+		for {
+			raw := t.db.workerTID[slot].Load()
+			if raw == 0 {
+				return
+			}
+			status, rc, ok := t.db.tids.Inquire(txnid.TID(raw))
+			if !ok || status != txnid.StatusCommitting || rc >= cstamp {
+				return
+			}
+			runtime.Gosched()
+		}
+	})
+}
+
+// spillOverflow ships the current private buffer as an overflow block,
+// linked backward from the eventual commit block.
+func (t *Txn) spillOverflow() error {
+	ls := t.clock()
+	defer t.accLog(ls)
+	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
+	if err != nil {
+		return err
+	}
+	res.SetPrev(t.opChain)
+	res.Append(t.logBuf)
+	res.Commit()
+	t.opChain = res.Offset()
+	t.logBuf = t.logBuf[:0]
+	return nil
+}
+
+// Abort rolls back: the write set is unlinked from the version chains,
+// overwritten versions get their successor stamps restored, and resources
+// return to their epoch managers. Safe to call on a transaction whose
+// Commit already failed (Commit aborts internally first).
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.db.tids.SetAborted(t.tid)
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.prev != nil {
+			w.prev.SetSstamp(mvcc.Infinity) // undo any pre-commit tag
+		}
+		next := w.newV.Next()
+		if !w.tbl.arr.CASHead(w.oid, w.newV, next) {
+			// Only this transaction may unlink its own uncommitted head;
+			// a failure means it already did (duplicate entry), fine.
+			continue
+		}
+	}
+	// In per-op mode the already-shipped chain blocks are simply never
+	// referenced by a commit block; recovery ignores them.
+	t.finish(false)
+}
+
+// finish releases TID-table and epoch resources and clears reader marks.
+func (t *Txn) finish(committed bool) {
+	for _, v := range t.reads {
+		v.ClearReader(t.worker)
+	}
+	t.db.workerTID[t.worker].Store(0)
+	t.db.tids.Release(t.tid)
+	ws := &t.db.workers[t.worker]
+	ws.slot.Quiesce()
+	ws.slot.Exit()
+	if committed {
+		ws.commits.Add(1)
+		t.db.stats.Commits.Add(1)
+	} else {
+		ws.aborts.Add(1)
+		t.db.stats.Aborts.Add(1)
+	}
+	t.done = true
+}
+
+var _ engine.Txn = (*Txn)(nil)

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"testing"
+
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/engine/enginetest"
+	"ermia/internal/wal"
+)
+
+// TestConformance runs the shared engine conformance suite against both
+// ERMIA configurations.
+func TestConformance(t *testing.T) {
+	for _, ser := range []struct {
+		name string
+		on   bool
+	}{{"SI", false}, {"SSN", true}} {
+		t.Run(ser.name, func(t *testing.T) {
+			enginetest.Run(t, func(t *testing.T) engine.DB {
+				db, err := core.Open(core.Config{
+					WAL:          wal.Config{SegmentSize: 4 << 20, BufferSize: 1 << 20},
+					Serializable: ser.on,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { db.Close() })
+				return db
+			})
+		})
+	}
+}

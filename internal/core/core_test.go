@@ -1,0 +1,648 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+func testDB(t testing.TB, serializable bool) *DB {
+	t.Helper()
+	db, err := Open(Config{
+		WAL:          wal.Config{SegmentSize: 1 << 20, BufferSize: 1 << 18},
+		Serializable: serializable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustCommit(t testing.TB, txn engine.Txn) {
+	t.Helper()
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func put(t testing.TB, db *DB, tbl engine.Table, key, val string) {
+	t.Helper()
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte(key), []byte(val)); err != nil {
+		t.Fatalf("insert %s: %v", key, err)
+	}
+	mustCommit(t, txn)
+}
+
+func TestBasicCRUD(t *testing.T) {
+	for _, ser := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serializable=%v", ser), func(t *testing.T) {
+			db := testDB(t, ser)
+			tbl := db.CreateTable("t")
+
+			put(t, db, tbl, "a", "1")
+
+			txn := db.Begin(0)
+			v, err := txn.Get(tbl, []byte("a"))
+			if err != nil || string(v) != "1" {
+				t.Fatalf("get = %q, %v", v, err)
+			}
+			if _, err := txn.Get(tbl, []byte("zz")); !errors.Is(err, engine.ErrNotFound) {
+				t.Fatalf("missing key: %v", err)
+			}
+			if err := txn.Update(tbl, []byte("a"), []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			// Own write visible.
+			if v, _ := txn.Get(tbl, []byte("a")); string(v) != "2" {
+				t.Fatalf("own write invisible: %q", v)
+			}
+			mustCommit(t, txn)
+
+			txn = db.Begin(0)
+			if v, _ := txn.Get(tbl, []byte("a")); string(v) != "2" {
+				t.Fatalf("committed update invisible: %q", v)
+			}
+			if err := txn.Delete(tbl, []byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := txn.Get(tbl, []byte("a")); !errors.Is(err, engine.ErrNotFound) {
+				t.Fatalf("own delete visible: %v", err)
+			}
+			mustCommit(t, txn)
+
+			txn = db.Begin(0)
+			if _, err := txn.Get(tbl, []byte("a")); !errors.Is(err, engine.ErrNotFound) {
+				t.Fatalf("deleted key found: %v", err)
+			}
+			txn.Abort()
+		})
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v")
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v2")); !errors.Is(err, engine.ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	txn.Abort()
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v1")
+
+	txn := db.Begin(0)
+	if err := txn.Delete(tbl, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v2")); err != nil {
+		t.Fatalf("reinsert over tombstone: %v", err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("k")); err != nil || string(v) != "v2" {
+		t.Fatalf("after reinsert: %q, %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestInsertAfterAbortedInsert(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	txn.Abort()
+
+	// The index entry may dangle; a new insert must still succeed.
+	txn = db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("alive")); err != nil {
+		t.Fatalf("insert after aborted insert: %v", err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("k")); err != nil || string(v) != "alive" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestSnapshotIsolationReaders(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "old")
+
+	reader := db.Begin(0)
+	if v, _ := reader.Get(tbl, []byte("x")); string(v) != "old" {
+		t.Fatal("setup")
+	}
+
+	// A writer commits mid-flight; the reader's snapshot must not move.
+	writer := db.Begin(1)
+	if err := writer.Update(tbl, []byte("x"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, writer)
+
+	if v, _ := reader.Get(tbl, []byte("x")); string(v) != "old" {
+		t.Fatalf("snapshot moved: read %q", v)
+	}
+	mustCommit(t, reader) // readers and writers never conflict under SI
+
+	after := db.Begin(0)
+	if v, _ := after.Get(tbl, []byte("x")); string(v) != "new" {
+		t.Fatalf("new snapshot sees %q", v)
+	}
+	after.Abort()
+}
+
+func TestNoDirtyReads(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "committed")
+
+	writer := db.Begin(0)
+	if err := writer.Update(tbl, []byte("x"), []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := db.Begin(1)
+	if v, _ := reader.Get(tbl, []byte("x")); string(v) != "committed" {
+		t.Fatalf("dirty read: %q", v)
+	}
+	reader.Abort()
+	writer.Abort()
+
+	reader = db.Begin(1)
+	if v, _ := reader.Get(tbl, []byte("x")); string(v) != "committed" {
+		t.Fatalf("aborted write visible: %q", v)
+	}
+	reader.Abort()
+}
+
+func TestFirstUpdaterWins(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "base")
+
+	first := db.Begin(0)
+	if err := first.Update(tbl, []byte("x"), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second updater must abort immediately — early write-write detection.
+	second := db.Begin(1)
+	err := second.Update(tbl, []byte("x"), []byte("second"))
+	if !errors.Is(err, engine.ErrWriteConflict) {
+		t.Fatalf("second updater: %v", err)
+	}
+	second.Abort()
+	mustCommit(t, first)
+
+	if db.Stats().WWAborts.Load() == 0 {
+		t.Error("write-write abort not counted")
+	}
+}
+
+func TestUpdateAfterConcurrentCommitConflicts(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "base")
+
+	old := db.Begin(0) // snapshot before the overwrite
+	if _, err := old.Get(tbl, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	w := db.Begin(1)
+	if err := w.Update(tbl, []byte("x"), []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, w)
+
+	// old's snapshot predates the committed overwrite: updating would be a
+	// lost update.
+	if err := old.Update(tbl, []byte("x"), []byte("stale")); !errors.Is(err, engine.ErrWriteConflict) {
+		t.Fatalf("stale update: %v", err)
+	}
+	old.Abort()
+}
+
+func TestScan(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 50; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	// Delete a few; they must vanish from scans.
+	txn := db.Begin(0)
+	for i := 0; i < 50; i += 10 {
+		if err := txn.Delete(tbl, []byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, txn)
+
+	txn = db.Begin(0)
+	var got []string
+	err := txn.Scan(tbl, []byte("k010"), []byte("k030"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k010, k020 deleted: 20 keys in [010,030) minus 2.
+	if len(got) != 18 {
+		t.Fatalf("scan got %d keys: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("scan out of order")
+		}
+	}
+	txn.Abort()
+}
+
+func TestScanSeesOwnWrites(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "b", "old")
+
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte("a"), []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Update(tbl, []byte("b"), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	if err := txn.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		seen[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen["a"] != "mine" || seen["b"] != "updated" {
+		t.Fatalf("own writes in scan: %v", seen)
+	}
+	txn.Abort()
+}
+
+// Write skew: the classic SI anomaly. Two transactions each read both
+// constraints rows and update the other one. Plain SI commits both
+// (anomaly); SSN must abort one.
+func TestWriteSkew(t *testing.T) {
+	run := func(serializable bool) (bothCommitted bool) {
+		db := testDB(t, serializable)
+		tbl := db.CreateTable("t")
+		put(t, db, tbl, "a", "1")
+		put(t, db, tbl, "b", "1")
+
+		t1 := db.Begin(0)
+		t2 := db.Begin(1)
+		if _, err := t1.Get(tbl, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t1.Get(tbl, []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Get(tbl, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Get(tbl, []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := t1.Update(tbl, []byte("a"), []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.Update(tbl, []byte("b"), []byte("0")); err != nil {
+			t1.Abort()
+			t2.Abort()
+			t.Fatal(err)
+		}
+		err1 := t1.Commit()
+		err2 := t2.Commit()
+		return err1 == nil && err2 == nil
+	}
+
+	if !run(false) {
+		t.Error("plain SI should exhibit write skew (both commit)")
+	}
+	if run(true) {
+		t.Error("SSN let write skew commit")
+	}
+}
+
+// A three-transaction serial dependency cycle through read-write conflicts.
+func TestSSNBlocksRWCycle(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "0")
+	put(t, db, tbl, "y", "0")
+
+	// T1 reads x, T2 writes x and commits, T2 read y earlier, T1 writes y:
+	// T1 -rw-> T2 (x), T2 -rw-> T1 (y) ⇒ cycle if both commit.
+	t1 := db.Begin(0)
+	t2 := db.Begin(1)
+	if _, err := t1.Get(tbl, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Get(tbl, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(tbl, []byte("x"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+	err := t1.Update(tbl, []byte("y"), []byte("1"))
+	if err == nil {
+		err = t1.Commit()
+	} else {
+		t1.Abort()
+	}
+	if err == nil {
+		t.Fatal("cycle committed under SSN")
+	}
+	if !engine.IsRetryable(err) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}
+
+func TestPhantomProtection(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 10; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+
+	scanner := db.Begin(0)
+	count := 0
+	if err := scanner.Scan(tbl, []byte("k00"), []byte("k99"), func(k, v []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("scanned %d", count)
+	}
+	// Make the scanner a read-write transaction so the phantom matters.
+	if err := scanner.Update(tbl, []byte("k00"), []byte("marked")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A phantom arrives in the scanned range.
+	other := db.Begin(1)
+	if err := other.Insert(tbl, []byte("k05x"), []byte("phantom")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, other)
+
+	if err := scanner.Commit(); !errors.Is(err, engine.ErrPhantom) {
+		t.Fatalf("phantom commit: %v", err)
+	}
+	if db.Stats().PhantomAborts.Load() == 0 {
+		t.Error("phantom abort not counted")
+	}
+}
+
+func TestOwnInsertDoesNotTripPhantomCheck(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 10; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+	txn := db.Begin(0)
+	if err := txn.Scan(tbl, []byte("k00"), []byte("k99"), func(k, v []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting into the range we scanned ourselves must not abort us.
+	if err := txn.Insert(tbl, []byte("k05x"), []byte("own")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("own-insert commit: %v", err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	txn := db.BeginReadOnly(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err == nil {
+		t.Fatal("read-only insert succeeded")
+	}
+	txn.Abort()
+}
+
+func TestGC(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "v0")
+	for i := 1; i <= 20; i++ {
+		txn := db.Begin(0)
+		if err := txn.Update(tbl, []byte("x"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	removed := db.RunGC()
+	if removed < 15 {
+		t.Fatalf("GC pruned %d versions, want most of 20", removed)
+	}
+	// The record still reads correctly.
+	txn := db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("x")); err != nil || string(v) != "v20" {
+		t.Fatalf("after GC: %q, %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestGCRespectsActiveSnapshots(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "snapshot-value")
+
+	reader := db.Begin(0)
+	if _, err := reader.Get(tbl, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		txn := db.Begin(1)
+		if err := txn.Update(tbl, []byte("x"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	db.RunGC()
+
+	// The long reader's snapshot must still resolve.
+	if v, err := reader.Get(tbl, []byte("x")); err != nil || string(v) != "snapshot-value" {
+		t.Fatalf("snapshot read after GC: %q, %v", v, err)
+	}
+	reader.Abort()
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				txn := db.Begin(id)
+				key := []byte(fmt.Sprintf("w%d-k%d", id, i))
+				if err := txn.Insert(tbl, key, []byte("v")); err != nil {
+					txn.Abort()
+					errCh <- err
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Commits.Load(); got < workers*per {
+		t.Fatalf("commits = %d", got)
+	}
+	txn := db.Begin(0)
+	n := 0
+	txn.Scan(tbl, nil, nil, func(k, v []byte) bool { n++; return true })
+	txn.Abort()
+	if n != workers*per {
+		t.Fatalf("scan found %d records, want %d", n, workers*per)
+	}
+}
+
+func TestConcurrentCountersNoLostUpdates(t *testing.T) {
+	for _, ser := range []bool{false, true} {
+		t.Run(fmt.Sprintf("serializable=%v", ser), func(t *testing.T) {
+			db := testDB(t, ser)
+			tbl := db.CreateTable("t")
+			put(t, db, tbl, "counter", "0")
+
+			const workers, per = 6, 100
+			var committed [workers]int
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						for {
+							txn := db.Begin(id)
+							v, err := txn.Get(tbl, []byte("counter"))
+							if err != nil {
+								txn.Abort()
+								continue
+							}
+							var n int
+							fmt.Sscanf(string(v), "%d", &n)
+							err = txn.Update(tbl, []byte("counter"), []byte(fmt.Sprintf("%d", n+1)))
+							if err == nil {
+								err = txn.Commit()
+							} else {
+								txn.Abort()
+							}
+							if err == nil {
+								committed[id]++
+								break
+							}
+							if !engine.IsRetryable(err) {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			total := 0
+			for _, c := range committed {
+				total += c
+			}
+			txn := db.Begin(0)
+			v, err := txn.Get(tbl, []byte("counter"))
+			txn.Abort()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var n int
+			fmt.Sscanf(string(v), "%d", &n)
+			if n != total {
+				t.Fatalf("counter = %d, committed increments = %d (lost updates!)", n, total)
+			}
+		})
+	}
+}
+
+func TestWaitDurable(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v")
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Log().DurableOffset() == 0 {
+		t.Fatal("durable horizon not advanced")
+	}
+}
+
+func TestBackgroundGC(t *testing.T) {
+	db, err := Open(Config{
+		WAL:        wal.Config{SegmentSize: 1 << 20, BufferSize: 1 << 18},
+		GCInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "v0")
+	for i := 0; i < 50; i++ {
+		txn := db.Begin(0)
+		txn.Update(tbl, []byte("x"), []byte(fmt.Sprintf("v%d", i)))
+		txn.Commit()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for db.Stats().VersionsPruned.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background GC never pruned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCrossTableOIDCollisionSelfOverwrite is a regression test: OIDs are
+// per-table, so a transaction that updates record OID n in one table and
+// then updates (twice, triggering the in-place self-overwrite path) record
+// OID n in another table must keep both write-set entries intact. A
+// write-set lookup keyed by OID alone clobbered the first table's entry,
+// leaving its head version TID-stamped forever — later writers spun on it
+// and the committed log carried the wrong table's payload.
+func TestCrossTableOIDCollisionSelfOverwrite(t *testing.T) {
+	db := testDB(t, false)
+	a := db.CreateTable("a")
+	bb := db.CreateTable("b")
+	// Both records get OID 1 in their respective tables.
+	put(t, db, a, "ka", "a0")
+	put(t, db, bb, "kb", "b0")
+
+	txn := db.BeginTxn(0)
+	if err := txn.Update(a, []byte("ka"), []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Update(bb, []byte("kb"), []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	// Second update of table b's record: the in-place self-overwrite.
+	if err := txn.Update(bb, []byte("kb"), []byte("b2")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+
+	// Both records must read back with their own committed values — and a
+	// subsequent writer must not hang on an orphaned head.
+	done := make(chan error, 1)
+	go func() {
+		txn := db.BeginTxn(1)
+		va, errA := txn.Get(a, []byte("ka"))
+		vb, errB := txn.Get(bb, []byte("kb"))
+		if errA != nil || errB != nil {
+			txn.Abort()
+			done <- errA
+			return
+		}
+		if string(va) != "a1" || string(vb) != "b2" {
+			t.Errorf("values: a=%q b=%q, want a1/b2", va, vb)
+		}
+		err := txn.Update(a, []byte("ka"), []byte("a2"))
+		if err == nil {
+			err = txn.Commit()
+		} else {
+			txn.Abort()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer hung on an orphaned head version")
+	}
+}
+
+// The abort path of the same shape: the first table's version must be
+// unlinked cleanly.
+func TestCrossTableOIDCollisionAbort(t *testing.T) {
+	db := testDB(t, false)
+	a := db.CreateTable("a")
+	bb := db.CreateTable("b")
+	put(t, db, a, "ka", "a0")
+	put(t, db, bb, "kb", "b0")
+
+	txn := db.BeginTxn(0)
+	txn.Update(a, []byte("ka"), []byte("doomed-a"))
+	txn.Update(bb, []byte("kb"), []byte("doomed-b1"))
+	txn.Update(bb, []byte("kb"), []byte("doomed-b2"))
+	txn.Abort()
+
+	done := make(chan error, 1)
+	go func() {
+		txn := db.BeginTxn(1)
+		defer txn.Abort()
+		va, err := txn.Get(a, []byte("ka"))
+		if err != nil {
+			done <- err
+			return
+		}
+		vb, err := txn.Get(bb, []byte("kb"))
+		if err != nil {
+			done <- err
+			return
+		}
+		if string(va) != "a0" || string(vb) != "b0" {
+			t.Errorf("aborted writes leaked: a=%q b=%q", va, vb)
+		}
+		// Writing over both must succeed (no orphan blocks the head).
+		w := db.BeginTxn(2)
+		if err := w.Update(a, []byte("ka"), []byte("fresh")); err != nil {
+			w.Abort()
+			done <- err
+			return
+		}
+		done <- w.Commit()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("post-abort writer hung")
+	}
+}

@@ -1,0 +1,333 @@
+// Package core implements ERMIA, the paper's primary contribution: a
+// memory-optimized transaction processing engine built around latch-free
+// indirection arrays, epoch-based resource management, and an extremely
+// efficient centralized log manager (§3).
+//
+// Transactions run under snapshot isolation; when the DB is configured as
+// serializable, the Serial Safety Net (SSN) certifier is overlaid on SI
+// exactly as §3.6 describes, with Silo-style index node-set validation for
+// phantom protection. Commit acquires a totally ordered commit timestamp
+// with a single fetch-and-add in the log manager; post-commit replaces TID
+// stamps in the write set with the commit LSN so later readers check
+// visibility without chasing the owner's context.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/epoch"
+	"ermia/internal/index"
+	"ermia/internal/mvcc"
+	"ermia/internal/txnid"
+	"ermia/internal/wal"
+)
+
+// MaxWorkers bounds the number of worker slots; it matches the per-version
+// reader bitmap capacity SSN relies on.
+const MaxWorkers = mvcc.MaxReaders
+
+// Config controls a DB instance.
+type Config struct {
+	// WAL configures the log manager.
+	WAL wal.Config
+	// Serializable overlays the SSN certifier on snapshot isolation
+	// (ERMIA-SSN). Off, the engine runs plain SI (ERMIA-SI). Shorthand
+	// for Isolation: SSN.
+	Serializable bool
+	// Isolation selects the CC scheme explicitly; it wins over
+	// Serializable when set.
+	Isolation Isolation
+	// LogPerOperation emulates traditional WAL: every update operation
+	// makes its own round trip to the centralized log buffer instead of
+	// one reservation per transaction (the Figure 10 ablation).
+	LogPerOperation bool
+	// GCInterval is how often the background garbage collector sweeps the
+	// indirection arrays. Zero disables the background sweeper; call RunGC
+	// manually.
+	GCInterval time.Duration
+	// EpochInterval is the timescale of the version-GC epoch manager.
+	// Defaults to 10ms.
+	EpochInterval time.Duration
+	// Profile enables per-worker cycle accounting by component (the
+	// Figure 11 breakdown). Costs two clock reads per instrumented section.
+	Profile bool
+}
+
+// Table is one named table: a primary index mapping keys to OIDs plus the
+// latch-free indirection array holding version chains.
+type Table struct {
+	name string
+	id   uint32
+	idx  *index.Tree[mvcc.OID]
+	arr  *mvcc.OIDArray
+}
+
+// Name implements engine.Table.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of keys in the table's primary index.
+func (t *Table) Len() int { return t.idx.Len() }
+
+// DB is an ERMIA engine instance.
+type DB struct {
+	cfg  Config
+	log  *wal.Manager
+	tids *txnid.Manager
+
+	// gcEpoch tracks transaction-scale quiescence for version reclamation;
+	// every transaction joins it between begin and end (§3.4). Worker
+	// slots are registered lazily, one per worker id.
+	gcEpoch *epoch.Manager
+
+	mu          sync.Mutex
+	tables      map[string]*Table
+	tableIDs    map[uint32]*Table
+	nextTID     uint32
+	secondaries *secondaryCatalog
+
+	// workerTID maps worker slot -> current transaction TID (0 if idle),
+	// letting a committing overwriter resolve the reader bits on a version
+	// to live transaction contexts (parallel SSN).
+	workerTID [MaxWorkers]atomic.Uint64
+
+	workers       [MaxWorkers]workerState
+	lastCkptBegin atomic.Uint64 // begin offset of the newest checkpoint
+	gcStop        chan struct{}
+	gcDone        chan struct{}
+	closeOnce     sync.Once
+	closeErr      error
+
+	stats DBStats
+}
+
+// workerState holds per-worker engine state, padded to avoid false sharing.
+type workerState struct {
+	slot    *epoch.Slot
+	prof    Profile
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	_       [24]byte
+}
+
+// Profile is the per-worker cycle breakdown of Figure 11, in nanoseconds.
+type Profile struct {
+	Index    atomic.Int64 // tree probes, inserts, scans
+	Indirect atomic.Int64 // indirection array + version chain work
+	Log      atomic.Int64 // log reservation and copying
+	Other    atomic.Int64 // everything else inside transactions
+}
+
+// DBStats aggregates engine counters.
+type DBStats struct {
+	Commits        atomic.Uint64
+	Aborts         atomic.Uint64
+	SerialAborts   atomic.Uint64 // SSN exclusion-window aborts
+	WWAborts       atomic.Uint64 // first-updater-wins aborts (total)
+	WWInFlight     atomic.Uint64 // ...lost to an uncommitted head version
+	WWNewer        atomic.Uint64 // ...head committed after our snapshot
+	WWCASRace      atomic.Uint64 // ...lost the install CAS
+	RVAborts       atomic.Uint64 // read-set validation failures (ERMIA-RV)
+	PhantomAborts  atomic.Uint64
+	VersionsPruned atomic.Uint64
+	GCRuns         atomic.Uint64
+}
+
+// Open creates a DB. Pass a wal.RecoverResult-driven flow via Recover to
+// restore existing state instead.
+func Open(cfg Config) (*DB, error) {
+	if cfg.EpochInterval == 0 {
+		cfg.EpochInterval = 10 * time.Millisecond
+	}
+	if cfg.Serializable && cfg.Isolation == SnapshotIsolation {
+		cfg.Isolation = SSN
+	}
+	log, err := wal.Open(cfg.WAL, nil)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cfg, log)
+	db.startGC()
+	return db, nil
+}
+
+func newDB(cfg Config, log *wal.Manager) *DB {
+	return &DB{
+		cfg:         cfg,
+		log:         log,
+		tids:        txnid.NewManager(),
+		gcEpoch:     epoch.NewManager(0),
+		tables:      make(map[string]*Table),
+		tableIDs:    make(map[uint32]*Table),
+		nextTID:     1,
+		secondaries: newSecondaryCatalog(),
+	}
+}
+
+func (db *DB) startGC() {
+	if db.cfg.GCInterval <= 0 {
+		return
+	}
+	db.gcStop = make(chan struct{})
+	db.gcDone = make(chan struct{})
+	go func() {
+		defer close(db.gcDone)
+		t := time.NewTicker(db.cfg.GCInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-db.gcStop:
+				return
+			case <-t.C:
+				db.RunGC()
+			}
+		}
+	}()
+}
+
+// Serializable reports whether a serializable CC scheme is active.
+func (db *DB) Serializable() bool { return db.cfg.Isolation != SnapshotIsolation }
+
+// IsolationLevel returns the active CC scheme.
+func (db *DB) IsolationLevel() Isolation { return db.cfg.Isolation }
+
+// Log exposes the log manager (for durability waits and stats).
+func (db *DB) Log() *wal.Manager { return db.log }
+
+// Stats returns the engine counters.
+func (db *DB) Stats() *DBStats { return &db.stats }
+
+// WorkerProfile returns worker w's cycle breakdown (Figure 11).
+func (db *DB) WorkerProfile(w int) *Profile { return &db.workers[w&(MaxWorkers-1)].prof }
+
+// CreateTable makes the named table, logging its creation so recovery can
+// rebuild the catalog. Creating an existing table returns it.
+func (db *DB) CreateTable(name string) engine.Table {
+	db.mu.Lock()
+	if t, ok := db.tables[name]; ok {
+		db.mu.Unlock()
+		return t
+	}
+	t := &Table{name: name, id: db.nextTID, idx: index.New[mvcc.OID](), arr: mvcc.NewOIDArray()}
+	db.nextTID++
+	db.tables[name] = t
+	db.tableIDs[t.id] = t
+	db.mu.Unlock()
+
+	// Log the catalog change in its own commit block.
+	rec := encodeCreateTable(t.id, name)
+	res, err := db.log.Reserve(len(rec), wal.BlockCommit)
+	if err == nil {
+		res.Append(rec)
+		res.Commit()
+	}
+	return t
+}
+
+// OpenTable returns the named table, or nil.
+func (db *DB) OpenTable(name string) engine.Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[name]; ok {
+		return t
+	}
+	return nil
+}
+
+// createTableRecovered rebuilds a table during recovery without re-logging.
+func (db *DB) createTableRecovered(id uint32, name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tableIDs[id]; ok {
+		return t
+	}
+	t := &Table{name: name, id: id, idx: index.New[mvcc.OID](), arr: mvcc.NewOIDArray()}
+	db.tables[name] = t
+	db.tableIDs[id] = t
+	if id >= db.nextTID {
+		db.nextTID = id + 1
+	}
+	return t
+}
+
+func (db *DB) tableByID(id uint32) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tableIDs[id]
+}
+
+// Tables returns all tables, for GC and checkpointing.
+func (db *DB) allTables() []*Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RunGC performs one garbage collection sweep over every indirection
+// array, pruning versions no snapshot can reach (§3.2). It returns the
+// number of versions unlinked.
+func (db *DB) RunGC() int {
+	horizon := db.tids.MinActiveBegin()
+	if cur := db.log.CurrentOffset(); cur < horizon {
+		horizon = cur
+	}
+	db.gcEpoch.Advance()
+	removed := 0
+	for _, t := range db.allTables() {
+		arr := t.arr
+		arr.Scan(func(oid mvcc.OID, _ *mvcc.Version) bool {
+			removed += arr.Prune(oid, horizon)
+			return true
+		})
+	}
+	db.gcEpoch.TryReclaim()
+	db.stats.VersionsPruned.Add(uint64(removed))
+	db.stats.GCRuns.Add(1)
+	return removed
+}
+
+// WaitDurable blocks until every transaction committed so far is durable
+// (group commit).
+func (db *DB) WaitDurable() error { return db.log.Flush() }
+
+// Close stops background work and shuts down the log.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.gcStop != nil {
+			close(db.gcStop)
+			<-db.gcDone
+		}
+		db.gcEpoch.Close()
+		db.closeErr = db.log.Close()
+	})
+	return db.closeErr
+}
+
+var _ engine.DB = (*DB)(nil)
+
+func init() {
+	// The engine assumes the TID flag bit is outside the table ID space.
+	if MaxWorkers > mvcc.MaxReaders {
+		panic(fmt.Sprintf("core: MaxWorkers %d exceeds reader bitmap capacity", MaxWorkers))
+	}
+}
+
+// CountInFlightHeads counts head versions still carrying a TID stamp, a
+// diagnostic for write-lock residency.
+func (t *Table) CountInFlightHeads() int {
+	n := 0
+	t.arr.Scan(func(oid mvcc.OID, head *mvcc.Version) bool {
+		if mvcc.IsTID(head.CLSN()) {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Log record kinds inside commit blocks. Transactions accumulate these in a
+// private buffer during forward processing (§3.1) and copy them into the
+// centralized log in one reserved block at pre-commit.
+const (
+	recCreateTable uint8 = iota + 1
+	recInsert
+	recUpdate
+	recDelete
+)
+
+func encodeCreateTable(id uint32, name string) []byte {
+	buf := make([]byte, 0, 7+len(name))
+	buf = append(buf, recCreateTable)
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	return buf
+}
+
+// appendInsert encodes an insert record (key needed to rebuild the index).
+func appendInsert(buf []byte, table uint32, oid uint64, key, val []byte) []byte {
+	buf = append(buf, recInsert)
+	buf = binary.LittleEndian.AppendUint32(buf, table)
+	buf = binary.LittleEndian.AppendUint64(buf, oid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	return buf
+}
+
+// appendUpdate encodes an update record; the OID alone locates the record,
+// which is the log-amplification win of indirection the paper describes.
+func appendUpdate(buf []byte, table uint32, oid uint64, val []byte) []byte {
+	buf = append(buf, recUpdate)
+	buf = binary.LittleEndian.AppendUint32(buf, table)
+	buf = binary.LittleEndian.AppendUint64(buf, oid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	return buf
+}
+
+func appendDelete(buf []byte, table uint32, oid uint64) []byte {
+	buf = append(buf, recDelete)
+	buf = binary.LittleEndian.AppendUint32(buf, table)
+	buf = binary.LittleEndian.AppendUint64(buf, oid)
+	return buf
+}
+
+// logRecord is a decoded record from a commit block.
+type logRecord struct {
+	kind  uint8
+	table uint32
+	oid   uint64
+	key   []byte // insert, createTable (name), createIndex (name)
+	val   []byte // insert, update
+	index uint32 // createIndex: the new index id
+	sec   []secRef
+}
+
+// secRef is one secondary binding inside an insert record.
+type secRef struct {
+	index uint32
+	key   []byte
+}
+
+// decodeRecords parses every record in a commit block payload.
+func decodeRecords(p []byte, fn func(logRecord) error) error {
+	for len(p) > 0 {
+		kind := p[0]
+		p = p[1:]
+		switch kind {
+		case recCreateTable:
+			if len(p) < 6 {
+				return fmt.Errorf("core: truncated create-table record")
+			}
+			id := binary.LittleEndian.Uint32(p)
+			nlen := int(binary.LittleEndian.Uint16(p[4:]))
+			p = p[6:]
+			if len(p) < nlen {
+				return fmt.Errorf("core: truncated table name")
+			}
+			if err := fn(logRecord{kind: kind, table: id, key: p[:nlen]}); err != nil {
+				return err
+			}
+			p = p[nlen:]
+		case recInsert, recInsertSec:
+			if len(p) < 16 {
+				return fmt.Errorf("core: truncated insert record")
+			}
+			table := binary.LittleEndian.Uint32(p)
+			oid := binary.LittleEndian.Uint64(p[4:])
+			klen := int(binary.LittleEndian.Uint32(p[12:]))
+			p = p[16:]
+			if len(p) < klen+4 {
+				return fmt.Errorf("core: truncated insert key")
+			}
+			key := p[:klen]
+			vlen := int(binary.LittleEndian.Uint32(p[klen:]))
+			p = p[klen+4:]
+			if len(p) < vlen {
+				return fmt.Errorf("core: truncated insert value")
+			}
+			rec := logRecord{kind: kind, table: table, oid: oid, key: key, val: p[:vlen]}
+			p = p[vlen:]
+			if kind == recInsertSec {
+				if len(p) < 1 {
+					return fmt.Errorf("core: truncated secondary count")
+				}
+				n := int(p[0])
+				p = p[1:]
+				for i := 0; i < n; i++ {
+					if len(p) < 8 {
+						return fmt.Errorf("core: truncated secondary entry")
+					}
+					idx := binary.LittleEndian.Uint32(p)
+					sklen := int(binary.LittleEndian.Uint32(p[4:]))
+					p = p[8:]
+					if len(p) < sklen {
+						return fmt.Errorf("core: truncated secondary key")
+					}
+					rec.sec = append(rec.sec, secRef{index: idx, key: p[:sklen]})
+					p = p[sklen:]
+				}
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		case recUpdate:
+			if len(p) < 16 {
+				return fmt.Errorf("core: truncated update record")
+			}
+			table := binary.LittleEndian.Uint32(p)
+			oid := binary.LittleEndian.Uint64(p[4:])
+			vlen := int(binary.LittleEndian.Uint32(p[12:]))
+			p = p[16:]
+			if len(p) < vlen {
+				return fmt.Errorf("core: truncated update value")
+			}
+			if err := fn(logRecord{kind: kind, table: table, oid: oid, val: p[:vlen]}); err != nil {
+				return err
+			}
+			p = p[vlen:]
+		case recDelete:
+			if len(p) < 12 {
+				return fmt.Errorf("core: truncated delete record")
+			}
+			table := binary.LittleEndian.Uint32(p)
+			oid := binary.LittleEndian.Uint64(p[4:])
+			p = p[12:]
+			if err := fn(logRecord{kind: kind, table: table, oid: oid}); err != nil {
+				return err
+			}
+		case recCreateIndex:
+			if len(p) < 10 {
+				return fmt.Errorf("core: truncated create-index record")
+			}
+			id := binary.LittleEndian.Uint32(p)
+			tableID := binary.LittleEndian.Uint32(p[4:])
+			nlen := int(binary.LittleEndian.Uint16(p[8:]))
+			p = p[10:]
+			if len(p) < nlen {
+				return fmt.Errorf("core: truncated index name")
+			}
+			if err := fn(logRecord{kind: kind, index: id, table: tableID, key: p[:nlen]}); err != nil {
+				return err
+			}
+			p = p[nlen:]
+		default:
+			return fmt.Errorf("core: unknown log record kind %d", kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ermia/internal/mvcc"
+)
+
+// TestVisibleOnAbortedOrphanVersion is a regression test for a livelock: a
+// reader that loaded a version pointer just before the owner aborted keeps
+// the unlinked version reachable. The abort unlinks but never rewrites the
+// TID stamp, and once the owner releases its TID slot the stamp can never
+// resolve — visible() must classify it as invisible rather than spin.
+func TestVisibleOnAbortedOrphanVersion(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t").(*Table)
+
+	// Writer installs an uncommitted version, then aborts and releases.
+	writer := db.BeginTxn(0)
+	if err := writer.Insert(tbl, []byte("k"), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := writer.writes[0].newV // the version a slow reader would hold
+	writer.Abort()                  // unlink + release TID
+
+	if !mvcc.IsTID(orphan.CLSN()) {
+		t.Fatal("aborted version should keep its TID stamp")
+	}
+
+	reader := db.BeginTxn(1)
+	defer reader.Abort()
+	done := make(chan struct{})
+	var vis bool
+	go func() {
+		vis, _ = reader.visible(orphan)
+		close(done)
+	}()
+	select {
+	case <-done:
+		if vis {
+			t.Fatal("aborted orphan version classified visible")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("visible() livelocked on an aborted orphan version")
+	}
+}
+
+// TestVisibleOnRecycledSlotOrphan extends the scenario: the released slot
+// is reclaimed by a NEW transaction before the reader resolves the stamp.
+func TestVisibleOnRecycledSlotOrphan(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t").(*Table)
+
+	writer := db.BeginTxn(0)
+	if err := writer.Insert(tbl, []byte("k"), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := writer.writes[0].newV
+	writer.Abort()
+
+	// Churn the TID table so the slot is likely reclaimed under a new
+	// generation.
+	for i := 0; i < 64; i++ {
+		txn := db.BeginTxn(0)
+		txn.Insert(tbl, []byte{byte(i), 1}, []byte("x"))
+		mustCommit(t, txn)
+	}
+
+	reader := db.BeginTxn(1)
+	defer reader.Abort()
+	done := make(chan struct{})
+	var vis bool
+	go func() {
+		vis, _ = reader.visible(orphan)
+		close(done)
+	}()
+	select {
+	case <-done:
+		if vis {
+			t.Fatal("orphan visible after slot recycling")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("visible() livelocked after slot recycling")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ermia/internal/mvcc"
+	"ermia/internal/wal"
+)
+
+// Recover rebuilds a DB from cfg.WAL.Storage (§3.7). The process is the
+// same after a clean shutdown and after a crash: find the most recent
+// durable checkpoint (if any), restore the OID arrays and indexes from it,
+// then roll forward by scanning the log after the checkpoint and replaying
+// the operations of committed transactions. The log can be truncated at the
+// first hole without losing committed work, because it contains only
+// committed state.
+func Recover(cfg Config) (*DB, error) {
+	if cfg.WAL.Storage == nil {
+		return nil, fmt.Errorf("core: Recover requires explicit WAL storage")
+	}
+	if cfg.EpochInterval == 0 {
+		cfg.EpochInterval = 10 * time.Millisecond
+	}
+	st := cfg.WAL.Storage
+
+	// Pass 1: locate segments and the newest checkpoint-end record.
+	var ckptName string
+	var ckptBegin uint64
+	pass1, err := wal.Recover(st, func(b wal.Block) error {
+		if b.Type == wal.BlockCheckpointEnd {
+			ckptName = string(b.Payload)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: log scan: %w", err)
+	}
+
+	db := newDB(cfg, nil)
+
+	if ckptName != "" {
+		if _, err := fmt.Sscanf(ckptName, "ckpt-%016x", &ckptBegin); err != nil {
+			return nil, fmt.Errorf("core: bad checkpoint name %q", ckptName)
+		}
+		f, err := st.Open(ckptName)
+		if err != nil {
+			return nil, fmt.Errorf("core: open checkpoint: %w", err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, size)
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("core: read checkpoint: %w", err)
+		}
+		f.Close()
+		if err := db.loadCheckpoint(buf); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: roll forward from the checkpoint (or the log's start).
+	_, err = wal.Recover(st, func(b wal.Block) error {
+		if b.Type != wal.BlockCommit || b.LSN.Offset() <= ckptBegin {
+			return nil
+		}
+		return db.applyCommitBlock(st, pass1.Segments, b)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: replay: %w", err)
+	}
+
+	// Resume the log at the recovered horizon and restart background work.
+	log, err := wal.Open(cfg.WAL, pass1)
+	if err != nil {
+		return nil, err
+	}
+	db.log = log
+	db.startGC()
+	return db, nil
+}
+
+// applyCommitBlock replays one committed transaction: its overflow chain
+// (oldest first), then the commit block's own records.
+func (db *DB) applyCommitBlock(st wal.Storage, segs []wal.SegmentMeta, b wal.Block) error {
+	if b.Prev != 0 {
+		// Collect the backward-linked overflow chain and apply in order.
+		var chain [][]byte
+		prev := b.Prev
+		for prev != 0 {
+			ob, err := wal.ReadBlock(st, segs, walLSNFor(segs, prev))
+			if err != nil {
+				return fmt.Errorf("core: overflow chain at %#x: %w", prev, err)
+			}
+			chain = append(chain, ob.Payload)
+			prev = ob.Prev
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			if err := db.applyRecords(chain[i], b.LSN.Offset()); err != nil {
+				return err
+			}
+		}
+	}
+	return db.applyRecords(b.Payload, b.LSN.Offset())
+}
+
+// walLSNFor rebuilds the LSN for a raw offset using the segment metadata.
+func walLSNFor(segs []wal.SegmentMeta, off uint64) wal.LSN {
+	for _, s := range segs {
+		if off >= s.Start && off < s.End {
+			return wal.MakeLSN(off, s.Num)
+		}
+	}
+	return wal.MakeLSN(off, 0)
+}
+
+// applyRecords replays the records of one committed transaction, stamping
+// every installed version with the transaction's commit offset.
+func (db *DB) applyRecords(payload []byte, cstamp uint64) error {
+	return decodeRecords(payload, func(r logRecord) error {
+		switch r.kind {
+		case recCreateTable:
+			db.createTableRecovered(r.table, string(r.key))
+			return nil
+		case recCreateIndex:
+			if db.createSecondaryRecovered(r.index, r.table, string(r.key)) == nil {
+				return fmt.Errorf("core: index %q references unknown table %d", r.key, r.table)
+			}
+			return nil
+		}
+		t := db.tableByID(r.table)
+		if t == nil {
+			return fmt.Errorf("core: record for unknown table %d", r.table)
+		}
+		switch r.kind {
+		case recInsert, recInsertSec:
+			db.applyVersion(t, oidOf(r), cloneKey(r.key), cloneKey(r.val), cstamp, false, true)
+			for _, s := range r.sec {
+				si := db.secondaryByID(s.index)
+				if si == nil {
+					return fmt.Errorf("core: record for unknown secondary index %d", s.index)
+				}
+				si.idx.InsertIfAbsent(cloneKey(s.key), oidOf(r))
+			}
+		case recUpdate:
+			db.applyVersion(t, oidOf(r), nil, cloneKey(r.val), cstamp, false, false)
+		case recDelete:
+			db.applyVersion(t, oidOf(r), nil, nil, cstamp, true, false)
+		}
+		return nil
+	})
+}
+
+func oidOf(r logRecord) mvcc.OID { return mvcc.OID(r.oid) }

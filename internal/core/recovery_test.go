@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+func recoveryConfig(st wal.Storage) Config {
+	return Config{WAL: wal.Config{SegmentSize: 1 << 18, BufferSize: 1 << 16, Storage: st}}
+}
+
+// expect checks that the recovered DB contains exactly want.
+func expect(t *testing.T, db *DB, table string, want map[string]string) {
+	t.Helper()
+	tbl := db.OpenTable(table)
+	if tbl == nil {
+		t.Fatalf("table %q missing after recovery", table)
+	}
+	txn := db.Begin(0)
+	defer txn.Abort()
+	got := map[string]string{}
+	if err := txn.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestRecoveryBasic(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("users")
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("user-%03d", i), fmt.Sprintf("data-%d", i)
+		put(t, db, tbl, k, v)
+		want[k] = v
+	}
+	// Updates and deletes must replay too.
+	txn := db.Begin(0)
+	txn.Update(tbl, []byte("user-010"), []byte("updated"))
+	txn.Delete(tbl, []byte("user-020"))
+	mustCommit(t, txn)
+	want["user-010"] = "updated"
+	delete(want, "user-020")
+
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "users", want)
+
+	// The recovered DB accepts new transactions.
+	tbl2 := db2.OpenTable("users")
+	put(t, db2, tbl2, "post-recovery", "new")
+	txn = db2.Begin(0)
+	if v, err := txn.Get(tbl2, []byte("post-recovery")); err != nil || string(v) != "new" {
+		t.Fatalf("post-recovery write: %q %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestRecoveryAbortedTxnInvisible(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "keep", "yes")
+
+	txn := db.Begin(0)
+	txn.Insert(tbl, []byte("dropme"), []byte("no"))
+	txn.Abort()
+
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", map[string]string{"keep": "yes"})
+}
+
+func TestRecoveryAfterCrashLosesOnlyTail(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	for i := 0; i < 20; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+	db.WaitDurable() // first 20 are durable
+	for i := 20; i < 40; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+	crashed := st.Crash() // tail may be lost
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(crashed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.OpenTable("t")
+	txn := db2.Begin(0)
+	defer txn.Abort()
+	n := 0
+	txn.Scan(tbl2, nil, nil, func(k, v []byte) bool { n++; return true })
+	if n < 20 {
+		t.Fatalf("recovered %d records, durable prefix was 20: lost committed work", n)
+	}
+	if n > 40 {
+		t.Fatalf("recovered %d records from 40 written", n)
+	}
+	// The prefix property: recovered records are exactly k00..k(n-1).
+	for i := 0; i < n; i++ {
+		if _, err := txn.Get(tbl2, []byte(fmt.Sprintf("k%02d", i))); err != nil {
+			t.Fatalf("hole in recovered prefix at %d of %d", i, n)
+		}
+	}
+}
+
+func TestRecoveryWithCheckpoint(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	want := map[string]string{}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("pre-%02d", i)
+		put(t, db, tbl, k, "v1")
+		want[k] = "v1"
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint activity: updates of checkpointed rows, new inserts,
+	// deletes of checkpointed rows.
+	txn := db.Begin(0)
+	txn.Update(tbl, []byte("pre-05"), []byte("v2"))
+	txn.Delete(tbl, []byte("pre-07"))
+	txn.Insert(tbl, []byte("post-00"), []byte("new"))
+	mustCommit(t, txn)
+	want["pre-05"] = "v2"
+	delete(want, "pre-07")
+	want["post-00"] = "new"
+
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", want)
+}
+
+func TestRecoveryMultipleCheckpoints(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	want := map[string]string{}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			k := fmt.Sprintf("r%d-k%d", round, i)
+			put(t, db, tbl, k, fmt.Sprintf("v%d", round))
+			want[k] = fmt.Sprintf("v%d", round)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(t, db, tbl, "final", "x")
+	want["final"] = "x"
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", want)
+}
+
+func TestRecoveryPerOpLogging(t *testing.T) {
+	st := wal.NewMemStorage()
+	cfg := recoveryConfig(st)
+	cfg.LogPerOperation = true
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	want := map[string]string{}
+	for i := 0; i < 10; i++ {
+		txn := db.Begin(0)
+		for j := 0; j < 3; j++ {
+			k := fmt.Sprintf("t%d-k%d", i, j)
+			if err := txn.Insert(tbl, []byte(k), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = "v"
+		}
+		mustCommit(t, txn)
+	}
+	// An aborted per-op transaction leaves chain blocks that must not
+	// replay.
+	txn := db.Begin(0)
+	txn.Insert(tbl, []byte("aborted"), []byte("x"))
+	txn.Abort()
+
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", want)
+}
+
+func TestRecoveryOverflowChain(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	// One transaction whose write footprint exceeds MaxPayload, forcing
+	// overflow spills.
+	big := make([]byte, 1200)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	txn := db.Begin(0)
+	want := map[string]string{}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("big-%02d", i)
+		if err := txn.Insert(tbl, []byte(k), big); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = string(big)
+	}
+	mustCommit(t, txn)
+	if db.Log().Stats().Reservations < 2 {
+		t.Skip("footprint did not overflow; adjust sizes")
+	}
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", want)
+}
+
+func TestRecoveryMultipleTables(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := db.CreateTable("alpha")
+	b := db.CreateTable("beta")
+	put(t, db, a, "k", "in-alpha")
+	put(t, db, b, "k", "in-beta")
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "alpha", map[string]string{"k": "in-alpha"})
+	expect(t, db2, "beta", map[string]string{"k": "in-beta"})
+}
+
+func TestRecoveryEmptyLog(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v")
+	txn := db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("fresh recovered db: %q %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestRecoverySurvivesSegmentRotation(t *testing.T) {
+	st := wal.NewMemStorage()
+	cfg := Config{WAL: wal.Config{SegmentSize: 8 << 10, BufferSize: 4 << 10, Storage: st}}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	want := map[string]string{}
+	val := string(make([]byte, 300))
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		put(t, db, tbl, k, val)
+		want[k] = val
+	}
+	if db.Log().Stats().SegmentOpens < 3 {
+		t.Fatalf("only %d segment opens; rotation not exercised", db.Log().Stats().SegmentOpens)
+	}
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", want)
+}
+
+func TestRecoverRequiresStorage(t *testing.T) {
+	if _, err := Recover(Config{}); err == nil {
+		t.Fatal("Recover with no storage should fail")
+	}
+}
+
+func TestDeletedThenReinsertedSurvivesRecovery(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v1")
+	txn := db.Begin(0)
+	txn.Delete(tbl, []byte("k"))
+	mustCommit(t, txn)
+	txn = db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	expect(t, db2, "t", map[string]string{"k": "v2"})
+}
+
+func TestRecoveredDataNotFoundSemantics(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "alive", "v")
+	txn := db.Begin(0)
+	txn.Insert(tbl, []byte("dead"), []byte("v"))
+	mustCommit(t, txn)
+	txn = db.Begin(0)
+	txn.Delete(tbl, []byte("dead"))
+	mustCommit(t, txn)
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.OpenTable("t")
+	txn = db2.Begin(0)
+	defer txn.Abort()
+	if _, err := txn.Get(tbl2, []byte("dead")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted record after recovery: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+func TestSecondaryIndexBasic(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "users_by_email")
+
+	txn := db.BeginTxn(0)
+	err := txn.InsertWithSecondary(users, []byte("u1"), []byte("alice-data"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("alice@example.com")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.BeginTxn(0)
+	defer txn.Abort()
+	// Secondary lookup reaches the record with no primary probe.
+	v, err := txn.GetBySecondary(byEmail, []byte("alice@example.com"))
+	if err != nil || string(v) != "alice-data" {
+		t.Fatalf("GetBySecondary: %q %v", v, err)
+	}
+	if _, err := txn.GetBySecondary(byEmail, []byte("nobody@example.com")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("missing secondary key: %v", err)
+	}
+}
+
+// The paper's headline property: updates are absorbed by the indirection
+// array, so neither index sees them.
+func TestSecondaryIndexIsolatedFromUpdates(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+
+	txn := db.BeginTxn(0)
+	if err := txn.InsertWithSecondary(users, []byte("u1"), []byte("v0"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("a@x")}}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+	usersT := users.(*Table)
+	primLen, secLen := usersT.Len(), byEmail.Len()
+
+	for i := 1; i <= 50; i++ {
+		txn := db.BeginTxn(0)
+		if err := txn.Update(users, []byte("u1"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	if usersT.Len() != primLen || byEmail.Len() != secLen {
+		t.Fatalf("index sizes changed under updates: primary %d->%d secondary %d->%d",
+			primLen, usersT.Len(), secLen, byEmail.Len())
+	}
+	// The secondary path serves the newest version.
+	txn = db.BeginTxn(0)
+	defer txn.Abort()
+	if v, _ := txn.GetBySecondary(byEmail, []byte("a@x")); string(v) != "v50" {
+		t.Fatalf("secondary read after updates: %q", v)
+	}
+}
+
+func TestSecondaryIndexSeesSnapshots(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	txn := db.BeginTxn(0)
+	txn.InsertWithSecondary(users, []byte("u1"), []byte("old"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("a@x")}})
+	mustCommit(t, txn)
+
+	reader := db.BeginTxn(0)
+	if v, _ := reader.GetBySecondary(byEmail, []byte("a@x")); string(v) != "old" {
+		t.Fatal("setup")
+	}
+	writer := db.BeginTxn(1)
+	writer.Update(users, []byte("u1"), []byte("new"))
+	mustCommit(t, writer)
+	// The reader's snapshot is stable through the secondary path too.
+	if v, _ := reader.GetBySecondary(byEmail, []byte("a@x")); string(v) != "old" {
+		t.Fatal("secondary read moved with concurrent commit")
+	}
+	reader.Abort()
+}
+
+func TestSecondaryIndexDelete(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	txn := db.BeginTxn(0)
+	txn.InsertWithSecondary(users, []byte("u1"), []byte("v"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("a@x")}})
+	mustCommit(t, txn)
+
+	txn = db.BeginTxn(0)
+	if err := txn.Delete(users, []byte("u1")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.BeginTxn(0)
+	defer txn.Abort()
+	if _, err := txn.GetBySecondary(byEmail, []byte("a@x")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted record via secondary: %v", err)
+	}
+	n := 0
+	txn.ScanSecondary(byEmail, nil, nil, func(k, v []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("secondary scan saw %d deleted records", n)
+	}
+}
+
+func TestSecondaryScanOrder(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byName := db.CreateSecondaryIndex(users, "by_name")
+	names := []string{"carol", "alice", "bob", "dave"}
+	for i, name := range names {
+		txn := db.BeginTxn(0)
+		err := txn.InsertWithSecondary(users, []byte(fmt.Sprintf("u%d", i)),
+			[]byte("data-"+name), []SecondaryEntry{{Index: byName, Key: []byte(name)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	txn := db.BeginTxn(0)
+	defer txn.Abort()
+	var got []string
+	txn.ScanSecondary(byName, nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"alice", "bob", "carol", "dave"}
+	if len(got) != len(want) {
+		t.Fatalf("scan: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("secondary order: %v", got)
+		}
+	}
+}
+
+func TestSecondaryDuplicateKeyRejected(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	txn := db.BeginTxn(0)
+	txn.InsertWithSecondary(users, []byte("u1"), []byte("v"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("same@x")}})
+	mustCommit(t, txn)
+
+	txn = db.BeginTxn(0)
+	err := txn.InsertWithSecondary(users, []byte("u2"), []byte("v"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("same@x")}})
+	if !errors.Is(err, engine.ErrDuplicate) {
+		t.Fatalf("duplicate live secondary key: %v", err)
+	}
+	txn.Abort()
+}
+
+func TestSecondaryWrongTableRejected(t *testing.T) {
+	db := testDB(t, false)
+	a := db.CreateTable("a")
+	bTbl := db.CreateTable("b")
+	idx := db.CreateSecondaryIndex(a, "on_a")
+	txn := db.BeginTxn(0)
+	defer txn.Abort()
+	err := txn.InsertWithSecondary(bTbl, []byte("k"), []byte("v"),
+		[]SecondaryEntry{{Index: idx, Key: []byte("s")}})
+	if err == nil {
+		t.Fatal("cross-table secondary entry accepted")
+	}
+}
+
+func TestSecondaryAbortLeavesNoVisibleBinding(t *testing.T) {
+	db := testDB(t, false)
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	txn := db.BeginTxn(0)
+	txn.InsertWithSecondary(users, []byte("u1"), []byte("doomed"),
+		[]SecondaryEntry{{Index: byEmail, Key: []byte("a@x")}})
+	txn.Abort()
+
+	txn = db.BeginTxn(0)
+	defer txn.Abort()
+	if _, err := txn.GetBySecondary(byEmail, []byte("a@x")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("aborted insert visible via secondary: %v", err)
+	}
+}
+
+func TestSecondaryRecovery(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	for i := 0; i < 20; i++ {
+		txn := db.BeginTxn(0)
+		err := txn.InsertWithSecondary(users, []byte(fmt.Sprintf("u%02d", i)),
+			[]byte(fmt.Sprintf("data%d", i)),
+			[]SecondaryEntry{{Index: byEmail, Key: []byte(fmt.Sprintf("mail%02d@x", i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	byEmail2 := db2.OpenSecondaryIndex("by_email")
+	if byEmail2 == nil {
+		t.Fatal("secondary index missing after recovery")
+	}
+	txn := db2.BeginTxn(0)
+	defer txn.Abort()
+	for i := 0; i < 20; i++ {
+		v, err := txn.GetBySecondary(byEmail2, []byte(fmt.Sprintf("mail%02d@x", i)))
+		if err != nil || string(v) != fmt.Sprintf("data%d", i) {
+			t.Fatalf("entry %d after recovery: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestSecondaryRecoveryWithCheckpoint(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := db.CreateTable("users")
+	byEmail := db.CreateSecondaryIndex(users, "by_email")
+	ins := func(i int) {
+		txn := db.BeginTxn(0)
+		if err := txn.InsertWithSecondary(users, []byte(fmt.Sprintf("u%02d", i)),
+			[]byte(fmt.Sprintf("data%d", i)),
+			[]SecondaryEntry{{Index: byEmail, Key: []byte(fmt.Sprintf("m%02d", i))}}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, txn)
+	}
+	for i := 0; i < 10; i++ {
+		ins(i)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		ins(i) // post-checkpoint inserts replay from the log
+	}
+	db.WaitDurable()
+	db.Close()
+
+	db2, err := Recover(recoveryConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	byEmail2 := db2.OpenSecondaryIndex("by_email")
+	txn := db2.BeginTxn(0)
+	defer txn.Abort()
+	for i := 0; i < 15; i++ {
+		v, err := txn.GetBySecondary(byEmail2, []byte(fmt.Sprintf("m%02d", i)))
+		if err != nil || string(v) != fmt.Sprintf("data%d", i) {
+			t.Fatalf("entry %d: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestSecondaryPhantomProtection(t *testing.T) {
+	db := testDB(t, true)
+	users := db.CreateTable("users")
+	byName := db.CreateSecondaryIndex(users, "by_name")
+	for i := 0; i < 5; i++ {
+		txn := db.BeginTxn(0)
+		txn.InsertWithSecondary(users, []byte(fmt.Sprintf("u%d", i)),
+			[]byte("v"), []SecondaryEntry{{Index: byName, Key: []byte(fmt.Sprintf("n%d", i))}})
+		mustCommit(t, txn)
+	}
+	scanner := db.BeginTxn(0)
+	scanner.ScanSecondary(byName, []byte("n0"), []byte("n9"), func(k, v []byte) bool { return true })
+	if err := scanner.Update(users, []byte("u0"), []byte("marked")); err != nil {
+		t.Fatal(err)
+	}
+	// A phantom arrives in the scanned secondary range.
+	other := db.BeginTxn(1)
+	other.InsertWithSecondary(users, []byte("u5x"), []byte("v"),
+		[]SecondaryEntry{{Index: byName, Key: []byte("n2x")}})
+	mustCommit(t, other)
+
+	if err := scanner.Commit(); !errors.Is(err, engine.ErrPhantom) {
+		t.Fatalf("secondary phantom: %v", err)
+	}
+}

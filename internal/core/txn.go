@@ -1,0 +1,603 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/index"
+	"ermia/internal/mvcc"
+	"ermia/internal/txnid"
+	"ermia/internal/wal"
+)
+
+// Txn is an ERMIA transaction. It is single-goroutine; Commit or Abort must
+// be called exactly once.
+type Txn struct {
+	db       *DB
+	worker   int
+	tid      txnid.TID
+	begin    uint64
+	mode     Isolation
+	ssn      bool // mode == SSN, cached for the hot paths
+	readOnly bool
+	done     bool
+
+	// SSN priority stamps (§3.6.2): pstamp is η(T), the latest committed
+	// predecessor; sstamp is π(T), the earliest committed successor.
+	pstamp uint64
+	sstamp uint64
+
+	reads   []*mvcc.Version
+	rvReads []rvRead
+	writes  []writeEntry
+	nodeSet []index.Handle[mvcc.OID]
+	logBuf  []byte
+	opChain uint64 // offset of the newest overflow/per-op block, or 0
+
+	prof *Profile
+}
+
+type writeEntry struct {
+	tbl  *Table
+	oid  mvcc.OID
+	newV *mvcc.Version
+	prev *mvcc.Version // overwritten version; nil for a fresh insert
+	key  []byte        // logged for inserts so recovery can rebuild the index
+	kind uint8         // recInsert, recUpdate, recDelete
+	sec  []loggedSecondary
+}
+
+// Begin starts a read-write transaction on the given worker slot: the
+// transaction joins the epoch managers, acquires a TID and a begin
+// timestamp (the current LSN), and is ready for forward processing (§3.1).
+func (db *DB) Begin(worker int) engine.Txn { return db.begin(worker, false) }
+
+// BeginReadOnly starts a transaction that will not write. ERMIA needs no
+// special snapshot machinery for it: SI already isolates readers.
+func (db *DB) BeginReadOnly(worker int) engine.Txn { return db.begin(worker, true) }
+
+// BeginTxn is Begin returning the concrete type.
+func (db *DB) BeginTxn(worker int) *Txn { return db.begin(worker, false) }
+
+func (db *DB) begin(worker int, readOnly bool) *Txn {
+	w := worker & (MaxWorkers - 1)
+	ws := &db.workers[w]
+	if ws.slot == nil {
+		ws.slot = db.gcEpoch.Register()
+	}
+	ws.slot.Enter()
+	tid, err := db.tids.Allocate(db.log.CurrentOffset)
+	if err != nil {
+		// 64K slots with far fewer in-flight transactions: exhaustion means
+		// leaked transactions, a programming error.
+		panic(err)
+	}
+	db.workerTID[w].Store(uint64(tid))
+	begin, _ := db.tids.Begin(tid)
+	t := &Txn{
+		db:       db,
+		worker:   w,
+		tid:      tid,
+		begin:    begin,
+		mode:     db.cfg.Isolation,
+		readOnly: readOnly,
+		sstamp:   mvcc.Infinity,
+	}
+	t.ssn = t.mode == SSN
+	if db.cfg.Profile {
+		t.prof = &ws.prof
+	}
+	return t
+}
+
+// clock returns a start time when profiling, else zero.
+func (t *Txn) clock() time.Time {
+	if t.prof == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (t *Txn) accIndex(start time.Time) {
+	if t.prof != nil {
+		t.prof.Index.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+func (t *Txn) accIndirect(start time.Time) {
+	if t.prof != nil {
+		t.prof.Indirect.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+func (t *Txn) accLog(start time.Time) {
+	if t.prof != nil {
+		t.prof.Log.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// visible decides whether version v belongs to t's snapshot. For
+// LSN-stamped versions this is a stamp comparison; TID-stamped versions
+// chase the owner's context (§3.6.1), waiting out owners that entered
+// pre-commit with a stamp inside the snapshot, so snapshots stay
+// consistent. The returned cstamp is the version's commit stamp (0 for own
+// writes).
+func (t *Txn) visible(v *mvcc.Version) (bool, uint64) {
+	s := v.CLSN()
+	for {
+		if !mvcc.IsTID(s) {
+			return s < t.begin, s
+		}
+		owner := mvcc.AsTID(s)
+		if owner == t.tid {
+			return true, 0
+		}
+		status, cstamp, ok := t.db.tids.Inquire(owner)
+		if !ok {
+			// The owner released its TID. A committed owner rewrites every
+			// write's stamp during post-commit, strictly before releasing,
+			// so a stamp that still carries the TID can only belong to an
+			// aborted transaction's unlinked version a concurrent traversal
+			// is still holding: invisible.
+			s = v.CLSN()
+			if mvcc.IsTID(s) && mvcc.AsTID(s) == owner {
+				return false, 0
+			}
+			continue
+		}
+		switch status {
+		case txnid.StatusActive:
+			// Its eventual commit stamp will postdate our snapshot.
+			return false, 0
+		case txnid.StatusCommitting:
+			if cstamp >= t.begin {
+				return false, 0
+			}
+			// Entered pre-commit inside our snapshot: wait for the outcome,
+			// otherwise our snapshot would be inconsistent.
+			runtime.Gosched()
+			s = v.CLSN()
+		case txnid.StatusCommitted:
+			return cstamp < t.begin, cstamp
+		case txnid.StatusAborted:
+			// Being unlinked; skip it.
+			return false, 0
+		default:
+			s = v.CLSN()
+		}
+	}
+}
+
+// readVisible walks oid's version chain and returns the version in t's
+// snapshot, or nil.
+func (t *Txn) readVisible(arr *mvcc.OIDArray, oid mvcc.OID) (*mvcc.Version, uint64) {
+	start := t.clock()
+	defer t.accIndirect(start)
+	for v := arr.Head(oid); v != nil; v = v.Next() {
+		if ok, cstamp := t.visible(v); ok {
+			return v, cstamp
+		}
+	}
+	return nil, 0
+}
+
+// ssnRead applies SSN's read rules (forward-processing half): record the
+// read, raise η(T) with the version's creation stamp, lower π(T) with the
+// version's successor stamp, and abort early when the exclusion window
+// closes. cstamp is 0 for own writes, which SSN ignores.
+func (t *Txn) ssnRead(v *mvcc.Version, cstamp uint64) error {
+	if !t.ssn || cstamp == 0 {
+		return nil
+	}
+	v.MarkReader(t.worker)
+	t.reads = append(t.reads, v)
+	if cstamp > t.pstamp {
+		t.pstamp = cstamp
+	}
+	if ss := t.resolveSstamp(v, 0); ss < t.sstamp {
+		t.sstamp = ss
+	}
+	if t.sstamp <= t.pstamp {
+		t.db.stats.SerialAborts.Add(1)
+		return engine.ErrSerialization
+	}
+	return nil
+}
+
+// resolveSstamp returns v's final successor stamp, resolving a TID tag by
+// chasing the overwriter. myCstamp is the caller's commit stamp during
+// pre-commit, or 0 during forward processing (when any committed overwriter
+// precedes the caller). Overwriters that serialize after the caller, or
+// that aborted, contribute Infinity.
+func (t *Txn) resolveSstamp(v *mvcc.Version, myCstamp uint64) uint64 {
+	for {
+		ss := v.Sstamp()
+		if !mvcc.IsTID(ss) {
+			return ss
+		}
+		owner := mvcc.AsTID(ss)
+		if owner == t.tid {
+			return mvcc.Infinity // self edge
+		}
+		status, cstamp, ok := t.db.tids.Inquire(owner)
+		if !ok {
+			runtime.Gosched()
+			continue // finishing post-commit; the tag is being replaced
+		}
+		switch status {
+		case txnid.StatusCommitting:
+			if myCstamp != 0 && cstamp > myCstamp {
+				return mvcc.Infinity // serializes after me
+			}
+			runtime.Gosched()
+		case txnid.StatusCommitted:
+			runtime.Gosched() // final stamp lands during its post-commit
+		default: // aborted, or tag already recycled: not overwritten
+			return mvcc.Infinity
+		}
+	}
+}
+
+// ssnWrite applies SSN's write rules for an overwritten version.
+func (t *Txn) ssnWrite(prev *mvcc.Version) error {
+	if !t.ssn || prev == nil {
+		return nil
+	}
+	if p := prev.Pstamp(); p > t.pstamp {
+		t.pstamp = p
+	}
+	if t.sstamp <= t.pstamp {
+		t.db.stats.SerialAborts.Add(1)
+		return engine.ErrSerialization
+	}
+	return nil
+}
+
+// addNode tracks an index leaf handle for phantom validation (any
+// serializable mode).
+func (t *Txn) addNode(h index.Handle[mvcc.OID]) {
+	if t.mode == SnapshotIsolation {
+		return
+	}
+	for i := range t.nodeSet {
+		if t.nodeSet[i] == h {
+			return
+		}
+	}
+	t.nodeSet = append(t.nodeSet, h)
+}
+
+// refreshNode replaces a tracked handle that the transaction's own index
+// insert superseded.
+func (t *Txn) refreshNode(before, after index.Handle[mvcc.OID]) {
+	for i := range t.nodeSet {
+		if t.nodeSet[i] == before {
+			t.nodeSet[i] = after
+		}
+	}
+}
+
+func (t *Txn) table(tbl engine.Table) *Table { return tbl.(*Table) }
+
+// Get implements engine.Txn.
+func (t *Txn) Get(tbl engine.Table, key []byte) ([]byte, error) {
+	if t.done {
+		return nil, engine.ErrAborted
+	}
+	tab := t.table(tbl)
+	is := t.clock()
+	oid, ok, h := tab.idx.GetH(key)
+	t.accIndex(is)
+	t.addNode(h)
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	v, cstamp := t.readVisible(tab.arr, oid)
+	if v == nil {
+		return nil, engine.ErrNotFound
+	}
+	if err := t.ssnRead(v, cstamp); err != nil {
+		return nil, err
+	}
+	t.rvTrack(tab.arr, oid, v, cstamp)
+	if v.Tombstone {
+		return nil, engine.ErrNotFound
+	}
+	return v.Data, nil
+}
+
+// Scan implements engine.Txn.
+func (t *Txn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if t.done {
+		return engine.ErrAborted
+	}
+	tab := t.table(tbl)
+	var err error
+	onLeaf := func(h index.Handle[mvcc.OID]) { t.addNode(h) }
+	if t.mode == SnapshotIsolation {
+		onLeaf = nil
+	}
+	is := t.clock()
+	tab.idx.Scan(lo, hi, onLeaf, func(key []byte, oid mvcc.OID) bool {
+		t.accIndex(is)
+		v, cstamp := t.readVisible(tab.arr, oid)
+		cont := true
+		if v != nil {
+			if err = t.ssnRead(v, cstamp); err != nil {
+				is = t.clock()
+				return false
+			}
+			t.rvTrack(tab.arr, oid, v, cstamp)
+			if !v.Tombstone {
+				cont = fn(key, v.Data)
+			}
+		}
+		is = t.clock()
+		return cont
+	})
+	t.accIndex(is)
+	return err
+}
+
+// Insert implements engine.Txn: allocate a fresh OID (contention-free),
+// publish the version, then insert key → OID into the index (§3.2).
+func (t *Txn) Insert(tbl engine.Table, key, value []byte) error {
+	if t.done {
+		return engine.ErrAborted
+	}
+	if t.readOnly {
+		return engine.ErrAborted
+	}
+	tab := t.table(tbl)
+	newV := mvcc.NewVersion(value, mvcc.TIDStamp(t.tid), false)
+
+	vs := t.clock()
+	oid := tab.arr.Alloc()
+	tab.arr.Install(oid, newV)
+	t.accIndirect(vs)
+
+	is := t.clock()
+	existing, inserted, before, after := tab.idx.InsertH(key, oid)
+	t.accIndex(is)
+
+	if inserted {
+		if t.ssn {
+			t.refreshNode(before, after)
+		}
+		t.recordWrite(writeEntry{tbl: tab, oid: oid, newV: newV, key: cloneKey(key), kind: recInsert})
+		return t.perOpLog()
+	}
+
+	// The key exists in the index: either a live duplicate, or a deleted /
+	// dangling record whose OID we can repopulate. Clear the orphan slot we
+	// provisioned so no TID-stamped version outlives this transaction.
+	tab.arr.Install(oid, nil)
+	return t.installOver(tab, existing, value, false, true, cloneKey(key))
+}
+
+// Update implements engine.Txn.
+func (t *Txn) Update(tbl engine.Table, key, value []byte) error {
+	if t.done {
+		return engine.ErrAborted
+	}
+	if t.readOnly {
+		return engine.ErrAborted
+	}
+	tab := t.table(tbl)
+	is := t.clock()
+	oid, ok, h := tab.idx.GetH(key)
+	t.accIndex(is)
+	t.addNode(h)
+	if !ok {
+		return engine.ErrNotFound
+	}
+	return t.installOver(tab, oid, value, false, false, nil)
+}
+
+// Delete implements engine.Txn: a tombstone update (§3.2). The index entry
+// stays; the garbage collector reclaims dead versions later.
+func (t *Txn) Delete(tbl engine.Table, key []byte) error {
+	if t.done {
+		return engine.ErrAborted
+	}
+	if t.readOnly {
+		return engine.ErrAborted
+	}
+	tab := t.table(tbl)
+	is := t.clock()
+	oid, ok, h := tab.idx.GetH(key)
+	t.accIndex(is)
+	t.addNode(h)
+	if !ok {
+		return engine.ErrNotFound
+	}
+	return t.installOver(tab, oid, nil, true, false, nil)
+}
+
+// installOver installs a new version at oid's chain head under the
+// first-updater-wins rule: an uncommitted head aborts us immediately (the
+// early write-write detection the paper credits for minimizing wasted
+// work), a committed head newer than our snapshot aborts us, and a racing
+// CAS aborts us. asInsert permits writing over a tombstone (reinsert) and
+// reports ErrDuplicate instead of overwriting live records.
+func (t *Txn) installOver(tab *Table, oid mvcc.OID, value []byte, tombstone, asInsert bool, insKey []byte) error {
+	start := t.clock()
+	defer t.accIndirect(start)
+	for {
+		head := tab.arr.Head(oid)
+		if head == nil {
+			// Dangling OID from an aborted insert: claim it.
+			if !asInsert {
+				return engine.ErrNotFound
+			}
+			newV := mvcc.NewVersion(value, mvcc.TIDStamp(t.tid), tombstone)
+			if !tab.arr.CASHead(oid, nil, newV) {
+				continue // racing claimer; re-examine
+			}
+			t.recordWrite(writeEntry{tbl: tab, oid: oid, newV: newV, key: insKey, kind: recInsert})
+			return t.perOpLog()
+		}
+
+		s := head.CLSN()
+		if mvcc.IsTID(s) {
+			owner := mvcc.AsTID(s)
+			if owner == t.tid {
+				if asInsert && !head.Tombstone {
+					return engine.ErrDuplicate // inserting over our own live write
+				}
+				// Overwriting our own in-flight write: replace it in place.
+				newV := mvcc.NewVersion(value, mvcc.TIDStamp(t.tid), tombstone)
+				newV.SetNext(head.Next())
+				if !tab.arr.CASHead(oid, head, newV) {
+					continue
+				}
+				t.replaceWrite(tab, oid, newV, tombstone)
+				return t.perOpLog()
+			}
+			status, cstamp, ok := t.db.tids.Inquire(owner)
+			if !ok {
+				// The owner released its TID. If the head still carries the
+				// TID, the owner aborted and this is an orphan a concurrent
+				// unlink missed (see Txn.visible): help unlink it rather
+				// than spin.
+				if s2 := head.CLSN(); mvcc.IsTID(s2) && mvcc.AsTID(s2) == owner {
+					tab.arr.CASHead(oid, head, head.Next())
+				}
+				continue
+			}
+			switch status {
+			case txnid.StatusActive, txnid.StatusCommitting:
+				// First-updater-wins: the head is another transaction's
+				// uncommitted write, our update loses right now.
+				t.db.stats.WWAborts.Add(1)
+				t.db.stats.WWInFlight.Add(1)
+				return engine.ErrWriteConflict
+			case txnid.StatusCommitted:
+				if cstamp >= t.begin {
+					t.db.stats.WWAborts.Add(1)
+					t.db.stats.WWNewer.Add(1)
+					return engine.ErrWriteConflict
+				}
+				// Committed inside our snapshot, mid post-commit: treat the
+				// head as the committed version and fall through.
+			case txnid.StatusAborted:
+				runtime.Gosched() // abort cleanup will unlink it
+				continue
+			default:
+				continue
+			}
+		} else if s >= t.begin {
+			// A newer committed version exists: updating would be a lost
+			// update.
+			t.db.stats.WWAborts.Add(1)
+			t.db.stats.WWNewer.Add(1)
+			return engine.ErrWriteConflict
+		}
+
+		if head.Tombstone {
+			if !asInsert {
+				return engine.ErrNotFound
+			}
+		} else if asInsert {
+			return engine.ErrDuplicate
+		}
+
+		newV := mvcc.NewVersion(value, mvcc.TIDStamp(t.tid), tombstone)
+		newV.SetNext(head)
+		if !tab.arr.CASHead(oid, head, newV) {
+			// Another writer installed first: write-write conflict.
+			t.db.stats.WWAborts.Add(1)
+			t.db.stats.WWCASRace.Add(1)
+			return engine.ErrWriteConflict
+		}
+		kind := recUpdate
+		if tombstone {
+			kind = recDelete
+		}
+		if asInsert {
+			kind = recInsert
+		}
+		t.recordWrite(writeEntry{tbl: tab, oid: oid, newV: newV, prev: head, key: insKey, kind: kind})
+		if err := t.ssnWrite(head); err != nil {
+			return err
+		}
+		return t.perOpLog()
+	}
+}
+
+// recordWrite appends a write-set entry.
+func (t *Txn) recordWrite(w writeEntry) {
+	t.writes = append(t.writes, w)
+}
+
+// replaceWrite swaps the write-set entry for (table, oid) after an in-place
+// self-overwrite, preserving the original prev and insert key. OIDs are
+// per-table, so the table must participate in the match: matching on OID
+// alone once clobbered a different table's entry, orphaning that record's
+// TID-stamped head and corrupting its log record.
+func (t *Txn) replaceWrite(tab *Table, oid mvcc.OID, newV *mvcc.Version, tombstone bool) {
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.tbl == tab && w.oid == oid {
+			w.newV = newV
+			if w.kind != recInsert {
+				if tombstone {
+					w.kind = recDelete
+				} else {
+					w.kind = recUpdate
+				}
+			}
+			return
+		}
+	}
+}
+
+func cloneKey(k []byte) []byte {
+	out := make([]byte, len(k))
+	copy(out, k)
+	return out
+}
+
+// perOpLog, in LogPerOperation mode, ships the newest write's log record to
+// the central buffer immediately, emulating traditional per-operation WAL
+// (the Figure 10 comparison). The blocks chain backward so recovery applies
+// them only if the final commit block lands.
+func (t *Txn) perOpLog() error {
+	if !t.db.cfg.LogPerOperation || len(t.writes) == 0 {
+		return nil
+	}
+	w := &t.writes[len(t.writes)-1]
+	t.logBuf = t.encodeWrite(t.logBuf[:0], w)
+	start := t.clock()
+	defer t.accLog(start)
+	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
+	if err != nil {
+		return err
+	}
+	res.SetPrev(t.opChain)
+	res.Append(t.logBuf)
+	res.Commit()
+	t.opChain = res.Offset()
+	return nil
+}
+
+// encodeWrite appends w's log record to buf.
+func (t *Txn) encodeWrite(buf []byte, w *writeEntry) []byte {
+	switch w.kind {
+	case recInsert:
+		if w.newV.Tombstone {
+			// The transaction inserted and then deleted the record: the
+			// net effect on recovered state is nothing.
+			return buf
+		}
+		if len(w.sec) > 0 {
+			return appendInsertSec(buf, w.tbl.id, uint64(w.oid), w.key, w.newV.Data, w.sec)
+		}
+		return appendInsert(buf, w.tbl.id, uint64(w.oid), w.key, w.newV.Data)
+	case recDelete:
+		return appendDelete(buf, w.tbl.id, uint64(w.oid))
+	default:
+		return appendUpdate(buf, w.tbl.id, uint64(w.oid), w.newV.Data)
+	}
+}

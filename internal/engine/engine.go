@@ -1,0 +1,89 @@
+// Package engine defines the database-agnostic transaction interface that
+// both the ERMIA engine (internal/core) and the Silo-OCC baseline
+// (internal/silo) implement, plus the shared error taxonomy. The benchmark
+// harness and the examples are written against these interfaces so the same
+// workload code drives every system in the evaluation.
+package engine
+
+import "errors"
+
+// Common transaction errors. Workloads retry on the conflict family and
+// treat the rest as logic errors.
+var (
+	// ErrNotFound reports a read of a key with no visible record.
+	ErrNotFound = errors.New("engine: key not found")
+	// ErrDuplicate reports an insert of an existing key.
+	ErrDuplicate = errors.New("engine: duplicate key")
+	// ErrWriteConflict reports a write-write conflict: another transaction
+	// updated (or is updating) the record. Under ERMIA's first-updater-wins
+	// rule this surfaces at the update itself — the early abort the paper
+	// credits for minimizing wasted work.
+	ErrWriteConflict = errors.New("engine: write-write conflict")
+	// ErrReadValidation reports Silo-OCC commit-time read-set validation
+	// failure: part of the read footprint was overwritten.
+	ErrReadValidation = errors.New("engine: read validation failed")
+	// ErrSerialization reports an SSN exclusion-window violation: committing
+	// would risk a dependency cycle.
+	ErrSerialization = errors.New("engine: serialization failure")
+	// ErrPhantom reports node-set validation failure: an insert changed a
+	// scanned index range.
+	ErrPhantom = errors.New("engine: phantom detected")
+	// ErrAborted reports use of a transaction that already aborted.
+	ErrAborted = errors.New("engine: transaction aborted")
+)
+
+// IsRetryable reports whether err is a concurrency conflict the application
+// should retry rather than a logic error.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrWriteConflict) ||
+		errors.Is(err, ErrReadValidation) ||
+		errors.Is(err, ErrSerialization) ||
+		errors.Is(err, ErrPhantom)
+}
+
+// Table identifies one table (index + storage) inside a DB. Concrete
+// engines return their own implementations from CreateTable/OpenTable.
+type Table interface {
+	Name() string
+}
+
+// Txn is one transaction. A Txn is single-goroutine; it ends with exactly
+// one Commit or Abort call.
+type Txn interface {
+	// Get returns the visible value for key. The returned slice is the
+	// stored payload; callers must not modify it.
+	Get(t Table, key []byte) ([]byte, error)
+	// Insert adds a new record.
+	Insert(t Table, key, value []byte) error
+	// Update replaces the record's value. It fails with ErrNotFound if no
+	// visible record exists and ErrWriteConflict on write-write conflicts.
+	Update(t Table, key, value []byte) error
+	// Delete removes the record (a tombstone update).
+	Delete(t Table, key []byte) error
+	// Scan visits visible records with keys in [lo, hi) in order (hi nil
+	// means unbounded); fn returning false stops the scan.
+	Scan(t Table, lo, hi []byte, fn func(key, value []byte) bool) error
+	// Commit runs the engine's commit protocol. On a conflict error the
+	// transaction has already been aborted and cleaned up.
+	Commit() error
+	// Abort rolls the transaction back. Safe to call after a failed Commit.
+	Abort()
+}
+
+// DB is a transactional engine instance.
+type DB interface {
+	// CreateTable makes (or returns) the named table.
+	CreateTable(name string) Table
+	// OpenTable returns the named table, or nil if absent.
+	OpenTable(name string) Table
+	// Begin starts a read-write transaction on the given worker slot.
+	// Worker slots partition engine-internal resources (reader bitmaps,
+	// per-worker stats); each concurrent goroutine must use its own.
+	Begin(worker int) Txn
+	// BeginReadOnly starts a transaction that promises not to write.
+	// Engines may serve it from a snapshot (Silo) or treat it as a normal
+	// SI transaction (ERMIA).
+	BeginReadOnly(worker int) Txn
+	// Close shuts the engine down, stopping background work.
+	Close() error
+}

@@ -1,0 +1,268 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdvanceAndStates(t *testing.T) {
+	m := NewManager(0)
+	if got := m.Current(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+	m.Advance()
+	m.Advance() // now at 3
+	if got := m.StateOf(3); got != Open {
+		t.Errorf("StateOf(3) = %v, want open", got)
+	}
+	if got := m.StateOf(2); got != Closing {
+		t.Errorf("StateOf(2) = %v, want closing", got)
+	}
+	if got := m.StateOf(1); got != Closed {
+		t.Errorf("StateOf(1) = %v, want closed", got)
+	}
+	if got := m.StateOf(99); got != Open {
+		t.Errorf("StateOf(future) = %v, want open", got)
+	}
+}
+
+func TestRetireWaitsForActiveThread(t *testing.T) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+
+	s.Enter()
+	freed := false
+	m.Retire(func() { freed = true })
+	m.Advance()
+	if n := m.TryReclaim(); n != 0 || freed {
+		t.Fatalf("reclaimed %d while reader active", n)
+	}
+	m.Advance()
+	m.TryReclaim()
+	if freed {
+		t.Fatal("resource freed while reader still active (straggler)")
+	}
+	s.Exit()
+	if n := m.TryReclaim(); n != 1 || !freed {
+		t.Fatalf("after exit: reclaimed %d, freed=%v", n, freed)
+	}
+	if m.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", m.Pending())
+	}
+}
+
+func TestQuiesceReleasesOldEpoch(t *testing.T) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+
+	s.Enter()
+	freed := false
+	m.Retire(func() { freed = true })
+	m.Advance()
+	// The thread stays active but announces a conditional quiescent point,
+	// migrating to the open epoch.
+	s.Quiesce()
+	if n := m.TryReclaim(); n != 1 || !freed {
+		t.Fatalf("reclaimed %d after quiesce, freed=%v", n, freed)
+	}
+}
+
+func TestQuiesceNoOpWhenEpochUnchanged(t *testing.T) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+	s.Enter()
+	before := s.Epoch()
+	s.Quiesce()
+	if s.Epoch() != before {
+		t.Error("Quiesce republished without epoch change")
+	}
+}
+
+func TestStragglerDetection(t *testing.T) {
+	m := NewManager(0)
+	busy := m.Register()
+	strag := m.Register()
+	defer busy.Unregister()
+	defer strag.Unregister()
+
+	busy.Enter()
+	strag.Enter()
+	m.Advance()
+	busy.Quiesce() // busy thread migrates during the closing phase
+	m.Advance()
+	// strag is now active in a closed epoch.
+	got := m.Stragglers()
+	if len(got) != 1 || got[0] != strag {
+		t.Fatalf("stragglers = %v, want exactly the stale slot", got)
+	}
+	strag.Exit()
+	if got := m.Stragglers(); len(got) != 0 {
+		t.Fatalf("stragglers after exit = %v", got)
+	}
+}
+
+func TestInactiveThreadsDoNotBlockReclaim(t *testing.T) {
+	m := NewManager(0)
+	for i := 0; i < 8; i++ {
+		s := m.Register()
+		defer s.Unregister()
+		// Registered but never entered.
+	}
+	var freed atomic.Int32
+	for i := 0; i < 100; i++ {
+		m.Retire(func() { freed.Add(1) })
+	}
+	m.Advance()
+	m.TryReclaim()
+	if freed.Load() != 100 {
+		t.Fatalf("freed = %d, want 100", freed.Load())
+	}
+}
+
+func TestSlotReuseAfterUnregister(t *testing.T) {
+	m := NewManager(0)
+	a := m.Register()
+	idxA := a.idx
+	a.Unregister()
+	b := m.Register()
+	defer b.Unregister()
+	if b.idx != idxA {
+		t.Errorf("slot index %d not reused (was %d)", b.idx, idxA)
+	}
+}
+
+func TestConcurrentEnterExitRetire(t *testing.T) {
+	m := NewManager(0)
+	const workers = 8
+	const iters = 2000
+
+	var freed atomic.Int64
+	var retired atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	reclaimerDone := make(chan struct{})
+
+	// A reclaimer goroutine drives the timeline.
+	go func() {
+		defer close(reclaimerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Advance()
+				m.TryReclaim()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := m.Register()
+			defer s.Unregister()
+			for i := 0; i < iters; i++ {
+				s.Enter()
+				if i%3 == 0 {
+					m.Retire(func() { freed.Add(1) })
+					retired.Add(1)
+				}
+				s.Quiesce()
+				s.Exit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-reclaimerDone
+
+	m.Advance()
+	m.Advance()
+	m.TryReclaim()
+	if freed.Load() != retired.Load() {
+		t.Fatalf("freed %d of %d retired", freed.Load(), retired.Load())
+	}
+}
+
+func TestBackgroundAdvancer(t *testing.T) {
+	m := NewManager(200 * time.Microsecond)
+	defer m.Close()
+	var freed atomic.Bool
+	m.Retire(func() { freed.Store(true) })
+	deadline := time.Now().Add(2 * time.Second)
+	for !freed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("background advancer never reclaimed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWaitQuiescent(t *testing.T) {
+	m := NewManager(0)
+	freed := false
+	m.Retire(func() { freed = true })
+	if !m.WaitQuiescent(100) {
+		t.Fatal("WaitQuiescent failed with no active threads")
+	}
+	if !freed {
+		t.Fatal("resource not freed")
+	}
+
+	s := m.Register()
+	defer s.Unregister()
+	s.Enter()
+	m.Retire(func() {})
+	if m.WaitQuiescent(10) {
+		t.Fatal("WaitQuiescent succeeded despite straggler")
+	}
+	s.Exit()
+	if !m.WaitQuiescent(100) {
+		t.Fatal("WaitQuiescent failed after straggler exit")
+	}
+}
+
+func TestSafeMonotonic(t *testing.T) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+	last := m.Safe()
+	for i := 0; i < 50; i++ {
+		s.Enter()
+		m.Advance()
+		s.Exit()
+		m.TryReclaim()
+		if got := m.Safe(); got < last {
+			t.Fatalf("safe went backwards: %d -> %d", last, got)
+		} else {
+			last = got
+		}
+	}
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		s.Exit()
+	}
+}
+
+func BenchmarkQuiesce(b *testing.B) {
+	m := NewManager(0)
+	s := m.Register()
+	defer s.Unregister()
+	s.Enter()
+	for i := 0; i < b.N; i++ {
+		s.Quiesce()
+	}
+}

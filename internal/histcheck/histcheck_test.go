@@ -1,0 +1,73 @@
+package histcheck
+
+import "testing"
+
+func TestAcyclicHistory(t *testing.T) {
+	h := New()
+	// T0 writes x@1; T1 reads x@1 and writes y@1: T0 -> T1 only.
+	h.Record([]Op{{Key: "x", Version: 1, Write: true}})
+	h.Record([]Op{{Key: "x", Version: 1}, {Key: "y", Version: 1, Write: true}})
+	if c := h.FindCycle(); c != nil {
+		t.Fatalf("false cycle: %s", Describe(c))
+	}
+}
+
+func TestWriteSkewCycleDetected(t *testing.T) {
+	h := New()
+	// Initial writes by T0: x@1, y@1.
+	h.Record([]Op{{Key: "x", Version: 1, Write: true}, {Key: "y", Version: 1, Write: true}})
+	// T1 reads x@1, y@1, writes x@2. T2 reads x@1, y@1, writes y@2.
+	// T1 -rw(y)-> T2 (read y@1 overwritten by y@2), T2 -rw(x)-> T1.
+	h.Record([]Op{{Key: "x", Version: 1}, {Key: "y", Version: 1}, {Key: "x", Version: 2, Write: true}})
+	h.Record([]Op{{Key: "x", Version: 1}, {Key: "y", Version: 1}, {Key: "y", Version: 2, Write: true}})
+	c := h.FindCycle()
+	if c == nil {
+		t.Fatal("write-skew cycle not detected")
+	}
+	t.Logf("cycle: %s", Describe(c))
+}
+
+func TestWWChainAcyclic(t *testing.T) {
+	h := New()
+	for v := uint64(1); v <= 10; v++ {
+		h.Record([]Op{{Key: "x", Version: v, Write: true}})
+	}
+	if c := h.FindCycle(); c != nil {
+		t.Fatalf("ww chain cyclic: %s", Describe(c))
+	}
+}
+
+func TestLostUpdateCycle(t *testing.T) {
+	h := New()
+	h.Record([]Op{{Key: "x", Version: 1, Write: true}})
+	// Both read x@1; T1 writes x@2, T2 writes x@3 (a lost update at the
+	// logical level: T2 didn't read T1's write).
+	h.Record([]Op{{Key: "x", Version: 1}, {Key: "x", Version: 2, Write: true}})
+	h.Record([]Op{{Key: "x", Version: 1}, {Key: "x", Version: 3, Write: true}})
+	// T1 -ww-> T2, and T2 -rw-> T1 (T2 read x@1, overwritten by T1's x@2).
+	if c := h.FindCycle(); c == nil {
+		t.Fatal("lost-update cycle not detected")
+	}
+}
+
+func TestReadOwnWriteNoSelfEdge(t *testing.T) {
+	h := New()
+	h.Record([]Op{{Key: "x", Version: 1, Write: true}, {Key: "x", Version: 1}})
+	if c := h.FindCycle(); c != nil {
+		t.Fatalf("self edge produced a cycle: %s", Describe(c))
+	}
+}
+
+func TestGraphEdges(t *testing.T) {
+	h := New()
+	h.Record([]Op{{Key: "a", Version: 1, Write: true}})
+	h.Record([]Op{{Key: "a", Version: 1}})
+	h.Record([]Op{{Key: "a", Version: 2, Write: true}})
+	kinds := map[string]int{}
+	for _, e := range h.Graph() {
+		kinds[e.Kind]++
+	}
+	if kinds["wr"] != 1 || kinds["ww"] != 1 || kinds["rw"] != 1 {
+		t.Fatalf("edge kinds = %v, want one of each", kinds)
+	}
+}

@@ -1,0 +1,421 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestInsertGet(t *testing.T) {
+	tr := New[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(key(i), i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("get %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := New[string]()
+	tr.Insert([]byte("k"), "first")
+	if tr.Insert([]byte("k"), "second") {
+		t.Fatal("duplicate insert succeeded")
+	}
+	existing, inserted := tr.InsertIfAbsent([]byte("k"), "third")
+	if inserted || existing != "first" {
+		t.Fatalf("InsertIfAbsent returned (%q, %v)", existing, inserted)
+	}
+	if v, _ := tr.Get([]byte("k")); v != "first" {
+		t.Fatalf("value clobbered: %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), i)
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d: present=%v", i, ok)
+		}
+	}
+}
+
+func TestRandomAgainstModel(t *testing.T) {
+	tr := New[int]()
+	model := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0:
+			_, inserted := tr.InsertIfAbsent(k, op)
+			_, exists := model[string(k)]
+			if inserted == exists {
+				t.Fatalf("op %d: inserted=%v but exists=%v", op, inserted, exists)
+			}
+			if inserted {
+				model[string(k)] = op
+			}
+		case 1:
+			deleted := tr.Delete(k)
+			_, exists := model[string(k)]
+			if deleted != exists {
+				t.Fatalf("op %d: deleted=%v exists=%v", op, deleted, exists)
+			}
+			delete(model, string(k))
+		default:
+			v, ok := tr.Get(k)
+			mv, exists := model[string(k)]
+			if ok != exists || (ok && v != mv) {
+				t.Fatalf("op %d: get=(%d,%v) model=(%d,%v)", op, v, ok, mv, exists)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("len %d vs model %d", tr.Len(), len(model))
+	}
+	// Full scan must agree with the sorted model.
+	var wantKeys []string
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	i := 0
+	tr.Scan(nil, nil, nil, func(k []byte, v int) bool {
+		if i >= len(wantKeys) || string(k) != wantKeys[i] || v != model[wantKeys[i]] {
+			t.Fatalf("scan diverges at %d: %q", i, k)
+		}
+		i++
+		return true
+	})
+	if i != len(wantKeys) {
+		t.Fatalf("scan visited %d of %d", i, len(wantKeys))
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(i), i)
+	}
+	var got []int
+	tr.Scan(key(100), key(200), nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("range scan got %d items, first=%d last=%d", len(got), got[0], got[len(got)-1])
+	}
+	// Early stop.
+	got = got[:0]
+	tr.Scan(key(0), nil, nil, func(k []byte, v int) bool {
+		got = append(got, v)
+		return len(got) < 10
+	})
+	if len(got) != 10 {
+		t.Fatalf("limited scan got %d", len(got))
+	}
+	// Empty range.
+	count := 0
+	tr.Scan(key(5000), key(6000), nil, func([]byte, int) bool {
+		count++
+		return true
+	})
+	if count != 0 {
+		t.Fatalf("empty range scanned %d", count)
+	}
+}
+
+func TestHandleInvalidation(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 10; i++ {
+		tr.Insert(key(i), i)
+	}
+	_, _, h := tr.GetH(key(5))
+	if !h.Valid() {
+		t.Fatal("fresh handle invalid")
+	}
+	// An unrelated faraway key may share the leaf in a small tree; use a
+	// direct neighbour to guarantee same-leaf invalidation.
+	tr.Insert(key(5000), 5000)
+	_, _, h2 := tr.GetH(key(5))
+	tr.Delete(key(5))
+	if h2.Valid() {
+		t.Fatal("handle survived delete of its key")
+	}
+}
+
+func TestHandleMissTracksPhantom(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 10; i += 2 {
+		tr.Insert(key(i), i)
+	}
+	_, ok, h := tr.GetH(key(5)) // absent
+	if ok {
+		t.Fatal("key 5 should be absent")
+	}
+	if !h.Valid() {
+		t.Fatal("miss handle invalid")
+	}
+	tr.Insert(key(5), 5) // the phantom arrives
+	if h.Valid() {
+		t.Fatal("handle still valid after phantom insert")
+	}
+}
+
+func TestScanNodeSet(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 500; i++ {
+		tr.Insert(key(i), i)
+	}
+	var handles []Handle[int]
+	tr.Scan(key(100), key(300), func(h Handle[int]) { handles = append(handles, h) },
+		func([]byte, int) bool { return true })
+	if len(handles) == 0 {
+		t.Fatal("no node set collected")
+	}
+	for _, h := range handles {
+		if !h.Valid() {
+			t.Fatal("handle invalid right after scan")
+		}
+	}
+	// Inserting into the scanned range must invalidate some handle.
+	tr.Insert(key(150)[:len(key(150))-1], -1) // new key inside [100,300)
+	invalidated := false
+	for _, h := range handles {
+		if !h.Valid() {
+			invalidated = true
+		}
+	}
+	if !invalidated {
+		t.Fatal("phantom insert left all scan handles valid")
+	}
+}
+
+func TestConcurrentInsertsDisjoint(t *testing.T) {
+	tr := New[int]()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := key(id*per + i)
+				if !tr.Insert(k, id*per+i) {
+					t.Errorf("insert %s failed", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("len = %d, want %d", tr.Len(), workers*per)
+	}
+	for i := 0; i < workers*per; i++ {
+		if v, ok := tr.Get(key(i)); !ok || v != i {
+			t.Fatalf("get %d = (%d,%v)", i, v, ok)
+		}
+	}
+	assertOrdered(t, tr)
+}
+
+func TestConcurrentInsertSameKeys(t *testing.T) {
+	tr := New[int]()
+	const workers, keys = 8, 1000
+	var winners [keys]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				if _, inserted := tr.InsertIfAbsent(key(i), id); inserted {
+					winners[i].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range winners {
+		if got := winners[i].Load(); got != 1 {
+			t.Fatalf("key %d had %d insert winners", i, got)
+		}
+	}
+	if tr.Len() != keys {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestReadersDuringWrites(t *testing.T) {
+	tr := New[int]()
+	// Pre-populate even keys.
+	const n = 4000
+	for i := 0; i < n; i += 2 {
+		tr.Insert(key(i), i)
+	}
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(99))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(n)
+				if i%2 == 0 {
+					// Pre-existing keys must always be found.
+					if v, ok := tr.Get(key(i)); !ok || v != i {
+						readerErr.Store(fmt.Sprintf("lost pre-existing key %d (ok=%v v=%d)", i, ok, v))
+						return
+					}
+				}
+				// Scans must stay ordered.
+				var last []byte
+				cnt := 0
+				tr.Scan(key(i), nil, nil, func(k []byte, _ int) bool {
+					if last != nil && bytes.Compare(k, last) <= 0 {
+						readerErr.Store("scan out of order")
+						return false
+					}
+					last = append(last[:0], k...)
+					cnt++
+					return cnt < 50
+				})
+			}
+		}()
+	}
+	// Writers insert odd keys, forcing splits under the readers.
+	var wwg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wwg.Add(1)
+		go func(id int) {
+			defer wwg.Done()
+			for i := 1 + id*2; i < n; i += 8 {
+				tr.InsertIfAbsent(key(i), i)
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	if e := readerErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	assertOrdered(t, tr)
+}
+
+// assertOrdered checks the full scan yields strictly ascending keys.
+func assertOrdered(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	var last []byte
+	tr.Scan(nil, nil, nil, func(k []byte, _ int) bool {
+		if last != nil && bytes.Compare(k, last) <= 0 {
+			t.Fatalf("keys out of order: %q after %q", k, last)
+		}
+		last = append(last[:0], k...)
+		return true
+	})
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New[int]()
+	keys := []string{"", "a", "aa", "ab", "b", "ba", "z", "zzzzzzzzzzzz", "\x00", "\xff\xff"}
+	for i, k := range keys {
+		if !tr.Insert([]byte(k), i) {
+			t.Fatalf("insert %q", k)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get([]byte(k)); !ok || v != i {
+			t.Fatalf("get %q = (%d,%v)", k, v, ok)
+		}
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	i := 0
+	tr.Scan(nil, nil, nil, func(k []byte, _ int) bool {
+		if string(k) != sorted[i] {
+			t.Fatalf("scan %d = %q, want %q", i, k, sorted[i])
+		}
+		i++
+		return true
+	})
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int]()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(i), i)
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	tr := New[int]()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(key(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt := 0
+		tr.Scan(key(i%(n-200)), nil, nil, func([]byte, int) bool {
+			cnt++
+			return cnt < 100
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package micro
+
+import (
+	"sync"
+	"testing"
+
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/silo"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+func openERMIA(t testing.TB) engine.DB {
+	t.Helper()
+	db, err := core.Open(core.Config{WAL: wal.Config{SegmentSize: 8 << 20, BufferSize: 2 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestLoadAndRun(t *testing.T) {
+	db := openERMIA(t)
+	d := NewDriver(db, Config{Rows: 2000, Reads: 100, WriteRatio: 0.1})
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	committed := 0
+	for i := 0; i < 20; i++ {
+		if err := d.Run(0, rng); err == nil {
+			committed++
+		} else if !engine.IsRetryable(err) {
+			t.Fatal(err)
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestReadOnlyRatioNeverConflicts(t *testing.T) {
+	db := openERMIA(t)
+	d := NewDriver(db, Config{Rows: 1000, Reads: 50, WriteRatio: 0})
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New2(uint64(id), 5)
+			for i := 0; i < 50; i++ {
+				if err := d.Run(id, rng); err != nil {
+					t.Errorf("read-only micro txn failed: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Under Silo, concurrent read-heavy transactions with a small write mix
+// must show read-validation aborts; under ERMIA-SI they cannot.
+func TestConflictProfileDiffers(t *testing.T) {
+	run := func(db engine.DB) (commits, aborts int) {
+		// Large table, large read set, small write set: the paper's
+		// regime, where Silo's writer-wins validation kills readers but
+		// ERMIA's write-write collisions stay rare.
+		d := NewDriver(db, Config{Rows: 20000, Reads: 1000, WriteRatio: 0.01})
+		if err := d.Load(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := xrand.New2(uint64(id), 9)
+				for i := 0; i < 100; i++ {
+					err := d.Run(id, rng)
+					mu.Lock()
+					if err == nil {
+						commits++
+					} else if engine.IsRetryable(err) {
+						aborts++
+					} else {
+						t.Error(err)
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		return commits, aborts
+	}
+
+	sdb, err := silo.Open(silo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	sc, sa := run(sdb)
+
+	edb := openERMIA(t)
+	ec, ea := run(edb)
+
+	t.Logf("silo: %d commits %d aborts; ermia-si: %d commits %d aborts", sc, sa, ec, ea)
+	if sc == 0 || ec == 0 {
+		t.Fatal("workload starved entirely")
+	}
+	// ERMIA under SI on this read-dominated contention should abort less
+	// than Silo (writer-wins validation). This is the Figure 1 effect.
+	if ea > sa {
+		t.Errorf("ERMIA-SI aborted more (%d) than Silo (%d) on read-heavy mix", ea, sa)
+	}
+}

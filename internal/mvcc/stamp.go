@@ -1,0 +1,32 @@
+// Package mvcc provides ERMIA's multi-versioning substrate: version chains
+// with SSN stamps and the latch-free indirection (OID) arrays of §3.2.
+//
+// All logical objects (database records) are identified by an OID that maps
+// to a slot in an indirection array. The slot points to a chain of historic
+// versions, newest first. Installing a new version is a single
+// compare-and-swap against the slot; an uncommitted head version acts as the
+// write lock that makes write-write conflicts easy to detect.
+package mvcc
+
+import "ermia/internal/txnid"
+
+// Stamp is a version timestamp: either a commit LSN offset (bit 63 clear) or
+// a transaction ID tag (bit 63 set) for versions whose owner has not yet
+// finished post-commit.
+type Stamp = uint64
+
+// tidFlag marks a stamp as carrying a TID rather than an LSN offset.
+const tidFlag uint64 = 1 << 63
+
+// Infinity is the largest LSN-typed stamp, used as "not yet overwritten"
+// for successor stamps (π).
+const Infinity uint64 = tidFlag - 1
+
+// TIDStamp encodes a transaction ID as a stamp.
+func TIDStamp(t txnid.TID) Stamp { return uint64(t) | tidFlag }
+
+// IsTID reports whether s carries a transaction ID.
+func IsTID(s Stamp) bool { return s&tidFlag != 0 }
+
+// AsTID extracts the transaction ID from a TID-typed stamp.
+func AsTID(s Stamp) txnid.TID { return txnid.TID(s &^ tidFlag) }

@@ -1,0 +1,29 @@
+package silo_test
+
+import (
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/engine/enginetest"
+	"ermia/internal/silo"
+)
+
+// TestConformance runs the shared engine conformance suite against Silo
+// with and without read-only snapshots.
+func TestConformance(t *testing.T) {
+	for _, snaps := range []struct {
+		name string
+		on   bool
+	}{{"plain", false}, {"snapshots", true}} {
+		t.Run(snaps.name, func(t *testing.T) {
+			enginetest.Run(t, func(t *testing.T) engine.DB {
+				db, err := silo.Open(silo.Config{Snapshots: snaps.on})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { db.Close() })
+				return db
+			})
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package silo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+func recCfg(st wal.Storage) Config {
+	return Config{Storage: st}
+}
+
+func TestRecoveryBasic(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("users")
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("u%03d", i), fmt.Sprintf("val%d", i)
+		txn := db.Begin(0)
+		if err := txn.Insert(tbl, []byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	// Updates and deletes must replay with last-writer-wins.
+	txn := db.Begin(0)
+	txn.Update(tbl, []byte("u010"), []byte("updated"))
+	txn.Delete(tbl, []byte("u020"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want["u010"] = "updated"
+	delete(want, "u020")
+	db.logFile.Sync()
+	db.Close()
+
+	db2, err := Recover(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.OpenTable("users")
+	if tbl2 == nil {
+		t.Fatal("table missing after recovery")
+	}
+	txn = db2.Begin(0)
+	defer txn.Abort()
+	got := map[string]string{}
+	txn.Scan(tbl2, nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d rows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+	if _, err := txn.Get(tbl2, []byte("u020")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted key after recovery: %v", err)
+	}
+}
+
+func TestRecoveryLastWriterWinsAcrossWorkers(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	txn := db.Begin(0)
+	txn.Insert(tbl, []byte("k"), []byte("v0"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate writers so commit TIDs interleave across worker slots.
+	for i := 1; i <= 20; i++ {
+		txn := db.Begin(i % 4)
+		if err := txn.Update(tbl, []byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.logFile.Sync()
+	db.Close()
+
+	db2, err := Recover(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	txn = db2.Begin(0)
+	defer txn.Abort()
+	v, err := txn.Get(db2.OpenTable("t"), []byte("k"))
+	if err != nil || string(v) != "v20" {
+		t.Fatalf("recovered %q %v, want v20", v, err)
+	}
+}
+
+func TestRecoveryCrashLosesOnlyTail(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	for i := 0; i < 20; i++ {
+		txn := db.Begin(0)
+		txn.Insert(tbl, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.logFile.Sync() // first 20 durable
+	for i := 20; i < 40; i++ {
+		txn := db.Begin(0)
+		txn.Insert(tbl, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := st.Crash()
+	db.Close()
+
+	db2, err := Recover(recCfg(crashed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	txn := db2.Begin(0)
+	defer txn.Abort()
+	n := 0
+	txn.Scan(db2.OpenTable("t"), nil, nil, func(k, v []byte) bool { n++; return true })
+	if n < 20 || n > 40 {
+		t.Fatalf("recovered %d rows, durable prefix was 20 of 40", n)
+	}
+}
+
+func TestRecoveryEmptyStorage(t *testing.T) {
+	db, err := Recover(recCfg(wal.NewMemStorage()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryTwice(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	txn := db.Begin(0)
+	txn.Insert(tbl, []byte("gen1"), []byte("a"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.logFile.Sync()
+	db.Close()
+
+	db2, err := Recover(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2 := db2.OpenTable("t")
+	txn = db2.Begin(0)
+	txn.Insert(tbl2, []byte("gen2"), []byte("b"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db2.logFile.Sync()
+	db2.Close()
+
+	db3, err := Recover(recCfg(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	txn = db3.Begin(0)
+	defer txn.Abort()
+	for _, k := range []string{"gen1", "gen2"} {
+		if _, err := txn.Get(db3.OpenTable("t"), []byte(k)); err != nil {
+			t.Fatalf("%s missing after second recovery: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package silo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ermia/internal/engine"
+)
+
+func testDB(t testing.TB, snapshots bool) *DB {
+	t.Helper()
+	db, err := Open(Config{Snapshots: snapshots, EpochInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func put(t testing.TB, db *DB, tbl engine.Table, key, val string) {
+	t.Helper()
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte(key), []byte(val)); err != nil {
+		t.Fatalf("insert %s: %v", key, err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func TestBasicCRUD(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "a", "1")
+
+	txn := db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if _, err := txn.Get(tbl, []byte("zzz")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := txn.Update(tbl, []byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := txn.Get(tbl, []byte("a")); string(v) != "2" {
+		t.Fatalf("own write: %q", v)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	txn = db.Begin(0)
+	if v, _ := txn.Get(tbl, []byte("a")); string(v) != "2" {
+		t.Fatalf("committed: %q", v)
+	}
+	if err := txn.Delete(tbl, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Get(tbl, []byte("a")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("own delete: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	txn = db.Begin(0)
+	if _, err := txn.Get(tbl, []byte("a")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted: %v", err)
+	}
+	txn.Abort()
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v")
+	txn := db.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v2")); !errors.Is(err, engine.ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	txn.Abort()
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v1")
+	txn := db.Begin(0)
+	txn.Delete(tbl, []byte("k"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, tbl, "k", "v2")
+	txn = db.Begin(0)
+	if v, err := txn.Get(tbl, []byte("k")); err != nil || string(v) != "v2" {
+		t.Fatalf("reinsert: %q %v", v, err)
+	}
+	txn.Abort()
+}
+
+// Writer-wins: a reader whose footprint was overwritten aborts at commit.
+// This is the starvation mechanism the ERMIA paper studies.
+func TestWriterWinsOverReader(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "base")
+
+	reader := db.Begin(0)
+	if _, err := reader.Get(tbl, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	writer := db.Begin(1)
+	if err := writer.Update(tbl, []byte("x"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader writes something unrelated so its commit validates.
+	if err := reader.Update(tbl, []byte("x2"), nil); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatal(err)
+	}
+	err := reader.Commit()
+	if !errors.Is(err, engine.ErrReadValidation) {
+		t.Fatalf("reader commit: %v, want read-validation failure", err)
+	}
+	if db.Stats().ReadValidations.Load() == 0 {
+		t.Error("validation failure not counted")
+	}
+}
+
+func TestWriteWriteConflictAtCommit(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "0")
+
+	t1 := db.Begin(0)
+	t2 := db.Begin(1)
+	// Both read-modify-write the same record; only one may win.
+	v1, _ := t1.Get(tbl, []byte("x"))
+	v2, _ := t2.Get(tbl, []byte("x"))
+	_ = v1
+	_ = v2
+	if err := t1.Update(tbl, []byte("x"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(tbl, []byte("x"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if (err1 == nil) == (err2 == nil) {
+		t.Fatalf("exactly one should win: err1=%v err2=%v", err1, err2)
+	}
+}
+
+func TestConcurrentInsertSameKey(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+
+	t1 := db.Begin(0)
+	t2 := db.Begin(1)
+	if err := t1.Insert(tbl, []byte("k"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Insert(tbl, []byte("k"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if err1 == nil && err2 == nil {
+		t.Fatal("both same-key inserters committed")
+	}
+	if err1 != nil && err2 != nil {
+		t.Fatal("both same-key inserters aborted")
+	}
+	txn := db.Begin(0)
+	v, err := txn.Get(tbl, []byte("k"))
+	txn.Abort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "one"
+	if err1 != nil {
+		want = "two"
+	}
+	if string(v) != want {
+		t.Fatalf("winner value %q, want %q", v, want)
+	}
+}
+
+func TestPhantomProtection(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 10; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+	scanner := db.Begin(0)
+	n := 0
+	scanner.Scan(tbl, []byte("k00"), []byte("k99"), func(k, v []byte) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("scanned %d", n)
+	}
+	if err := scanner.Update(tbl, []byte("k00"), []byte("marked")); err != nil {
+		t.Fatal(err)
+	}
+
+	other := db.Begin(1)
+	if err := other.Insert(tbl, []byte("k05x"), []byte("phantom")); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := scanner.Commit(); !errors.Is(err, engine.ErrPhantom) && !errors.Is(err, engine.ErrReadValidation) {
+		t.Fatalf("phantom: %v", err)
+	}
+}
+
+func TestOwnInsertDoesNotTripPhantom(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 10; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%02d", i), "v")
+	}
+	txn := db.Begin(0)
+	txn.Scan(tbl, []byte("k00"), []byte("k99"), func(k, v []byte) bool { return true })
+	if err := txn.Insert(tbl, []byte("k05x"), []byte("own")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("own insert aborted the scan txn: %v", err)
+	}
+}
+
+func TestReadOnlySnapshotNeverAborts(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "x", "v0")
+	// Let the snapshot epoch advance past the insert.
+	db.AdvanceEpoch()
+	db.AdvanceEpoch()
+
+	ro := db.BeginReadOnly(0)
+	v, err := ro.Get(tbl, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := string(v)
+
+	// Heavy overwriting while the snapshot reader is out.
+	for i := 0; i < 10; i++ {
+		txn := db.Begin(1)
+		if err := txn.Update(tbl, []byte("x"), []byte(fmt.Sprintf("v%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same snapshot, same answer, and commit always succeeds.
+	v2, err := ro.Get(tbl, []byte("x"))
+	if err != nil || string(v2) != before {
+		t.Fatalf("snapshot moved: %q -> %q (%v)", before, v2, err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+}
+
+func TestSnapshotDoesNotSeeFutureInserts(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "old", "v")
+	db.AdvanceEpoch()
+	db.AdvanceEpoch()
+
+	ro := db.BeginReadOnly(0)
+	put(t, db, tbl, "new", "v") // arrives after the snapshot epoch
+
+	if _, err := ro.Get(tbl, []byte("old")); err != nil {
+		t.Fatalf("old record missing from snapshot: %v", err)
+	}
+	if _, err := ro.Get(tbl, []byte("new")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("future insert visible in snapshot: %v", err)
+	}
+	ro.Commit()
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	db := testDB(t, true)
+	tbl := db.CreateTable("t")
+	ro := db.BeginReadOnly(0)
+	if err := ro.Insert(tbl, []byte("k"), []byte("v")); err == nil {
+		t.Fatal("read-only insert succeeded")
+	}
+	ro.Abort()
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				txn := db.Begin(id)
+				if err := txn.Insert(tbl, []byte(fmt.Sprintf("w%d-%d", id, i)), []byte("v")); err != nil {
+					errCh <- err
+					txn.Abort()
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	txn := db.Begin(0)
+	n := 0
+	txn.Scan(tbl, nil, nil, func(k, v []byte) bool { n++; return true })
+	txn.Abort()
+	if n != workers*per {
+		t.Fatalf("found %d records, want %d", n, workers*per)
+	}
+}
+
+func TestConcurrentCountersNoLostUpdates(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "counter", "0")
+	const workers, per = 6, 100
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					txn := db.Begin(id)
+					v, err := txn.Get(tbl, []byte("counter"))
+					if err != nil {
+						txn.Abort()
+						continue
+					}
+					var n int
+					fmt.Sscanf(string(v), "%d", &n)
+					if err := txn.Update(tbl, []byte("counter"), []byte(fmt.Sprintf("%d", n+1))); err != nil {
+						txn.Abort()
+						continue
+					}
+					if err := txn.Commit(); err == nil {
+						mu.Lock()
+						total++
+						mu.Unlock()
+						break
+					} else if !engine.IsRetryable(err) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	txn := db.Begin(0)
+	v, _ := txn.Get(tbl, []byte("counter"))
+	txn.Abort()
+	var n int64
+	fmt.Sscanf(string(v), "%d", &n)
+	if n != total {
+		t.Fatalf("counter = %d, committed = %d", n, total)
+	}
+}
+
+func TestEpochTicker(t *testing.T) {
+	db := testDB(t, false)
+	e0 := db.Epoch()
+	deadline := time.Now().Add(2 * time.Second)
+	for db.Epoch() == e0 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUpdateMissingKey(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	txn := db.Begin(0)
+	if err := txn.Update(tbl, []byte("nope"), []byte("v")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := txn.Delete(tbl, []byte("nope")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	txn.Abort()
+}
+
+func TestScanSkipsAbsent(t *testing.T) {
+	db := testDB(t, false)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 10; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%d", i), "v")
+	}
+	txn := db.Begin(0)
+	txn.Delete(tbl, []byte("k3"))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	txn = db.Begin(0)
+	n := 0
+	txn.Scan(tbl, nil, nil, func(k, v []byte) bool { n++; return true })
+	txn.Abort()
+	if n != 9 {
+		t.Fatalf("scan found %d, want 9", n)
+	}
+}
+
+func BenchmarkCommitSmallTxn(b *testing.B) {
+	db := testDB(b, false)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 1000; i++ {
+		put(b, db, tbl, fmt.Sprintf("k%04d", i), "value-data")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := db.Begin(0)
+		k := []byte(fmt.Sprintf("k%04d", i%1000))
+		txn.Get(tbl, k)
+		txn.Update(tbl, k, []byte("new-value"))
+		txn.Commit()
+	}
+}

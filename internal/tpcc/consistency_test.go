@@ -1,0 +1,181 @@
+package tpcc
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ermia/internal/codec"
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+// TestConsistencyConditions runs a concurrent mixed workload and then
+// verifies the TPC-C specification's consistency conditions (clause 3.3.2)
+// that our schema subset can express. A concurrency-control bug (lost
+// update, dirty read, half-applied transaction) shows up here as a broken
+// invariant.
+func TestConsistencyConditions(t *testing.T) {
+	for name, open := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := open(t)
+			d := loadDriver(t, db, 2)
+
+			// Drive a real mixed workload first.
+			const workers, txns = 4, 80
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := xrand.New2(uint64(id), 0xCC)
+					for i := 0; i < txns; i++ {
+						kind := Pick(StandardMix, rng)
+						if err := d.Run(kind, id, rng); err != nil &&
+							!IsUserAbort(err) && !engine.IsRetryable(err) {
+							t.Errorf("%v: %v", kind, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			txn := db.Begin(0)
+			defer txn.Abort()
+			for w := 1; w <= d.cfg.Warehouses; w++ {
+				checkWarehouse(t, txn, d, w)
+			}
+		})
+	}
+}
+
+func checkWarehouse(t *testing.T, txn engine.Txn, d *Driver, w int) {
+	t.Helper()
+
+	// Condition 1: W_YTD = sum(D_YTD).
+	wVal, err := txn.Get(d.warehouse, WarehouseKey(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wYTD := DecodeWarehouse(wVal).YTD
+	var dYTDSum float64
+	for dist := 1; dist <= DistrictsPerWarehouse; dist++ {
+		dVal, err := txn.Get(d.district, DistrictKey(w, dist))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr := DecodeDistrict(dVal)
+		dYTDSum += dr.YTD
+
+		checkDistrict(t, txn, d, w, dist, dr)
+	}
+	if math.Abs(wYTD-dYTDSum) > 0.01 {
+		t.Errorf("w%d: condition 1 violated: W_YTD=%.2f sum(D_YTD)=%.2f", w, wYTD, dYTDSum)
+	}
+}
+
+func checkDistrict(t *testing.T, txn engine.Txn, d *Driver, w, dist int, dr District) {
+	t.Helper()
+
+	// Collect this district's orders and new-orders.
+	var maxOID, orderCount uint64
+	olCntSum := uint64(0)
+	orderCarrier := map[uint64]uint32{}
+	orderOLCnt := map[uint64]uint32{}
+	lo, hi := OrderKey(w, dist, 0), OrderKey(w, dist, ^uint64(0))
+	if err := txn.Scan(d.order, lo, hi, func(k, v []byte) bool {
+		kd := codec.DecodeKey(k)
+		kd.Uint32()
+		kd.Uint32()
+		oid := kd.Uint64()
+		ord := DecodeOrder(v)
+		if oid > maxOID {
+			maxOID = oid
+		}
+		orderCount++
+		olCntSum += uint64(ord.OLCnt)
+		orderCarrier[oid] = ord.CarrierID
+		orderOLCnt[oid] = ord.OLCnt
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Condition 2: D_NEXT_O_ID - 1 = max(O_ID).
+	if dr.NextOID-1 != maxOID {
+		t.Errorf("w%d d%d: condition 2: next_o_id-1=%d max(o_id)=%d",
+			w, dist, dr.NextOID-1, maxOID)
+	}
+	// Order ids are dense: count = max (ids start at 1).
+	if orderCount != maxOID {
+		t.Errorf("w%d d%d: order ids not dense: count=%d max=%d", w, dist, orderCount, maxOID)
+	}
+
+	// New-order rows: contiguous id range, newest = max(O_ID) unless all
+	// delivered.
+	var noIDs []uint64
+	nlo, nhi := NewOrderPrefix(w, dist)
+	if err := txn.Scan(d.neworder, nlo, nhi, func(k, v []byte) bool {
+		kd := codec.DecodeKey(k)
+		kd.Uint32()
+		kd.Uint32()
+		noIDs = append(noIDs, kd.Uint64())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(noIDs) > 0 {
+		// Condition 3: max(NO_O_ID) - min(NO_O_ID) + 1 = count(NO).
+		minNO, maxNO := noIDs[0], noIDs[len(noIDs)-1]
+		if maxNO-minNO+1 != uint64(len(noIDs)) {
+			t.Errorf("w%d d%d: condition 3: NO ids not contiguous: [%d,%d] count=%d",
+				w, dist, minNO, maxNO, len(noIDs))
+		}
+		if maxNO != maxOID {
+			t.Errorf("w%d d%d: newest new-order %d != newest order %d", w, dist, maxNO, maxOID)
+		}
+		// Condition 5 half: undelivered orders have carrier id 0.
+		for _, oid := range noIDs {
+			if orderCarrier[oid] != 0 {
+				t.Errorf("w%d d%d o%d: undelivered order has carrier %d",
+					w, dist, oid, orderCarrier[oid])
+			}
+		}
+	}
+	// Condition 5 other half: delivered orders (not in NO) have carrier != 0.
+	inNO := map[uint64]bool{}
+	for _, oid := range noIDs {
+		inNO[oid] = true
+	}
+	for oid, carrier := range orderCarrier {
+		if !inNO[oid] && carrier == 0 {
+			t.Errorf("w%d d%d o%d: delivered order has carrier 0", w, dist, oid)
+		}
+	}
+
+	// Conditions 4 and 6: per-order line counts match O_OL_CNT.
+	lineCount := map[uint64]uint64{}
+	var totalLines uint64
+	llo, lhi := OrderLineRange(w, dist, 0, ^uint64(0))
+	if err := txn.Scan(d.orderline, llo, lhi, func(k, v []byte) bool {
+		kd := codec.DecodeKey(k)
+		kd.Uint32()
+		kd.Uint32()
+		lineCount[kd.Uint64()]++
+		totalLines++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if totalLines != olCntSum {
+		t.Errorf("w%d d%d: condition 4: sum(ol_cnt)=%d orderline rows=%d",
+			w, dist, olCntSum, totalLines)
+	}
+	for oid, want := range orderOLCnt {
+		if lineCount[oid] != uint64(want) {
+			t.Errorf("w%d d%d o%d: condition 6: ol_cnt=%d lines=%d",
+				w, dist, oid, want, lineCount[oid])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"ermia/internal/codec"
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+// Load populates the database per the TPC-C specification's initial state
+// (scaled by cfg.Warehouses and cfg.Items) plus the CH-benCHmark Supplier
+// table. Loading batches inserts into moderately sized transactions to keep
+// log blocks bounded.
+func (d *Driver) Load() error {
+	rng := xrand.New(0xDB)
+	enc := codec.NewTuple(256)
+
+	if err := d.loadItems(rng, enc); err != nil {
+		return err
+	}
+	if err := d.loadSuppliers(rng, enc); err != nil {
+		return err
+	}
+	for w := 1; w <= d.cfg.Warehouses; w++ {
+		if err := d.loadWarehouse(w, rng, enc); err != nil {
+			return fmt.Errorf("tpcc: load warehouse %d: %w", w, err)
+		}
+	}
+	return nil
+}
+
+// batcher groups inserts into transactions of fixed size.
+type batcher struct {
+	db      engine.DB
+	txn     engine.Txn
+	n, size int
+}
+
+func newBatcher(db engine.DB, size int) *batcher {
+	return &batcher{db: db, size: size}
+}
+
+func (b *batcher) insert(t engine.Table, key, val []byte) error {
+	if b.txn == nil {
+		b.txn = b.db.Begin(0)
+	}
+	if err := b.txn.Insert(t, key, val); err != nil {
+		b.txn.Abort()
+		b.txn = nil
+		return err
+	}
+	b.n++
+	if b.n >= b.size {
+		if err := b.txn.Commit(); err != nil {
+			b.txn = nil
+			return err
+		}
+		b.txn = nil
+		b.n = 0
+	}
+	return nil
+}
+
+func (b *batcher) flush() error {
+	if b.txn == nil {
+		return nil
+	}
+	err := b.txn.Commit()
+	b.txn = nil
+	b.n = 0
+	return err
+}
+
+func (d *Driver) loadItems(rng *xrand.Rand, enc *codec.TupleEncoder) error {
+	b := newBatcher(d.db, 500)
+	for i := 1; i <= d.cfg.Items; i++ {
+		data := rng.AString(26, 50)
+		if rng.Intn(10) == 0 {
+			data = "ORIGINAL" + data[8:]
+		}
+		it := Item{
+			ImageID: uint64(rng.Range(1, 10000)),
+			Name:    rng.AString(14, 24),
+			Price:   float64(rng.Range(100, 10000)) / 100,
+			Data:    data,
+		}
+		if err := b.insert(d.item, ItemKey(i), it.Encode(enc)); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+func (d *Driver) loadSuppliers(rng *xrand.Rand, enc *codec.TupleEncoder) error {
+	b := newBatcher(d.db, 500)
+	for su := 0; su < NumSuppliers; su++ {
+		s := Supplier{
+			Name:      fmt.Sprintf("Supplier#%09d", su),
+			NationKey: uint32(SupplierNation(su)),
+			Phone:     rng.NString(12, 12),
+			AcctBal:   float64(rng.Range(-99999, 999999)) / 100,
+		}
+		if err := b.insert(d.supplier, SupplierKey(su), s.Encode(enc)); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+func (d *Driver) loadWarehouse(w int, rng *xrand.Rand, enc *codec.TupleEncoder) error {
+	b := newBatcher(d.db, 500)
+	wh := Warehouse{
+		Name: rng.AString(6, 10), Street: rng.AString(10, 20),
+		City: rng.AString(10, 20), State: rng.AString(2, 2),
+		Zip: rng.NString(4, 4) + "11111", Tax: float64(rng.Range(0, 2000)) / 10000,
+		YTD: 300000,
+	}
+	if err := b.insert(d.warehouse, WarehouseKey(w), wh.Encode(enc)); err != nil {
+		return err
+	}
+
+	// Stock: one row per item.
+	for i := 1; i <= d.cfg.Items; i++ {
+		data := rng.AString(26, 50)
+		if rng.Intn(10) == 0 {
+			data = "ORIGINAL" + data[8:]
+		}
+		st := Stock{
+			Quantity: int64(rng.Range(10, 100)),
+			Dist:     rng.AString(24, 24),
+			Data:     data,
+		}
+		if err := b.insert(d.stock, StockKey(w, i), st.Encode(enc)); err != nil {
+			return err
+		}
+	}
+
+	for dist := 1; dist <= DistrictsPerWarehouse; dist++ {
+		if err := d.loadDistrict(b, w, dist, rng, enc); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+func (d *Driver) loadDistrict(b *batcher, w, dist int, rng *xrand.Rand, enc *codec.TupleEncoder) error {
+	dr := District{
+		Name: rng.AString(6, 10), Street: rng.AString(10, 20),
+		City: rng.AString(10, 20), State: rng.AString(2, 2),
+		Zip: rng.NString(4, 4) + "11111", Tax: float64(rng.Range(0, 2000)) / 10000,
+		YTD: 30000, NextOID: uint64(d.initialOrders()) + 1,
+	}
+	if err := b.insert(d.district, DistrictKey(w, dist), dr.Encode(enc)); err != nil {
+		return err
+	}
+
+	customers := d.customersPerDistrict()
+	for c := 1; c <= customers; c++ {
+		lastNum := c - 1
+		if c > 1000 {
+			lastNum = rng.NURand(255, 0, 999)
+		}
+		last := xrand.LastName(lastNum % 1000)
+		credit := "GC"
+		if rng.Intn(10) == 0 {
+			credit = "BC"
+		}
+		cu := Customer{
+			First: rng.AString(8, 16), Middle: "OE", Last: last,
+			Street: rng.AString(10, 20), City: rng.AString(10, 20),
+			State: rng.AString(2, 2), Zip: rng.NString(4, 4) + "11111",
+			Phone: rng.NString(16, 16), Since: 1, Credit: credit,
+			CreditLim: 50000, Discount: float64(rng.Range(0, 5000)) / 10000,
+			Balance: -10, YTDPayment: 10, PaymentCnt: 1,
+			Data: rng.AString(300, 500),
+		}
+		if err := b.insert(d.customer, CustomerKey(w, dist, c), cu.Encode(enc)); err != nil {
+			return err
+		}
+		if err := b.insert(d.custName, CustNameKey(w, dist, last, c),
+			encodeUint32Val(enc, uint32(c))); err != nil {
+			return err
+		}
+		hk := HistoryKey(w, dist, c, 0, uint64(c))
+		hv := enc.Reset().Float(10).Uint64(1).String(rng.AString(12, 24)).Clone()
+		if err := b.insert(d.history, hk, hv); err != nil {
+			return err
+		}
+	}
+
+	// Initial orders: one per customer in a random permutation; the last
+	// 30% are undelivered (rows in NEW-ORDER).
+	orders := d.initialOrders()
+	perm := make([]int, orders)
+	rng.Perm(perm)
+	for o := 1; o <= orders; o++ {
+		cid := perm[o-1]%customers + 1
+		olCnt := rng.Range(5, 15)
+		carrier := uint32(rng.Range(1, 10))
+		undelivered := o > orders*7/10
+		if undelivered {
+			carrier = 0
+		}
+		ord := Order{CID: uint32(cid), EntryD: 1, CarrierID: carrier,
+			OLCnt: uint32(olCnt), AllLocal: true}
+		oid := uint64(o)
+		if err := b.insert(d.order, OrderKey(w, dist, oid), ord.Encode(enc)); err != nil {
+			return err
+		}
+		if err := b.insert(d.orderCust, OrderCustKey(w, dist, cid, oid),
+			encodeUint32Val(enc, uint32(oid))); err != nil {
+			return err
+		}
+		if undelivered {
+			if err := b.insert(d.neworder, NewOrderKey(w, dist, oid), []byte{1}); err != nil {
+				return err
+			}
+		}
+		for ol := 1; ol <= olCnt; ol++ {
+			line := OrderLine{
+				IID:       uint32(rng.Range(1, d.cfg.Items)),
+				SupplyWID: uint32(w),
+				Quantity:  5,
+				DistInfo:  rng.AString(24, 24),
+			}
+			if undelivered {
+				line.Amount = float64(rng.Range(1, 999999)) / 100
+			} else {
+				line.DeliveryD = 1
+			}
+			if err := b.insert(d.orderline, OrderLineKey(w, dist, oid, ol), line.Encode(enc)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// customersPerDistrict scales customers down in small test databases.
+func (d *Driver) customersPerDistrict() int {
+	if d.cfg.CustomersPerDistrict > 0 {
+		return d.cfg.CustomersPerDistrict
+	}
+	if d.cfg.Items < 10000 {
+		// Test-scale database: keep loading fast.
+		return d.cfg.Items / 10 * 3
+	}
+	return CustomersPerDistrict
+}
+
+func (d *Driver) initialOrders() int { return d.customersPerDistrict() }

@@ -1,0 +1,362 @@
+// Package tpcc implements the TPC-C benchmark (TPC-C specification rev
+// 5.11) plus the paper's TPC-C-hybrid variant: the TPC-CH-Q2* read-mostly
+// transaction from the CH-benCHmark with a footprint-size knob (§4.2).
+//
+// The database is partitioned by warehouse and each worker owns a home
+// warehouse; 1% of NewOrder and 15% of Payment transactions are
+// cross-partition, as in the paper's setup. All tables are engine-agnostic:
+// the same workload drives ERMIA and the Silo baseline through the
+// engine.DB interface. Secondary access paths (customer by last name, order
+// by customer) are mapping tables from secondary key to primary key.
+package tpcc
+
+import (
+	"ermia/internal/codec"
+)
+
+// Table names.
+const (
+	TableWarehouse = "warehouse"
+	TableDistrict  = "district"
+	TableCustomer  = "customer"
+	TableCustName  = "customer_name_idx"
+	TableHistory   = "history"
+	TableNewOrder  = "neworder"
+	TableOrder     = "order"
+	TableOrderCust = "order_cust_idx"
+	TableOrderLine = "orderline"
+	TableItem      = "item"
+	TableStock     = "stock"
+	TableSupplier  = "supplier"
+	TableNation    = "nation"
+)
+
+// Fixed cardinalities from the specification and CH-benCHmark.
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	InitialOrdersPerDist  = 3000
+	NumSuppliers          = 10000
+	NumNations            = 25
+	NumRegions            = 5
+)
+
+// Warehouse is one row of the WAREHOUSE table.
+type Warehouse struct {
+	Name   string
+	Street string
+	City   string
+	State  string
+	Zip    string
+	Tax    float64
+	YTD    float64
+}
+
+// Encode serializes the row.
+func (w *Warehouse) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().String(w.Name).String(w.Street).String(w.City).
+		String(w.State).String(w.Zip).Float(w.Tax).Float(w.YTD).Clone()
+}
+
+// DecodeWarehouse parses a WAREHOUSE row.
+func DecodeWarehouse(b []byte) Warehouse {
+	d := codec.DecodeTuple(b)
+	return Warehouse{
+		Name: d.String(), Street: d.String(), City: d.String(),
+		State: d.String(), Zip: d.String(), Tax: d.Float(), YTD: d.Float(),
+	}
+}
+
+// District is one row of the DISTRICT table.
+type District struct {
+	Name    string
+	Street  string
+	City    string
+	State   string
+	Zip     string
+	Tax     float64
+	YTD     float64
+	NextOID uint64
+}
+
+// Encode serializes the row.
+func (r *District) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().String(r.Name).String(r.Street).String(r.City).
+		String(r.State).String(r.Zip).Float(r.Tax).Float(r.YTD).
+		Uint64(r.NextOID).Clone()
+}
+
+// DecodeDistrict parses a DISTRICT row.
+func DecodeDistrict(b []byte) District {
+	d := codec.DecodeTuple(b)
+	return District{
+		Name: d.String(), Street: d.String(), City: d.String(),
+		State: d.String(), Zip: d.String(), Tax: d.Float(), YTD: d.Float(),
+		NextOID: d.Uint64(),
+	}
+}
+
+// Customer is one row of the CUSTOMER table.
+type Customer struct {
+	First       string
+	Middle      string
+	Last        string
+	Street      string
+	City        string
+	State       string
+	Zip         string
+	Phone       string
+	Since       uint64
+	Credit      string
+	CreditLim   float64
+	Discount    float64
+	Balance     float64
+	YTDPayment  float64
+	PaymentCnt  uint64
+	DeliveryCnt uint64
+	Data        string
+}
+
+// Encode serializes the row.
+func (c *Customer) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().String(c.First).String(c.Middle).String(c.Last).
+		String(c.Street).String(c.City).String(c.State).String(c.Zip).
+		String(c.Phone).Uint64(c.Since).String(c.Credit).Float(c.CreditLim).
+		Float(c.Discount).Float(c.Balance).Float(c.YTDPayment).
+		Uint64(c.PaymentCnt).Uint64(c.DeliveryCnt).String(c.Data).Clone()
+}
+
+// DecodeCustomer parses a CUSTOMER row.
+func DecodeCustomer(b []byte) Customer {
+	d := codec.DecodeTuple(b)
+	return Customer{
+		First: d.String(), Middle: d.String(), Last: d.String(),
+		Street: d.String(), City: d.String(), State: d.String(), Zip: d.String(),
+		Phone: d.String(), Since: d.Uint64(), Credit: d.String(),
+		CreditLim: d.Float(), Discount: d.Float(), Balance: d.Float(),
+		YTDPayment: d.Float(), PaymentCnt: d.Uint64(), DeliveryCnt: d.Uint64(),
+		Data: d.String(),
+	}
+}
+
+// Order is one row of the ORDER table.
+type Order struct {
+	CID       uint32
+	EntryD    uint64
+	CarrierID uint32
+	OLCnt     uint32
+	AllLocal  bool
+}
+
+// Encode serializes the row.
+func (o *Order) Encode(e *codec.TupleEncoder) []byte {
+	local := uint64(0)
+	if o.AllLocal {
+		local = 1
+	}
+	return e.Reset().Uint64(uint64(o.CID)).Uint64(o.EntryD).
+		Uint64(uint64(o.CarrierID)).Uint64(uint64(o.OLCnt)).Uint64(local).Clone()
+}
+
+// DecodeOrder parses an ORDER row.
+func DecodeOrder(b []byte) Order {
+	d := codec.DecodeTuple(b)
+	return Order{
+		CID: uint32(d.Uint64()), EntryD: d.Uint64(),
+		CarrierID: uint32(d.Uint64()), OLCnt: uint32(d.Uint64()),
+		AllLocal: d.Uint64() == 1,
+	}
+}
+
+// OrderLine is one row of the ORDER-LINE table.
+type OrderLine struct {
+	IID       uint32
+	SupplyWID uint32
+	DeliveryD uint64
+	Quantity  uint32
+	Amount    float64
+	DistInfo  string
+}
+
+// Encode serializes the row.
+func (ol *OrderLine) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().Uint64(uint64(ol.IID)).Uint64(uint64(ol.SupplyWID)).
+		Uint64(ol.DeliveryD).Uint64(uint64(ol.Quantity)).Float(ol.Amount).
+		String(ol.DistInfo).Clone()
+}
+
+// DecodeOrderLine parses an ORDER-LINE row.
+func DecodeOrderLine(b []byte) OrderLine {
+	d := codec.DecodeTuple(b)
+	return OrderLine{
+		IID: uint32(d.Uint64()), SupplyWID: uint32(d.Uint64()),
+		DeliveryD: d.Uint64(), Quantity: uint32(d.Uint64()),
+		Amount: d.Float(), DistInfo: d.String(),
+	}
+}
+
+// Item is one row of the ITEM table.
+type Item struct {
+	ImageID uint64
+	Name    string
+	Price   float64
+	Data    string
+}
+
+// Encode serializes the row.
+func (i *Item) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().Uint64(i.ImageID).String(i.Name).Float(i.Price).String(i.Data).Clone()
+}
+
+// DecodeItem parses an ITEM row.
+func DecodeItem(b []byte) Item {
+	d := codec.DecodeTuple(b)
+	return Item{ImageID: d.Uint64(), Name: d.String(), Price: d.Float(), Data: d.String()}
+}
+
+// Stock is one row of the STOCK table.
+type Stock struct {
+	Quantity  int64
+	Dist      string // the district info string for this order's district
+	YTD       uint64
+	OrderCnt  uint64
+	RemoteCnt uint64
+	Data      string
+}
+
+// Encode serializes the row.
+func (s *Stock) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().Int64(s.Quantity).String(s.Dist).Uint64(s.YTD).
+		Uint64(s.OrderCnt).Uint64(s.RemoteCnt).String(s.Data).Clone()
+}
+
+// DecodeStock parses a STOCK row.
+func DecodeStock(b []byte) Stock {
+	d := codec.DecodeTuple(b)
+	return Stock{
+		Quantity: d.Int64(), Dist: d.String(), YTD: d.Uint64(),
+		OrderCnt: d.Uint64(), RemoteCnt: d.Uint64(), Data: d.String(),
+	}
+}
+
+// Supplier is one row of the CH-benCHmark SUPPLIER table.
+type Supplier struct {
+	Name      string
+	NationKey uint32
+	Phone     string
+	AcctBal   float64
+}
+
+// Encode serializes the row.
+func (s *Supplier) Encode(e *codec.TupleEncoder) []byte {
+	return e.Reset().String(s.Name).Uint64(uint64(s.NationKey)).
+		String(s.Phone).Float(s.AcctBal).Clone()
+}
+
+// DecodeSupplier parses a SUPPLIER row.
+func DecodeSupplier(b []byte) Supplier {
+	d := codec.DecodeTuple(b)
+	return Supplier{Name: d.String(), NationKey: uint32(d.Uint64()),
+		Phone: d.String(), AcctBal: d.Float()}
+}
+
+// SupplierNation derives the supplier's nation as CH-benCHmark does.
+func SupplierNation(su int) int { return su % NumNations }
+
+// NationRegion derives a nation's region.
+func NationRegion(nation int) int { return nation % NumRegions }
+
+// ---- Keys (order-preserving composites) ----
+
+// WarehouseKey builds the WAREHOUSE primary key.
+func WarehouseKey(w int) []byte { return codec.NewKey(4).Uint32(uint32(w)).Bytes() }
+
+// DistrictKey builds the DISTRICT primary key.
+func DistrictKey(w, d int) []byte {
+	return codec.NewKey(8).Uint32(uint32(w)).Uint32(uint32(d)).Bytes()
+}
+
+// CustomerKey builds the CUSTOMER primary key.
+func CustomerKey(w, d, c int) []byte {
+	return codec.NewKey(12).Uint32(uint32(w)).Uint32(uint32(d)).Uint32(uint32(c)).Bytes()
+}
+
+// CustNameKey builds the customer-by-last-name secondary key (unique via
+// the trailing customer id).
+func CustNameKey(w, d int, last string, c int) []byte {
+	return codec.NewKey(32).Uint32(uint32(w)).Uint32(uint32(d)).String(last).Uint32(uint32(c)).Bytes()
+}
+
+// CustNamePrefix builds the scan prefix for a last-name lookup.
+func CustNamePrefix(w, d int, last string) ([]byte, []byte) {
+	lo := codec.NewKey(32).Uint32(uint32(w)).Uint32(uint32(d)).String(last).Clone()
+	hi := append(append([]byte(nil), lo...), 0xFF)
+	return lo, hi
+}
+
+// HistoryKey builds a unique HISTORY key (the spec gives HISTORY no primary
+// key; worker+sequence disambiguates).
+func HistoryKey(w, d, c, worker int, seq uint64) []byte {
+	return codec.NewKey(28).Uint32(uint32(w)).Uint32(uint32(d)).Uint32(uint32(c)).
+		Uint32(uint32(worker)).Uint64(seq).Bytes()
+}
+
+// NewOrderKey builds the NEW-ORDER primary key.
+func NewOrderKey(w, d int, o uint64) []byte {
+	return codec.NewKey(16).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(o).Bytes()
+}
+
+// NewOrderPrefix bounds a district's NEW-ORDER scan.
+func NewOrderPrefix(w, d int) ([]byte, []byte) {
+	lo := codec.NewKey(16).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(0).Clone()
+	hi := codec.NewKey(16).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(^uint64(0)).Clone()
+	return lo, hi
+}
+
+// OrderKey builds the ORDER primary key.
+func OrderKey(w, d int, o uint64) []byte {
+	return codec.NewKey(16).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(o).Bytes()
+}
+
+// OrderCustKey builds the order-by-customer secondary key.
+func OrderCustKey(w, d, c int, o uint64) []byte {
+	return codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint32(uint32(c)).Uint64(o).Bytes()
+}
+
+// OrderCustPrefix bounds a customer's order scan.
+func OrderCustPrefix(w, d, c int) ([]byte, []byte) {
+	lo := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint32(uint32(c)).Uint64(0).Clone()
+	hi := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint32(uint32(c)).Uint64(^uint64(0)).Clone()
+	return lo, hi
+}
+
+// OrderLineKey builds the ORDER-LINE primary key.
+func OrderLineKey(w, d int, o uint64, ol int) []byte {
+	return codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(o).Uint32(uint32(ol)).Bytes()
+}
+
+// OrderLinePrefix bounds one order's line scan.
+func OrderLinePrefix(w, d int, o uint64) ([]byte, []byte) {
+	lo := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(o).Uint32(0).Clone()
+	hi := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(o).Uint32(^uint32(0)).Clone()
+	return lo, hi
+}
+
+// OrderLineRange bounds the order-line scan for orders [oLo, oHi) in one
+// district (StockLevel).
+func OrderLineRange(w, d int, oLo, oHi uint64) ([]byte, []byte) {
+	lo := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(oLo).Uint32(0).Clone()
+	hi := codec.NewKey(20).Uint32(uint32(w)).Uint32(uint32(d)).Uint64(oHi).Uint32(0).Clone()
+	return lo, hi
+}
+
+// ItemKey builds the ITEM primary key.
+func ItemKey(i int) []byte { return codec.NewKey(4).Uint32(uint32(i)).Bytes() }
+
+// StockKey builds the STOCK primary key.
+func StockKey(w, i int) []byte {
+	return codec.NewKey(8).Uint32(uint32(w)).Uint32(uint32(i)).Bytes()
+}
+
+// SupplierKey builds the SUPPLIER primary key.
+func SupplierKey(su int) []byte { return codec.NewKey(4).Uint32(uint32(su)).Bytes() }

@@ -1,0 +1,64 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+// TestSoakHybridMixWithGC runs the hybrid mix for several seconds against
+// ERMIA-SSN with an aggressive background garbage collector and tiny log
+// segments, then re-verifies the TPC-C consistency conditions. It is the
+// closest thing to the paper's 30-second runs that fits in a test; skipped
+// under -short.
+func TestSoakHybridMixWithGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	db := openERMIA(t, true)
+	d := loadDriver(t, db, 2)
+
+	const workers = 4
+	deadline := time.Now().Add(5 * time.Second)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits, aborts := 0, 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.New2(uint64(id), 0x50AC)
+			for time.Now().Before(deadline) {
+				kind := Pick(HybridMix, rng)
+				err := d.Run(kind, id, rng)
+				mu.Lock()
+				switch {
+				case err == nil:
+					commits++
+				case IsUserAbort(err) || engine.IsRetryable(err):
+					aborts++
+				default:
+					mu.Unlock()
+					t.Errorf("%v: %v", kind, err)
+					return
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if commits < 100 {
+		t.Fatalf("only %d commits in the soak window", commits)
+	}
+	t.Logf("soak: %d commits, %d conflict/user aborts", commits, aborts)
+
+	// The database must still satisfy the spec's consistency conditions.
+	txn := db.Begin(0)
+	defer txn.Abort()
+	for w := 1; w <= d.cfg.Warehouses; w++ {
+		checkWarehouse(t, txn, d, w)
+	}
+}

@@ -1,0 +1,375 @@
+package tpcc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ermia/internal/codec"
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/silo"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+// testConfig is a scaled-down database that loads in well under a second.
+func testConfig(warehouses int) Config {
+	return Config{Warehouses: warehouses, Items: 1000, Q2SizePct: 10}
+}
+
+func openERMIA(t testing.TB, serializable bool) engine.DB {
+	t.Helper()
+	db, err := core.Open(core.Config{
+		WAL:          wal.Config{SegmentSize: 8 << 20, BufferSize: 2 << 20},
+		Serializable: serializable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func openSilo(t testing.TB) engine.DB {
+	t.Helper()
+	db, err := silo.Open(silo.Config{Snapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadDriver(t testing.TB, db engine.DB, warehouses int) *Driver {
+	t.Helper()
+	d := NewDriver(db, testConfig(warehouses))
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func engines(t *testing.T) map[string]func(testing.TB) engine.DB {
+	return map[string]func(testing.TB) engine.DB{
+		"ermia-si":  func(tb testing.TB) engine.DB { return openERMIA(tb, false) },
+		"ermia-ssn": func(tb testing.TB) engine.DB { return openERMIA(tb, true) },
+		"silo":      func(tb testing.TB) engine.DB { return openSilo(tb) },
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	db := openERMIA(t, false)
+	d := loadDriver(t, db, 2)
+	cdb := db.(*core.DB)
+	counts := map[string]int{}
+	for _, name := range []string{TableWarehouse, TableDistrict, TableCustomer,
+		TableCustName, TableItem, TableStock, TableOrder, TableOrderLine,
+		TableNewOrder, TableSupplier, TableHistory, TableOrderCust} {
+		tbl := cdb.OpenTable(name).(*core.Table)
+		counts[name] = tbl.Len()
+	}
+	cfg := d.Config()
+	cust := d.customersPerDistrict()
+	if counts[TableWarehouse] != 2 {
+		t.Errorf("warehouses = %d", counts[TableWarehouse])
+	}
+	if counts[TableDistrict] != 2*DistrictsPerWarehouse {
+		t.Errorf("districts = %d", counts[TableDistrict])
+	}
+	if counts[TableItem] != cfg.Items {
+		t.Errorf("items = %d", counts[TableItem])
+	}
+	if counts[TableStock] != 2*cfg.Items {
+		t.Errorf("stock = %d", counts[TableStock])
+	}
+	if counts[TableCustomer] != 2*DistrictsPerWarehouse*cust {
+		t.Errorf("customers = %d, want %d", counts[TableCustomer], 2*DistrictsPerWarehouse*cust)
+	}
+	if counts[TableSupplier] != NumSuppliers {
+		t.Errorf("suppliers = %d", counts[TableSupplier])
+	}
+	if counts[TableOrder] == 0 || counts[TableOrderLine] == 0 || counts[TableNewOrder] == 0 {
+		t.Error("orders not loaded")
+	}
+}
+
+func TestAllTransactionKindsRun(t *testing.T) {
+	for name, open := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := open(t)
+			d := loadDriver(t, db, 2)
+			rng := xrand.New(7)
+			kinds := []TxnKind{NewOrder, Payment, OrderStatus, Delivery, StockLevel, Q2Star}
+			for _, k := range kinds {
+				committed := 0
+				for try := 0; try < 50 && committed < 5; try++ {
+					err := d.Run(k, 0, rng)
+					switch {
+					case err == nil:
+						committed++
+					case IsUserAbort(err) || engine.IsRetryable(err):
+						// acceptable
+					default:
+						t.Fatalf("%v: %v", k, err)
+					}
+				}
+				if committed == 0 {
+					t.Errorf("%v never committed in 50 tries", k)
+				}
+			}
+		})
+	}
+}
+
+func TestNewOrderAdvancesDistrictCounter(t *testing.T) {
+	db := openERMIA(t, false)
+	d := loadDriver(t, db, 1)
+	rng := xrand.New(3)
+
+	before := districtNextOID(t, db, d, 1)
+	committed := 0
+	for i := 0; i < 40 && committed < 10; i++ {
+		err := d.Run(NewOrder, 0, rng)
+		if err == nil {
+			committed++
+		} else if !IsUserAbort(err) && !engine.IsRetryable(err) {
+			t.Fatal(err)
+		}
+	}
+	// NextOID across all 10 districts must have advanced by exactly the
+	// number of committed NewOrders.
+	after := districtNextOID(t, db, d, 1)
+	if after-before != uint64(committed) {
+		t.Errorf("district counters advanced %d, committed %d", after-before, committed)
+	}
+}
+
+// districtNextOID sums NextOID over the warehouse's districts.
+func districtNextOID(t *testing.T, db engine.DB, d *Driver, w int) uint64 {
+	t.Helper()
+	txn := db.Begin(0)
+	defer txn.Abort()
+	var sum uint64
+	for dist := 1; dist <= DistrictsPerWarehouse; dist++ {
+		v, err := txn.Get(d.district, DistrictKey(w, dist))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += DecodeDistrict(v).NextOID
+	}
+	return sum
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	db := openERMIA(t, false)
+	d := loadDriver(t, db, 1)
+	rng := xrand.New(4)
+
+	before := tableCount(t, db, d.neworder)
+	if before == 0 {
+		t.Fatal("no undelivered orders loaded")
+	}
+	if err := d.Run(Delivery, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := tableCount(t, db, d.neworder)
+	// One delivery removes up to one order per district.
+	if after >= before {
+		t.Errorf("neworder count %d -> %d; delivery consumed nothing", before, after)
+	}
+	if before-after > DistrictsPerWarehouse {
+		t.Errorf("delivery consumed %d > %d", before-after, DistrictsPerWarehouse)
+	}
+}
+
+func tableCount(t *testing.T, db engine.DB, tbl engine.Table) int {
+	t.Helper()
+	txn := db.Begin(0)
+	defer txn.Abort()
+	n := 0
+	if err := txn.Scan(tbl, nil, nil, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	db := openERMIA(t, false)
+	d := loadDriver(t, db, 1)
+	rng := xrand.New(5)
+
+	txn := db.Begin(0)
+	wBefore := DecodeWarehouse(mustGet(t, txn, d.warehouse, WarehouseKey(1))).YTD
+	txn.Abort()
+
+	committed := 0
+	for i := 0; i < 20 && committed < 5; i++ {
+		if err := d.Run(Payment, 0, rng); err == nil {
+			committed++
+		} else if !engine.IsRetryable(err) {
+			t.Fatal(err)
+		}
+	}
+	txn = db.Begin(0)
+	wAfter := DecodeWarehouse(mustGet(t, txn, d.warehouse, WarehouseKey(1))).YTD
+	txn.Abort()
+	if wAfter <= wBefore {
+		t.Errorf("warehouse YTD did not grow: %v -> %v", wBefore, wAfter)
+	}
+	if got := tableCount(t, db, d.history); got == 0 {
+		t.Error("no history rows")
+	}
+}
+
+func mustGet(t *testing.T, txn engine.Txn, tbl engine.Table, key []byte) []byte {
+	t.Helper()
+	v, err := txn.Get(tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestQ2StarFootprintScalesWithSize(t *testing.T) {
+	db := openERMIA(t, false)
+	cfg := testConfig(1)
+	d := NewDriver(db, cfg)
+	if err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	// With the modulo mapping, supplier su supplies Items/NumSuppliers-ish
+	// rows per warehouse; verify the mapping is consistent both ways.
+	for su := 0; su < 50; su++ {
+		d.stockItemsOf(1, su, func(i int) bool {
+			if got := d.supplierOf(1, i); got != su {
+				t.Fatalf("mapping inconsistent: stockItemsOf(1,%d) yielded %d, supplierOf=%d", su, i, got)
+			}
+			return true
+		})
+	}
+	rng := xrand.New(6)
+	if err := d.Run(Q2Star, 0, rng); err != nil && !engine.IsRetryable(err) {
+		t.Fatal(err)
+	}
+}
+
+func TestMixDistribution(t *testing.T) {
+	rng := xrand.New(9)
+	counts := map[TxnKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Pick(HybridMix, rng)]++
+	}
+	checks := map[TxnKind]float64{NewOrder: 0.40, Payment: 0.38, Q2Star: 0.10,
+		OrderStatus: 0.04, Delivery: 0.04, StockLevel: 0.04}
+	for k, want := range checks {
+		got := float64(counts[k]) / n
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("%v share = %.3f, want ~%.2f", k, got, want)
+		}
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	for name, open := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := open(t)
+			d := loadDriver(t, db, 2)
+			const workers, txns = 4, 60
+			var wg sync.WaitGroup
+			var fatal sync.Map
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := xrand.New2(uint64(id), 77)
+					for i := 0; i < txns; i++ {
+						kind := Pick(HybridMix, rng)
+						err := d.Run(kind, id, rng)
+						if err != nil && !IsUserAbort(err) && !engine.IsRetryable(err) {
+							fatal.Store(fmt.Sprintf("%v: %v", kind, err), true)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			fatal.Range(func(k, v any) bool {
+				t.Error(k)
+				return true
+			})
+			// Cross-check invariants: order counts match order-cust index.
+			if tableCount(t, db, d.order) != tableCount(t, db, d.orderCust) {
+				t.Error("order and order_cust_idx diverged")
+			}
+		})
+	}
+}
+
+func TestCustomerNameLookup(t *testing.T) {
+	db := openERMIA(t, false)
+	d := loadDriver(t, db, 1)
+	// Every loaded customer must be findable via the name index.
+	txn := db.Begin(0)
+	defer txn.Abort()
+	checked := 0
+	err := txn.Scan(d.customer, CustomerKey(1, 1, 0), CustomerKey(1, 2, 0), func(k, v []byte) bool {
+		kd := codec.DecodeKey(k)
+		kd.Uint32()
+		kd.Uint32()
+		cid := int(kd.Uint32())
+		cu := DecodeCustomer(v)
+		lo, hi := CustNamePrefix(1, 1, cu.Last)
+		found := false
+		txn.Scan(d.custName, lo, hi, func(nk, nv []byte) bool {
+			if int(decodeUint32Val(nv)) == cid {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("customer %d (%s) missing from name index", cid, cu.Last)
+			return false
+		}
+		checked++
+		return checked < 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no customers checked")
+	}
+}
+
+func BenchmarkNewOrderERMIA(b *testing.B) {
+	db := openERMIA(b, false)
+	d := NewDriver(db, testConfig(1))
+	if err := d.Load(); err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(NewOrder, 0, rng)
+	}
+}
+
+func BenchmarkNewOrderSilo(b *testing.B) {
+	db, err := silo.Open(silo.Config{Snapshots: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	d := NewDriver(db, testConfig(1))
+	if err := d.Load(); err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(NewOrder, 0, rng)
+	}
+}

@@ -1,0 +1,239 @@
+package tpce
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ermia/internal/codec"
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+// Config sizes the TPC-E database and workload. The paper runs 5000
+// customers; tests run smaller.
+type Config struct {
+	Customers int
+	// AccountsPerCustomer defaults to 5 (spec: 1..10, avg 5).
+	AccountsPerCustomer int
+	// Securities defaults to Customers (spec: 685 per 1000 customers).
+	Securities int
+	// Brokers defaults to Customers/100 (spec: 1 per 100 customers).
+	Brokers int
+	// InitialTradesPerAccount seeds the trade and holding tables.
+	InitialTradesPerAccount int
+	// WatchItemsPerCustomer sizes watch lists.
+	WatchItemsPerCustomer int
+	// AssetEvalSizePct is the percentage (1..100) of the CustomerAccount
+	// table one AssetEval execution scans — the paper's footprint knob.
+	AssetEvalSizePct int
+}
+
+func (c *Config) setDefaults() {
+	if c.Customers == 0 {
+		c.Customers = 1000
+	}
+	if c.AccountsPerCustomer == 0 {
+		c.AccountsPerCustomer = 5
+	}
+	if c.Securities == 0 {
+		c.Securities = c.Customers * 685 / 1000
+		if c.Securities < 10 {
+			c.Securities = 10
+		}
+	}
+	if c.Brokers == 0 {
+		c.Brokers = c.Customers / 100
+		if c.Brokers < 1 {
+			c.Brokers = 1
+		}
+	}
+	if c.InitialTradesPerAccount == 0 {
+		c.InitialTradesPerAccount = 4
+	}
+	if c.WatchItemsPerCustomer == 0 {
+		c.WatchItemsPerCustomer = 10
+	}
+	if c.AssetEvalSizePct == 0 {
+		c.AssetEvalSizePct = 10
+	}
+}
+
+// Accounts returns the CUSTOMER_ACCOUNT cardinality.
+func (c *Config) Accounts() int { return c.Customers * c.AccountsPerCustomer }
+
+// TxnKind identifies one TPC-E(-hybrid) transaction type.
+type TxnKind int
+
+// Transaction kinds, in the paper's revised mix order.
+const (
+	BrokerVolume TxnKind = iota
+	CustomerPosition
+	MarketFeed
+	MarketWatch
+	SecurityDetail
+	TradeLookup
+	TradeOrder
+	TradeResult
+	TradeStatus
+	TradeUpdate
+	AssetEval
+	numKinds
+)
+
+// NumKinds is the number of transaction kinds.
+const NumKinds = int(numKinds)
+
+func (k TxnKind) String() string {
+	names := [...]string{"BrokerVolume", "CustomerPosition", "MarketFeed",
+		"MarketWatch", "SecurityDetail", "TradeLookup", "TradeOrder",
+		"TradeResult", "TradeStatus", "TradeUpdate", "AssetEval"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("TxnKind(%d)", int(k))
+}
+
+// ReadOnly reports whether the kind performs no writes.
+func (k TxnKind) ReadOnly() bool {
+	switch k {
+	case BrokerVolume, CustomerPosition, MarketWatch, SecurityDetail,
+		TradeLookup, TradeStatus:
+		return true
+	}
+	return false
+}
+
+// MixEntry pairs a kind with a per-mille weight.
+type MixEntry struct {
+	Kind   TxnKind
+	Weight int // per mille
+}
+
+// HybridMix is the paper's revised TPC-E mix (§4.2): BrokerVolume 4.9%,
+// CustomerPosition 8%, MarketFeed 1%, MarketWatch 13%, SecurityDetail 14%,
+// TradeLookup 8%, TradeOrder 10.1%, TradeResult 10%, TradeStatus 9%,
+// TradeUpdate 2%, AssetEval 20%.
+var HybridMix = []MixEntry{
+	{BrokerVolume, 49}, {CustomerPosition, 80}, {MarketFeed, 10},
+	{MarketWatch, 130}, {SecurityDetail, 140}, {TradeLookup, 80},
+	{TradeOrder, 101}, {TradeResult, 100}, {TradeStatus, 90},
+	{TradeUpdate, 20}, {AssetEval, 200},
+}
+
+// StandardMix is the mix without AssetEval, reweighted to the same relative
+// proportions (the plain TPC-E runs of Figure 7).
+var StandardMix = []MixEntry{
+	{BrokerVolume, 61}, {CustomerPosition, 100}, {MarketFeed, 13},
+	{MarketWatch, 163}, {SecurityDetail, 175}, {TradeLookup, 100},
+	{TradeOrder, 126}, {TradeResult, 125}, {TradeStatus, 112},
+	{TradeUpdate, 25},
+}
+
+// Pick selects a kind from the mix.
+func Pick(mix []MixEntry, rng *xrand.Rand) TxnKind {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		n -= m.Weight
+		if n < 0 {
+			return m.Kind
+		}
+	}
+	return mix[0].Kind
+}
+
+// Driver executes TPC-E transactions against one engine instance.
+type Driver struct {
+	cfg Config
+	db  engine.DB
+
+	customer, account, broker, security, company engine.Table
+	lastTrade, trade, tradeByAcct, tradeHistory  engine.Table
+	holdingSum, holding, watchItem, assetHistory engine.Table
+
+	nextTrade atomic.Uint64 // trade id allocator, seeded by the loader
+	assetSeq  [256]paddedCounter
+}
+
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// driverInstances salts per-driver sequence counters so several drivers
+// bound to the same database never collide on generated keys.
+var driverInstances atomic.Uint64
+
+// NewDriver binds a driver to the engine's TPC-E tables. Binding to an
+// already-populated database resumes the trade-id allocator past the
+// existing trades.
+func NewDriver(db engine.DB, cfg Config) *Driver {
+	cfg.setDefaults()
+	d := &Driver{
+		cfg:          cfg,
+		db:           db,
+		customer:     db.CreateTable(TableCustomer),
+		account:      db.CreateTable(TableAccount),
+		broker:       db.CreateTable(TableBroker),
+		security:     db.CreateTable(TableSecurity),
+		company:      db.CreateTable(TableCompany),
+		lastTrade:    db.CreateTable(TableLastTrade),
+		trade:        db.CreateTable(TableTrade),
+		tradeByAcct:  db.CreateTable(TableTradeByAcct),
+		tradeHistory: db.CreateTable(TableTradeHistory),
+		holdingSum:   db.CreateTable(TableHoldingSum),
+		holding:      db.CreateTable(TableHolding),
+		watchItem:    db.CreateTable(TableWatchItem),
+		assetHistory: db.CreateTable(TableAssetHistory),
+	}
+	base := driverInstances.Add(1) << 40
+	for i := range d.assetSeq {
+		d.assetSeq[i].n.Store(base)
+	}
+	// Resume trade ids past whatever the table already holds.
+	txn := db.Begin(0)
+	var maxTrade uint64
+	txn.Scan(d.trade, nil, nil, func(k, v []byte) bool {
+		maxTrade = codec.DecodeKey(k).Uint64()
+		return true
+	})
+	txn.Abort()
+	d.nextTrade.Store(maxTrade)
+	return d
+}
+
+// Config returns the effective configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Run executes one transaction of the given kind.
+func (d *Driver) Run(kind TxnKind, worker int, rng *xrand.Rand) error {
+	switch kind {
+	case BrokerVolume:
+		return d.runBrokerVolume(worker, rng)
+	case CustomerPosition:
+		return d.runCustomerPosition(worker, rng)
+	case MarketFeed:
+		return d.runMarketFeed(worker, rng)
+	case MarketWatch:
+		return d.runMarketWatch(worker, rng)
+	case SecurityDetail:
+		return d.runSecurityDetail(worker, rng)
+	case TradeLookup:
+		return d.runTradeLookup(worker, rng)
+	case TradeOrder:
+		return d.runTradeOrder(worker, rng)
+	case TradeResult:
+		return d.runTradeResult(worker, rng)
+	case TradeStatus:
+		return d.runTradeStatus(worker, rng)
+	case TradeUpdate:
+		return d.runTradeUpdate(worker, rng)
+	case AssetEval:
+		return d.runAssetEval(worker, rng)
+	default:
+		return fmt.Errorf("tpce: unknown txn kind %d", kind)
+	}
+}

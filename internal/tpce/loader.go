@@ -1,0 +1,142 @@
+package tpce
+
+import (
+	"fmt"
+
+	"ermia/internal/codec"
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+// Load populates the brokerage database: customers and their accounts,
+// brokers, companies and securities with market prices, watch lists, and an
+// initial set of completed trades with matching holdings.
+func (d *Driver) Load() error {
+	rng := xrand.New(0xE7)
+	enc := codec.NewTuple(128)
+	b := &loadBatcher{db: d.db, size: 500}
+
+	cfg := d.cfg
+	for br := 0; br < cfg.Brokers; br++ {
+		row := Broker{Name: fmt.Sprintf("Broker#%05d", br)}
+		if err := b.insert(d.broker, BrokerKey(uint64(br)), row.Encode(enc)); err != nil {
+			return err
+		}
+	}
+	for co := 0; co < cfg.Securities; co++ {
+		row := Company{Name: fmt.Sprintf("Company#%06d", co), Industry: rng.AString(8, 16)}
+		if err := b.insert(d.company, CompanyKey(uint64(co)), row.Encode(enc)); err != nil {
+			return err
+		}
+	}
+	for s := 0; s < cfg.Securities; s++ {
+		sec := Security{Symbol: fmt.Sprintf("SYM%06d", s), CompanyID: uint64(s), Issue: "COMMON"}
+		if err := b.insert(d.security, SecurityKey(uint64(s)), sec.Encode(enc)); err != nil {
+			return err
+		}
+		lt := LastTrade{Price: float64(rng.Range(1000, 100000)) / 100, Volume: 0, DTS: 1}
+		if err := b.insert(d.lastTrade, LastTradeKey(uint64(s)), lt.Encode(enc)); err != nil {
+			return err
+		}
+	}
+
+	for c := 0; c < cfg.Customers; c++ {
+		cu := Customer{Name: fmt.Sprintf("Customer#%08d", c), Tier: uint64(rng.Range(1, 3))}
+		if err := b.insert(d.customer, CustomerKey(uint64(c)), cu.Encode(enc)); err != nil {
+			return err
+		}
+		for wi := 0; wi < cfg.WatchItemsPerCustomer; wi++ {
+			val := enc.Reset().Uint64(uint64(rng.Intn(cfg.Securities))).Clone()
+			if err := b.insert(d.watchItem, WatchItemKey(uint64(c), uint64(wi)), val); err != nil {
+				return err
+			}
+		}
+		for a := 0; a < cfg.AccountsPerCustomer; a++ {
+			ca := uint64(c*cfg.AccountsPerCustomer + a)
+			acct := Account{
+				CustomerID: uint64(c),
+				BrokerID:   uint64(rng.Intn(cfg.Brokers)),
+				Balance:    float64(rng.Range(10000, 10000000)) / 100,
+				Name:       rng.AString(10, 20),
+			}
+			if err := b.insert(d.account, AccountKey(ca), acct.Encode(enc)); err != nil {
+				return err
+			}
+			if err := d.loadTrades(b, ca, rng, enc); err != nil {
+				return err
+			}
+		}
+	}
+	return b.flush()
+}
+
+// loadTrades seeds completed trades and the holdings they produced.
+func (d *Driver) loadTrades(b *loadBatcher, ca uint64, rng *xrand.Rand, enc *codec.TupleEncoder) error {
+	holdings := map[uint64]int64{}
+	for i := 0; i < d.cfg.InitialTradesPerAccount; i++ {
+		tid := d.nextTrade.Add(1)
+		sec := uint64(rng.Intn(d.cfg.Securities))
+		qty := uint64(rng.Range(100, 800))
+		tr := Trade{
+			AccountID: ca, SecurityID: sec, Buy: true, Quantity: qty,
+			Price: float64(rng.Range(1000, 100000)) / 100, Status: TradeCompleted, DTS: 1,
+		}
+		if err := b.insert(d.trade, TradeKey(tid), tr.Encode(enc)); err != nil {
+			return err
+		}
+		if err := b.insert(d.tradeByAcct, TradeByAcctKey(ca, tid),
+			enc.Reset().Uint64(tid).Clone()); err != nil {
+			return err
+		}
+		hist := enc.Reset().Uint64(TradeCompleted).Uint64(1).Clone()
+		if err := b.insert(d.tradeHistory, TradeHistoryKey(tid, 0), hist); err != nil {
+			return err
+		}
+		hold := enc.Reset().Uint64(qty).Float(tr.Price).Uint64(1).Clone()
+		if err := b.insert(d.holding, HoldingKey(ca, sec, tid), hold); err != nil {
+			return err
+		}
+		holdings[sec] += int64(qty)
+	}
+	for sec, qty := range holdings {
+		hs := HoldingSummary{Quantity: qty}
+		if err := b.insert(d.holdingSum, HoldingSumKey(ca, sec), hs.Encode(enc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type loadBatcher struct {
+	db      engine.DB
+	txn     engine.Txn
+	n, size int
+}
+
+func (b *loadBatcher) insert(t engine.Table, key, val []byte) error {
+	if b.txn == nil {
+		b.txn = b.db.Begin(0)
+	}
+	if err := b.txn.Insert(t, key, val); err != nil {
+		b.txn.Abort()
+		b.txn = nil
+		return err
+	}
+	b.n++
+	if b.n >= b.size {
+		err := b.txn.Commit()
+		b.txn = nil
+		b.n = 0
+		return err
+	}
+	return nil
+}
+
+func (b *loadBatcher) flush() error {
+	if b.txn == nil {
+		return nil
+	}
+	err := b.txn.Commit()
+	b.txn = nil
+	return err
+}

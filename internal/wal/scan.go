@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SegmentMeta describes a segment file discovered during recovery. The
+// segment table can be reconstructed from file names alone, even if the
+// current system's segment size differs from that of the existing segments.
+type SegmentMeta struct {
+	Num   int
+	Start uint64
+	End   uint64
+	Name  string
+}
+
+// Block is a decoded log block yielded during a scan.
+type Block struct {
+	LSN     LSN
+	Type    uint8
+	Prev    uint64 // previous overflow block offset, or 0
+	Payload []byte // aliases the scan buffer; copy to retain
+}
+
+// RecoverResult summarizes a completed scan: pass it to Open to resume the
+// log, and use NextOffset as the recovery horizon.
+type RecoverResult struct {
+	// Segments are the live segments in start-offset order (at most one per
+	// modulo number; recycled generations are dropped).
+	Segments []SegmentMeta
+	// NextOffset is the offset just past the last valid block: the log is
+	// truncated at the first hole without losing committed work.
+	NextOffset uint64
+}
+
+// Recover scans every log segment in st in offset order, invoking fn for
+// each commit, overflow, and checkpoint block. Skip records are consumed
+// silently. The scan stops at the first hole (torn or missing block), which
+// by construction of the flusher can only be at the tail.
+func Recover(st Storage, fn func(Block) error) (*RecoverResult, error) {
+	names, err := st.List()
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var metas []SegmentMeta
+	for _, n := range names {
+		num, start, end, ok := parseSegmentName(n)
+		if !ok {
+			continue // not a segment file (e.g. checkpoint blob)
+		}
+		metas = append(metas, SegmentMeta{Num: num, Start: start, End: end, Name: n})
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Start < metas[j].Start })
+	// Keep only the latest generation per modulo number.
+	latest := map[int]int{}
+	for i, sm := range metas {
+		latest[sm.Num] = i
+	}
+	live := metas[:0]
+	for i, sm := range metas {
+		if latest[sm.Num] == i {
+			live = append(live, sm)
+		}
+	}
+
+	res := &RecoverResult{}
+	if len(live) == 0 {
+		res.NextOffset = Grain
+		return res, nil
+	}
+	res.Segments = live
+	res.NextOffset = live[0].Start
+
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for _, sm := range live {
+		f, err := st.Open(sm.Name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment %s: %w", sm.Name, err)
+		}
+		off := sm.Start
+		closed := false
+		for off < sm.End {
+			if _, err := f.ReadAt(hdr, int64(off-sm.Start)); err != nil {
+				if err == io.EOF {
+					break // tail of flushed data
+				}
+				return nil, fmt.Errorf("wal: read segment %s: %w", sm.Name, err)
+			}
+			if binary.LittleEndian.Uint16(hdr[0:]) != headerMagic {
+				break // hole: unwritten space
+			}
+			typ := hdr[2]
+			size := uint64(binary.LittleEndian.Uint32(hdr[4:]))
+			blockOff := binary.LittleEndian.Uint64(hdr[8:])
+			prev := binary.LittleEndian.Uint64(hdr[16:])
+			plen := binary.LittleEndian.Uint32(hdr[24:])
+			sum := binary.LittleEndian.Uint32(hdr[28:])
+			if blockOff != off || size == 0 || size%Grain != 0 || off+size > sm.End ||
+				uint64(plen) > size-headerSize {
+				break // torn block
+			}
+			if typ == BlockSkip {
+				if off+size == sm.End {
+					closed = true // segment-closing skip record
+				}
+				off += size
+				res.NextOffset = off
+				continue
+			}
+			n := int(plen)
+			if cap(payload) < n {
+				payload = make([]byte, n)
+			}
+			p := payload[:n]
+			if n > 0 {
+				if _, err := f.ReadAt(p, int64(off-sm.Start+headerSize)); err != nil && err != io.EOF {
+					return nil, fmt.Errorf("wal: read payload %s: %w", sm.Name, err)
+				}
+			}
+			if fnvAdd(fnvInit, p) != sum {
+				break // torn payload at the tail
+			}
+			if fn != nil {
+				if err := fn(Block{LSN: MakeLSN(off, sm.Num), Type: typ, Prev: prev, Payload: p}); err != nil {
+					return nil, err
+				}
+			}
+			off += size
+			res.NextOffset = off
+		}
+		f.Close()
+		if off == sm.End {
+			closed = true // segment filled exactly, no closing skip needed
+		}
+		if !closed {
+			// This segment never closed: it is the tail; later segments (if
+			// any) hold no committed work past this hole.
+			break
+		}
+	}
+	return res, nil
+}
+
+// ReadBlock fetches a single block by LSN from storage, used to follow
+// overflow chains during recovery.
+func ReadBlock(st Storage, metas []SegmentMeta, l LSN) (Block, error) {
+	off := l.Offset()
+	for _, sm := range metas {
+		if off < sm.Start || off >= sm.End {
+			continue
+		}
+		f, err := st.Open(sm.Name)
+		if err != nil {
+			return Block{}, err
+		}
+		defer f.Close()
+		hdr := make([]byte, headerSize)
+		if _, err := f.ReadAt(hdr, int64(off-sm.Start)); err != nil {
+			return Block{}, err
+		}
+		if binary.LittleEndian.Uint16(hdr[0:]) != headerMagic {
+			return Block{}, fmt.Errorf("wal: no block at %v", l)
+		}
+		plen := binary.LittleEndian.Uint32(hdr[24:])
+		payload := make([]byte, plen)
+		if plen > 0 {
+			if _, err := f.ReadAt(payload, int64(off-sm.Start+headerSize)); err != nil && err != io.EOF {
+				return Block{}, err
+			}
+		}
+		return Block{
+			LSN:     l,
+			Type:    hdr[2],
+			Prev:    binary.LittleEndian.Uint64(hdr[16:]),
+			Payload: payload,
+		}, nil
+	}
+	return Block{}, fmt.Errorf("wal: LSN %v maps to no segment", l)
+}

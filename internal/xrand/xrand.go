@@ -1,0 +1,183 @@
+// Package xrand provides fast, allocation-free pseudo-random generators for
+// benchmark workers, plus the TPC-C NURand distribution and an 80-20 skew
+// helper used by the evaluation workloads.
+//
+// Each worker owns its own *Rand so the hot path never synchronizes.
+package xrand
+
+// Rand is a splitmix64/xorshift-style generator. It is not safe for
+// concurrent use; give each goroutine its own instance.
+type Rand struct {
+	state uint64
+	// c constants for NURand per TPC-C clause 2.1.6; fixed at load time so
+	// the run uses the same C values the loader used.
+	cLast, cID, orderlineID uint64
+}
+
+// New returns a generator seeded from seed (zero is remapped).
+func New(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r := &Rand{state: seed}
+	r.cLast, r.cID, r.orderlineID = nurandConstants()
+	return r
+}
+
+// New2 returns a generator seeded from two words, useful for (workerID,
+// seed). Both words pass through the splitmix64 finalizer before combining:
+// a linear combination would make streams whose seeds differ by the golden
+// ratio increment exact shifted copies of each other, putting benchmark
+// workers in lockstep on the same keys.
+func New2(a, b uint64) *Rand {
+	seed := mix64(a+0x9E3779B97F4A7C15) ^ mix64(b+0xD1B54A32D192ED03)
+	r := &Rand{state: seed}
+	r.cLast, r.cID, r.orderlineID = nurandConstants()
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// mix64 is the splitmix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// nurandConstants derives the NURand C values from a fixed stream so every
+// generator (and the loader) targets the same hot keys.
+func nurandConstants() (cLast, cID, orderline uint64) {
+	c := &Rand{state: mix64(0xC0FFEE)}
+	return c.Uint64n(256), c.Uint64n(1024), c.Uint64n(8192)
+}
+
+// Uint64 returns the next 64 random bits (splitmix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	// Lemire's multiply-shift rejection-free approximation is fine for
+	// benchmark workloads; modulo bias at these ranges is negligible, but we
+	// use 128-bit multiply reduction anyway for uniformity.
+	hi, _ := mul64(r.Uint64(), n)
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int { return int(r.Uint64n(uint64(n))) }
+
+// Range returns a uniform value in [lo, hi], inclusive, per TPC-C's
+// random(x..y) convention.
+func (r *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// NURand implements TPC-C's non-uniform random distribution
+// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y-x+1)) + x.
+func (r *Rand) NURand(a, x, y int) int {
+	var c uint64
+	switch a {
+	case 255:
+		c = r.cLast
+	case 1023:
+		c = r.cID
+	default:
+		c = r.orderlineID
+	}
+	return ((r.Range(0, a)|r.Range(x, y))+int(c))%(y-x+1) + x
+}
+
+// Skew8020 returns a value in [0, n): with 80% probability from the first
+// 20% of the range, otherwise uniform over the remainder. The paper's
+// Figure 8 "80-20 access skew" uses this to pick target partitions.
+func (r *Rand) Skew8020(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	hot := n / 5
+	if hot == 0 {
+		hot = 1
+	}
+	if r.Bool(0.8) {
+		return r.Intn(hot)
+	}
+	if n == hot {
+		return r.Intn(n)
+	}
+	return hot + r.Intn(n-hot)
+}
+
+// Perm fills out with a random permutation of [0, len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// AString returns a random alphanumeric string of length in [lo, hi],
+// per TPC-C's a-string.
+func (r *Rand) AString(lo, hi int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := r.Range(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// NString returns a random numeric string of length in [lo, hi],
+// per TPC-C's n-string.
+func (r *Rand) NString(lo, hi int) string {
+	n := r.Range(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + r.Intn(10))
+	}
+	return string(b)
+}
+
+// LastName returns the TPC-C customer last name for num in [0, 999].
+func LastName(num int) string {
+	syllables := []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+	return syllables[num/100] + syllables[(num/10)%10] + syllables[num%10]
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	w0 := t & mask
+	k := t >> 32
+	t = aHi*bLo + k
+	w1 := t & mask
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + (t >> 32)
+	lo = (t << 32) + w0
+	return hi, lo
+}
