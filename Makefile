@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test check race vet fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/
+
+# The full local gate: vet + build + test + short race pass.
+check:
+	./scripts/check.sh
+
+# Run each fuzz target briefly beyond its seed corpus.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/codec/ -run=^$$ -fuzz=FuzzDecodeKey -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/codec/ -run=^$$ -fuzz=FuzzDecodeTuple -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=$(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -4,24 +4,31 @@ import (
 	"fmt"
 	"testing"
 
+	"ermia/internal/faultfs"
 	"ermia/internal/wal"
 	"ermia/internal/xrand"
 )
 
-// TestCrashRecoveryPrefixConsistency is a crash-point property test: run a
-// randomized single-stream workload, crash at an arbitrary moment (dropping
-// everything not yet synced), recover, and require the recovered state to
-// equal EXACTLY the state after some prefix of the committed transactions.
-// This is the §3.7 guarantee — "the log can be truncated at the first hole
-// without losing any committed work" — plus atomicity: no transaction may
-// be half-recovered.
+// TestCrashRecoveryPrefixConsistency is a randomized crash property test
+// built on the faultfs harness: run a randomized single-stream workload with
+// the normal background flusher, record the storage trace, then crash at
+// several seeded trace points (including seeded torn writes) and require the
+// recovered state to equal EXACTLY the state after some prefix of the
+// committed transactions. This is the §3.7 guarantee — "the log can be
+// truncated at the first hole without losing any committed work" — plus
+// atomicity: no transaction may be half-recovered.
+//
+// Unlike TestCrashPointSweep (which sweeps every boundary of a deterministic
+// SyncFlush trace), this test runs the concurrent flusher, so the trace
+// varies run to run; each point is still checked against the trace actually
+// recorded.
 func TestCrashRecoveryPrefixConsistency(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		trial := trial
 		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
 			rng := xrand.New2(uint64(trial), 0xC4A5)
-			st := wal.NewMemStorage()
-			cfg := Config{WAL: wal.Config{SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: st}}
+			rec := faultfs.NewRecorder(wal.NewMemStorage())
+			cfg := Config{WAL: wal.Config{SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: rec}}
 			db, err := Open(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -31,9 +38,10 @@ func TestCrashRecoveryPrefixConsistency(t *testing.T) {
 			// states[i] is the expected contents after i committed txns.
 			model := map[string]string{}
 			states := []map[string]string{copyMap(model)}
+			var acks []ackPoint
 
 			nTxns := 50 + rng.Intn(150)
-			crashAfter := rng.Intn(nTxns) // sync point somewhere inside
+			syncEvery := 10 + rng.Intn(30)
 			for i := 0; i < nTxns; i++ {
 				txn := db.BeginTxn(0)
 				staged := copyMap(model)
@@ -75,47 +83,77 @@ func TestCrashRecoveryPrefixConsistency(t *testing.T) {
 					model = staged
 					states = append(states, copyMap(model))
 				}
-				if i == crashAfter {
+				if i%syncEvery == syncEvery-1 {
 					if err := db.WaitDurable(); err != nil {
 						t.Fatal(err)
 					}
+					acks = append(acks, ackPoint{len(rec.Ops()), len(states) - 1})
 				}
 			}
-			durableStates := len(states) // lower bound known only at sync point
-
-			crashed := st.Crash()
+			if err := db.WaitDurable(); err != nil {
+				t.Fatal(err)
+			}
+			acks = append(acks, ackPoint{len(rec.Ops()), len(states) - 1})
 			db.Close()
+			tr := rec.Ops()
 
-			db2, err := Recover(Config{WAL: wal.Config{
-				SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: crashed}})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer db2.Close()
-
-			got := map[string]string{}
-			txn := db2.BeginTxn(0)
-			if err := txn.Scan(db2.OpenTable("t"), nil, nil, func(k, v []byte) bool {
-				got[string(k)] = string(v)
-				return true
-			}); err != nil {
-				t.Fatal(err)
-			}
-			txn.Abort()
-
-			// The recovered state must match one of the committed prefixes.
-			match := -1
-			for i, s := range states {
-				if mapsEqual(got, s) {
-					match = i
-					break
+			// Crash at several seeded points of the recorded trace: the full
+			// trace, and a handful of interior and torn points.
+			points := []faultfs.Point{{Index: len(tr)}}
+			prng := xrand.New2(uint64(trial), 0xFA11)
+			for n := 0; n < 5; n++ {
+				k := int(prng.Uint64n(uint64(len(tr)) + 1))
+				p := faultfs.Point{Index: k}
+				if k < len(tr) && tr[k].Kind == faultfs.OpWrite && len(tr[k].Data) > 0 && n%2 == 1 {
+					p.Torn = true
+					p.TornLen = faultfs.TornLen(uint64(trial), k, len(tr[k].Data))
 				}
+				points = append(points, p)
 			}
-			if match < 0 {
-				t.Fatalf("recovered state matches no committed prefix:\ngot: %v\nfinal: %v", got, model)
+
+			for _, p := range points {
+				img, err := faultfs.CrashImage(tr, p)
+				if err != nil {
+					t.Fatalf("trial %d, %v: %v", trial, p, err)
+				}
+				db2, err := Recover(Config{WAL: wal.Config{
+					SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: img}})
+				if err != nil {
+					t.Fatalf("trial %d, %v: recovery: %v", trial, p, err)
+				}
+
+				got := map[string]string{}
+				if tbl2 := db2.OpenTable("t"); tbl2 != nil {
+					txn := db2.BeginTxn(0)
+					if err := txn.Scan(tbl2, nil, nil, func(k, v []byte) bool {
+						got[string(k)] = string(v)
+						return true
+					}); err != nil {
+						t.Fatal(err)
+					}
+					txn.Abort()
+				}
+				db2.Close()
+
+				// The recovered state must match a committed prefix at or
+				// past the acknowledged-durable floor.
+				match := -1
+				for i := len(states) - 1; i >= 0; i-- {
+					if mapsEqual(got, states[i]) {
+						match = i
+						break
+					}
+				}
+				if match < 0 {
+					t.Fatalf("trial %d, %v: recovered state matches no committed prefix:\ngot: %v\nfinal: %v",
+						trial, p, got, model)
+				}
+				if floor := ackFloor(acks, p.Index); match < floor {
+					t.Fatalf("trial %d, %v: recovered prefix %d < acked floor %d", trial, p, match, floor)
+				}
+				t.Logf("trial %d: %v -> prefix %d/%d (floor %d)",
+					trial, p, match, len(states)-1, ackFloor(acks, p.Index))
 			}
-			t.Logf("trial %d: %d commits, recovered prefix %d/%d (durable bound %d)",
-				trial, len(states)-1, match, len(states)-1, durableStates-1)
 		})
 	}
 }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ermia/internal/faultfs"
+	"ermia/internal/wal"
+)
+
+// TestCloseAfterFlusherError: when the storage layer starts failing under a
+// running engine, Close must still return promptly (no goroutine waits on a
+// flush that can never succeed), surface the injected error, and stop the
+// background GC goroutine.
+func TestCloseAfterFlusherError(t *testing.T) {
+	inj := faultfs.NewInjector(wal.NewMemStorage(), faultfs.Plan{})
+	db, err := Open(Config{
+		WAL:        wal.Config{SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: inj},
+		GCInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "before", "failure")
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every storage operation from here on fails.
+	inj.SetFailOp(inj.OpCount() + 1)
+	put(t, db, tbl, "after", "failure")
+
+	// The flusher hits the error on its next write; WaitDurable must not
+	// hang waiting for durability that can never arrive.
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- db.WaitDurable() }()
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("WaitDurable after failure = %v, want ErrInjected", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitDurable hung on a dead flusher")
+	}
+
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- db.Close() }()
+	select {
+	case err := <-closeErr:
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("Close after flusher error = %v, want ErrInjected", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after flusher error")
+	}
+
+	// The GC goroutine must have exited with Close.
+	if db.gcDone != nil {
+		select {
+		case <-db.gcDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("GC goroutine still running after Close")
+		}
+	}
+
+	// Close is idempotent and keeps returning the same error.
+	if err := db.Close(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("second Close = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+// Same-transaction write coalescing (delete and reinsert of one key collapse
+// into a single write entry) must not change what reaches the log. Found by
+// driving the public API against a crash image: the coalesced entry logged
+// as a plain update, which recovers the value but silently drops the
+// reinsert's new secondary bindings.
+
+func reinsertConfig(st wal.Storage) Config {
+	return Config{WAL: wal.Config{SegmentSize: 16 << 10, BufferSize: 8 << 10, Storage: st}}
+}
+
+// TestReinsertNewSecondaryKeySurvivesRecovery: delete a record and reinsert
+// it under a different secondary key in one transaction (the sanctioned way
+// to change an indexed attribute), then crash and recover. The new binding
+// must resolve; recovery must not downgrade the reinsert to an update.
+func TestReinsertNewSecondaryKeySurvivesRecovery(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(reinsertConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	si := db.CreateSecondaryIndex(tbl, "t-by-sk")
+
+	txn := db.BeginTxn(0)
+	if err := txn.InsertWithSecondary(tbl, []byte("k"), []byte("v1"),
+		[]SecondaryEntry{{Index: si, Key: []byte("sk-old")}}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+
+	txn = db.BeginTxn(0)
+	if err := txn.Delete(tbl, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated insert in between, so the coalesced entry is not the last
+	// element of the write set.
+	if err := txn.Insert(tbl, []byte("other"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.InsertWithSecondary(tbl, []byte("k"), []byte("v2"),
+		[]SecondaryEntry{{Index: si, Key: []byte("sk-new")}}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Recover(reinsertConfig(st.Crash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	si2 := db2.OpenSecondaryIndex("t-by-sk")
+	if si2 == nil {
+		t.Fatal("secondary index not recovered")
+	}
+	txn2 := db2.BeginTxn(0)
+	defer txn2.Abort()
+	v, err := txn2.GetBySecondary(si2, []byte("sk-new"))
+	if err != nil {
+		t.Fatalf("new secondary key lost across recovery: %v", err)
+	}
+	if string(v) != "v2" {
+		t.Fatalf("sk-new -> %q, want v2", v)
+	}
+}
+
+// TestDeleteReinsertDeleteNetsToDelete: a delete / reinsert / delete chain
+// over a record that was live before the transaction must recover as
+// deleted — the coalesced insert-shaped entry cannot simply log nothing.
+func TestDeleteReinsertDeleteNetsToDelete(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(reinsertConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "k", "v1")
+
+	txn := db.BeginTxn(0)
+	if err := txn.Delete(tbl, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Insert(tbl, []byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete(tbl, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Recover(reinsertConfig(st.Crash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	txn2 := db2.BeginTxn(0)
+	defer txn2.Abort()
+	if _, err := txn2.Get(db2.OpenTable("t"), []byte("k")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("deleted record resurrected by recovery: err=%v", err)
+	}
+}
+
+// TestInsertDeleteNetsToNothing pins the existing behaviour the fix must
+// not disturb: a fresh insert deleted in the same transaction leaves no
+// record and no log-visible trace.
+func TestInsertDeleteNetsToNothing(t *testing.T) {
+	st := wal.NewMemStorage()
+	db, err := Open(reinsertConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+
+	txn := db.BeginTxn(0)
+	if err := txn.Insert(tbl, []byte("ghost"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete(tbl, []byte("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, txn)
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Recover(reinsertConfig(st.Crash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	txn2 := db2.BeginTxn(0)
+	defer txn2.Abort()
+	if _, err := txn2.Get(db2.OpenTable("t"), []byte("ghost")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("insert-then-delete left a trace: err=%v", err)
+	}
+}

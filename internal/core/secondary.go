@@ -137,8 +137,10 @@ func (t *Txn) InsertWithSecondary(tbl engine.Table, key, value []byte, secondary
 	if err := t.Insert(tbl, key, value); err != nil {
 		return err
 	}
-	// The insert's write entry carries the OID (fresh or reused).
-	w := &t.writes[len(t.writes)-1]
+	// The insert's write entry carries the OID (fresh or reused). lastWrite,
+	// not the final element: a re-insert of a key this transaction deleted
+	// coalesces into its existing write entry instead of appending.
+	w := &t.writes[t.lastWrite]
 	for _, se := range secondary {
 		is := t.clock()
 		existing, inserted, before, after := se.Index.idx.InsertH(se.Key, w.oid)

@@ -31,6 +31,11 @@ type Txn struct {
 	reads   []*mvcc.Version
 	rvReads []rvRead
 	writes  []writeEntry
+	// lastWrite indexes the write entry touched by the most recent mutating
+	// op. An insert does not always append: re-inserting a key this
+	// transaction already wrote coalesces into the existing entry in place,
+	// so "the last element of writes" is not a valid way to find it.
+	lastWrite int
 	nodeSet []index.Handle[mvcc.OID]
 	logBuf  []byte
 	opChain uint64 // offset of the newest overflow/per-op block, or 0
@@ -452,7 +457,7 @@ func (t *Txn) installOver(tab *Table, oid mvcc.OID, value []byte, tombstone, asI
 				if !tab.arr.CASHead(oid, head, newV) {
 					continue
 				}
-				t.replaceWrite(tab, oid, newV, tombstone)
+				t.replaceWrite(tab, oid, newV, tombstone, asInsert, insKey)
 				return t.perOpLog()
 			}
 			status, cstamp, ok := t.db.tids.Inquire(owner)
@@ -529,6 +534,7 @@ func (t *Txn) installOver(tab *Table, oid mvcc.OID, value []byte, tombstone, asI
 // recordWrite appends a write-set entry.
 func (t *Txn) recordWrite(w writeEntry) {
 	t.writes = append(t.writes, w)
+	t.lastWrite = len(t.writes) - 1
 }
 
 // replaceWrite swaps the write-set entry for (table, oid) after an in-place
@@ -536,18 +542,28 @@ func (t *Txn) recordWrite(w writeEntry) {
 // per-table, so the table must participate in the match: matching on OID
 // alone once clobbered a different table's entry, orphaning that record's
 // TID-stamped head and corrupting its log record.
-func (t *Txn) replaceWrite(tab *Table, oid mvcc.OID, newV *mvcc.Version, tombstone bool) {
+func (t *Txn) replaceWrite(tab *Table, oid mvcc.OID, newV *mvcc.Version, tombstone, asInsert bool, insKey []byte) {
 	for i := range t.writes {
 		w := &t.writes[i]
 		if w.tbl == tab && w.oid == oid {
 			w.newV = newV
-			if w.kind != recInsert {
+			switch {
+			case asInsert && !tombstone:
+				// Reinsert over our own tombstone. The entry must log as an
+				// insert: an update record carries neither the key nor the
+				// secondary bindings InsertWithSecondary is about to attach,
+				// so leaving it as recUpdate/recDelete would recover the
+				// value but silently drop the new secondary keys.
+				w.kind = recInsert
+				w.key = insKey
+			case w.kind != recInsert:
 				if tombstone {
 					w.kind = recDelete
 				} else {
 					w.kind = recUpdate
 				}
 			}
+			t.lastWrite = i
 			return
 		}
 	}
@@ -587,8 +603,13 @@ func (t *Txn) encodeWrite(buf []byte, w *writeEntry) []byte {
 	switch w.kind {
 	case recInsert:
 		if w.newV.Tombstone {
-			// The transaction inserted and then deleted the record: the
-			// net effect on recovered state is nothing.
+			// The transaction inserted and then deleted the record. If the
+			// entry began by overwriting a live committed version (a
+			// delete-reinsert-delete chain), the net effect is that delete;
+			// otherwise the net effect on recovered state is nothing.
+			if w.prev != nil && !w.prev.Tombstone {
+				return appendDelete(buf, w.tbl.id, uint64(w.oid))
+			}
 			return buf
 		}
 		if len(w.sec) > 0 {

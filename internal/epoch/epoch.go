@@ -70,8 +70,9 @@ type Manager struct {
 
 	pending atomic.Int64 // count of unreclaimed retired resources
 
-	stop chan struct{}
-	done chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // NewManager returns a manager whose epoch starts at 1. If interval > 0, a
@@ -107,13 +108,17 @@ func (m *Manager) run(interval time.Duration) {
 
 // Close stops the background advancer, if any, and reclaims everything that
 // is already safe. Resources retired by stragglers afterwards are the
-// caller's responsibility.
+// caller's responsibility. Close is idempotent and safe for concurrent use:
+// engine shutdown paths (including error-triggered ones, where both a
+// failing component and the outer Close race to tear down) may call it more
+// than once.
 func (m *Manager) Close() {
-	if m.stop != nil {
-		close(m.stop)
-		<-m.done
-		m.stop = nil
-	}
+	m.closeOnce.Do(func() {
+		if m.stop != nil {
+			close(m.stop)
+			<-m.done
+		}
+	})
 	m.Advance()
 	m.TryReclaim()
 }

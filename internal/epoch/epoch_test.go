@@ -247,6 +247,45 @@ func TestSafeMonotonic(t *testing.T) {
 	}
 }
 
+// TestCloseIdempotent: shutdown paths triggered by storage errors can reach
+// Close from more than one goroutine (the failing component and the outer
+// teardown); every call must return without panicking or hanging, and
+// resources retired before the first Close must be reclaimed.
+func TestCloseIdempotent(t *testing.T) {
+	m := NewManager(time.Millisecond)
+	s := m.Register()
+	s.Enter()
+	var freed atomic.Int32
+	m.Retire(func() { freed.Add(1) })
+	s.Exit()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Close()
+		}()
+	}
+	wg.Wait()
+	m.Close() // and again, sequentially
+	if !m.WaitQuiescent(1000) {
+		t.Fatal("manager not quiescent after Close")
+	}
+	if freed.Load() != 1 {
+		t.Fatalf("retired resource ran %d times, want 1", freed.Load())
+	}
+}
+
+// TestCloseWithoutAdvancer: a manager with no background goroutine (interval
+// 0) must also close cleanly, twice.
+func TestCloseWithoutAdvancer(t *testing.T) {
+	m := NewManager(0)
+	m.Retire(func() {})
+	m.Close()
+	m.Close()
+}
+
 func BenchmarkEnterExit(b *testing.B) {
 	m := NewManager(0)
 	s := m.Register()

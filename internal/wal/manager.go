@@ -24,6 +24,13 @@ type Config struct {
 	// IdleSleep is how long the flusher sleeps when it finds no completed
 	// log data. Defaults to 200µs.
 	IdleSleep time.Duration
+	// SyncFlush disables the background flusher: Flush and WaitDurable
+	// callers drive the write/sync pipeline themselves, in their own
+	// thread. This is the traditional synchronous-commit mode; it also
+	// makes the order of storage operations a pure function of the call
+	// sequence, which the crash-point sweep harness relies on for
+	// reproducibility.
+	SyncFlush bool
 }
 
 func (c *Config) setDefaults() {
@@ -87,11 +94,13 @@ type Manager struct {
 
 	durMu   sync.Mutex
 	durCond *sync.Cond
+	syncMu  sync.Mutex // serializes flushOnce in SyncFlush mode
 
 	err    atomic.Pointer[error]
 	closed atomic.Bool
 	stop   chan struct{}
 	done   chan struct{}
+	kick   chan struct{} // wakes the flusher before its idle sleep expires
 
 	// Stats counters, exposed for the evaluation's cycle accounting.
 	reservations atomic.Uint64
@@ -113,6 +122,7 @@ func Open(cfg Config, resume *RecoverResult) (*Manager, error) {
 		grains: cfg.BufferSize / Grain,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		kick:   make(chan struct{}, 1),
 	}
 	m.avail = make([]atomic.Uint32, m.grains)
 	m.durCond = sync.NewCond(&m.durMu)
@@ -153,7 +163,11 @@ func Open(cfg Config, resume *RecoverResult) (*Manager, error) {
 		m.durable.Store(resume.NextOffset)
 	}
 
-	go m.flusher()
+	if cfg.SyncFlush {
+		close(m.done) // no flusher goroutine; Close must not wait for one
+	} else {
+		go m.flusher()
+	}
 	return m, nil
 }
 
@@ -179,7 +193,21 @@ func (m *Manager) setErr(err error) {
 		return
 	}
 	m.err.CompareAndSwap(nil, &err)
+	// Broadcast under durMu: without the lock a WaitDurable caller that has
+	// already checked Err but not yet parked in durCond.Wait would miss this
+	// wakeup — and with the flusher dead, no later broadcast would come.
+	m.durMu.Lock()
 	m.durCond.Broadcast()
+	m.durMu.Unlock()
+}
+
+// kickFlusher wakes the flusher immediately instead of waiting out its idle
+// sleep. Non-blocking: a pending kick is enough.
+func (m *Manager) kickFlusher() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
 }
 
 // Validate classifies an LSN against the live segment table (Figure 4a).
@@ -364,6 +392,18 @@ func (m *Manager) waitBuffer(end uint64) error {
 		if m.closed.Load() {
 			return ErrClosed
 		}
+		if m.cfg.SyncFlush {
+			// No flusher to kick: make room ourselves.
+			m.syncMu.Lock()
+			_, err := m.flushOnce()
+			m.syncMu.Unlock()
+			if err != nil {
+				m.setErr(err)
+				return err
+			}
+			continue
+		}
+		m.kickFlusher() // full ring: flushing is the only way forward
 		if i%64 == 63 {
 			time.Sleep(10 * time.Microsecond)
 		} else {
@@ -445,6 +485,10 @@ func (r *Reservation) Abort() {
 
 // WaitDurable blocks until every block with offset below off is durable.
 func (m *Manager) WaitDurable(off uint64) error {
+	if m.cfg.SyncFlush {
+		return m.syncTo(off)
+	}
+	m.kickFlusher()
 	m.durMu.Lock()
 	defer m.durMu.Unlock()
 	for m.durable.Load() < off {
@@ -455,6 +499,32 @@ func (m *Manager) WaitDurable(off uint64) error {
 			return ErrClosed
 		}
 		m.durCond.Wait()
+	}
+	return nil
+}
+
+// syncTo drives the flush pipeline from the caller's thread until every
+// offset below off is durable (SyncFlush mode).
+func (m *Manager) syncTo(off uint64) error {
+	for m.durable.Load() < off {
+		if err := m.Err(); err != nil {
+			return err
+		}
+		if m.closed.Load() {
+			return ErrClosed
+		}
+		m.syncMu.Lock()
+		n, err := m.flushOnce()
+		m.syncMu.Unlock()
+		if err != nil {
+			m.setErr(err)
+			return err
+		}
+		if n == 0 && m.durable.Load() < off {
+			// Blocked on an unfinished reservation ahead of off; yield
+			// until its owner completes it.
+			runtime.Gosched()
+		}
 	}
 	return nil
 }
@@ -477,6 +547,7 @@ func (m *Manager) flusher() {
 					m.setErr(err)
 				}
 				return
+			case <-m.kick:
 			case <-time.After(m.cfg.IdleSleep):
 			}
 		}
@@ -604,7 +675,24 @@ func (m *Manager) Close() error {
 	}
 	close(m.stop)
 	<-m.done
+	if m.cfg.SyncFlush {
+		// Final drain happens here rather than in a flusher goroutine.
+		for {
+			m.syncMu.Lock()
+			n, err := m.flushOnce()
+			m.syncMu.Unlock()
+			if err != nil {
+				m.setErr(err)
+				break
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+	m.durMu.Lock()
 	m.durCond.Broadcast()
+	m.durMu.Unlock()
 	return m.Err()
 }
 

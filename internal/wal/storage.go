@@ -50,10 +50,14 @@ func NewMemStorage() *MemStorage {
 }
 
 type memFile struct {
-	mu     sync.Mutex
-	data   []byte
-	synced int // bytes guaranteed durable
+	mu      sync.Mutex
+	data    []byte // volatile contents, what ReadAt observes
+	durable []byte // last-synced image, what survives Crash
+	dirty   []span // byte ranges written since the last Sync
 }
+
+// span is a half-open dirty byte range [off, end).
+type span struct{ off, end int }
 
 // Create implements Storage.
 func (s *MemStorage) Create(name string) (File, error) {
@@ -95,17 +99,19 @@ func (s *MemStorage) Remove(name string) error {
 	return nil
 }
 
-// Crash returns a new storage holding only the durable (synced) prefix of
-// every file, simulating a machine crash for recovery tests.
+// Crash returns a new storage holding only the durable (synced) bytes of
+// every file, simulating a machine crash for recovery tests. Writes issued
+// after the last Sync — including overwrites of previously synced regions —
+// are lost: the new storage reflects the file exactly as of its last Sync.
 func (s *MemStorage) Crash() *MemStorage {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := NewMemStorage()
 	for name, f := range s.files {
 		f.mu.Lock()
-		nf := &memFile{data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+		img := append([]byte(nil), f.durable...)
 		f.mu.Unlock()
-		out.files[name] = nf
+		out.files[name] = &memFile{data: img, durable: append([]byte(nil), img...)}
 	}
 	return out
 }
@@ -130,7 +136,26 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 		}
 	}
 	copy(f.data[off:], p)
+	f.markDirty(int(off), end)
 	return len(p), nil
+}
+
+// markDirty records [off, end) as written-but-unsynced, coalescing with the
+// previous range when the write extends it (the flusher's sequential-append
+// pattern), so the dirty list stays short.
+func (f *memFile) markDirty(off, end int) {
+	if n := len(f.dirty); n > 0 {
+		if last := &f.dirty[n-1]; off <= last.end && end >= last.off {
+			if off < last.off {
+				last.off = off
+			}
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+	}
+	f.dirty = append(f.dirty, span{off, end})
 }
 
 func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
@@ -155,7 +180,19 @@ func (f *memFile) Size() (int64, error) {
 func (f *memFile) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.synced = len(f.data)
+	for _, s := range f.dirty {
+		if s.end > len(f.durable) {
+			if s.end <= cap(f.durable) {
+				f.durable = f.durable[:s.end]
+			} else {
+				grown := make([]byte, s.end, cap(f.data))
+				copy(grown, f.durable)
+				f.durable = grown
+			}
+		}
+		copy(f.durable[s.off:s.end], f.data[s.off:s.end])
+	}
+	f.dirty = f.dirty[:0]
 	return nil
 }
 

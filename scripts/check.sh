@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, build, tests, and a short race pass
+# over the packages with real concurrency (log manager, engine core, epoch
+# manager). CI and pre-commit hooks should run exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (core, wal, epoch; -short) =="
+go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/
+
+echo "ok: all checks passed"
