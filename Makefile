@@ -24,6 +24,9 @@ fuzz:
 	$(GO) test ./internal/codec/ -run=^$$ -fuzz=FuzzDecodeKey -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/codec/ -run=^$$ -fuzz=FuzzDecodeTuple -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/silo/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

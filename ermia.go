@@ -20,6 +20,7 @@
 package ermia
 
 import (
+	"context"
 	"time"
 
 	"ermia/internal/core"
@@ -52,6 +53,10 @@ type Engine = engine.DB
 // Storage abstracts the log medium (heap or directory).
 type Storage = wal.Storage
 
+// File is one random-access file within a Storage; needed to implement a
+// custom Storage (e.g. a fault-injecting wrapper) outside this module.
+type File = wal.File
+
 // NewMemStorage returns a heap-backed Storage, useful for tests and for
 // crash-recovery experiments (it can snapshot its durable state).
 func NewMemStorage() *wal.MemStorage { return wal.NewMemStorage() }
@@ -70,16 +75,63 @@ type SecondaryEntry = core.SecondaryEntry
 
 // Re-exported error taxonomy. Conflicts (write-write, read validation,
 // serialization, phantom) are retryable; use IsRetryable or WithRetry.
+// ErrReadOnlyDegraded is an availability error — see Health and Reattach.
 var (
-	ErrNotFound      = engine.ErrNotFound
-	ErrDuplicate     = engine.ErrDuplicate
-	ErrWriteConflict = engine.ErrWriteConflict
-	ErrSerialization = engine.ErrSerialization
-	ErrPhantom       = engine.ErrPhantom
+	ErrNotFound         = engine.ErrNotFound
+	ErrDuplicate        = engine.ErrDuplicate
+	ErrWriteConflict    = engine.ErrWriteConflict
+	ErrReadValidation   = engine.ErrReadValidation
+	ErrSerialization    = engine.ErrSerialization
+	ErrPhantom          = engine.ErrPhantom
+	ErrReadOnlyDegraded = engine.ErrReadOnlyDegraded
+	ErrRetriesExhausted = engine.ErrRetriesExhausted
 )
 
 // IsRetryable reports whether err is a concurrency conflict worth retrying.
 func IsRetryable(err error) bool { return engine.IsRetryable(err) }
+
+// Outcome classifies a transaction execution: committed, conflict (retry),
+// unavailable (heal the engine first), or fatal (application error).
+type Outcome = engine.Outcome
+
+// Outcome values.
+const (
+	OutcomeCommitted   = engine.OutcomeCommitted
+	OutcomeConflict    = engine.OutcomeConflict
+	OutcomeUnavailable = engine.OutcomeUnavailable
+	OutcomeFatal       = engine.OutcomeFatal
+)
+
+// Classify maps a transaction error to the outcome taxonomy.
+func Classify(err error) Outcome { return engine.Classify(err) }
+
+// HealthState is the fault-containment state machine both engines share:
+// Healthy → Degraded (log device failed; reads keep committing, writes fail
+// fast with ErrReadOnlyDegraded) → Healthy again after Reattach, or Failed
+// (terminal). See DB.Health, DB.Reattach, SiloDB.Health, SiloDB.Reattach.
+type HealthState = engine.HealthState
+
+// Health states.
+const (
+	Healthy  = engine.Healthy
+	Degraded = engine.Degraded
+	Failed   = engine.Failed
+)
+
+// HealthStatus is a health snapshot: the state plus the causing fault.
+type HealthStatus = engine.HealthStatus
+
+// RetryPolicy bounds a retry loop: attempt cap, exponential backoff with
+// jitter, and (via context) wall-clock deadlines.
+type RetryPolicy = engine.RetryPolicy
+
+// RunWithRetry executes fn in transactions under the default retry policy
+// until one commits, fn fails with a non-conflict error, or ctx is done.
+// Conflicts back off exponentially with jitter; ErrReadOnlyDegraded returns
+// immediately (retrying cannot succeed until Reattach heals the engine).
+func RunWithRetry(ctx context.Context, db Engine, worker int, fn func(Txn) error) error {
+	return engine.RunWithRetry(ctx, db, worker, fn)
+}
 
 // Isolation selects the concurrency-control scheme (re-exported from
 // internal/core): SnapshotIsolation, SSN, or ReadValidation.
@@ -202,23 +254,9 @@ func RecoverSilo(opts SiloOptions) (*SiloDB, error) {
 
 // WithRetry runs fn in a transaction on worker's slot, retrying on
 // concurrency conflicts until it commits or fn fails with a non-retryable
-// error. fn must be idempotent.
+// error. fn must be idempotent. It is RunWithRetry without a deadline; use
+// RunWithRetry directly to bound the loop with a context or a custom
+// RetryPolicy.
 func WithRetry(db Engine, worker int, fn func(Txn) error) error {
-	for {
-		txn := db.Begin(worker)
-		if err := fn(txn); err != nil {
-			txn.Abort()
-			if IsRetryable(err) {
-				continue
-			}
-			return err
-		}
-		err := txn.Commit()
-		if err == nil {
-			return nil
-		}
-		if !IsRetryable(err) {
-			return err
-		}
-	}
+	return engine.RunWithRetry(context.Background(), db, worker, fn)
 }

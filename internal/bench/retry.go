@@ -2,6 +2,7 @@ package bench
 
 import "ermia/internal/engine"
 
-// isRetryable mirrors engine.IsRetryable; kept in a tiny wrapper so the
-// harness's outcome taxonomy stays in one place.
-func isRetryable(err error) bool { return engine.IsRetryable(err) }
+// isRetryable routes the harness's abort handling through the shared
+// outcome taxonomy: a retry is warranted exactly when Classify says the
+// error is a conflict (availability and fatal errors must surface).
+func isRetryable(err error) bool { return engine.Classify(err) == engine.OutcomeConflict }

@@ -17,18 +17,47 @@ import (
 // replay's apply-if-newer rule.
 //
 // The blob name encodes the begin offset, playing the role of the paper's
-// checkpoint marker file.
+// checkpoint marker file. The blob carries an FNV-1a trailer (the block
+// headers' checksum scheme) so recovery can detect a torn or bit-flipped
+// snapshot and fall back to the previous checkpoint.
 func (db *DB) Checkpoint() error {
 	// Begin record.
+	db.logGate.RLock()
 	res, err := db.log.Reserve(0, wal.BlockCheckpointBegin)
 	if err != nil {
-		return err
+		db.logGate.RUnlock()
+		return db.noteLogErr(err)
 	}
 	res.Commit()
+	db.logGate.RUnlock()
 	beginOff := res.Offset()
 	name := fmt.Sprintf("ckpt-%016x", beginOff)
 
+	// A blob I/O failure is a clean checkpoint failure, not a degrade
+	// trigger: unlike log-manager errors it is not sticky, the engine keeps
+	// running, and a later checkpoint can succeed.
 	buf := db.encodeCheckpoint(nil)
+	buf = binary.LittleEndian.AppendUint32(buf, wal.Checksum(buf))
+	if err := db.writeCheckpointBlob(name, buf); err != nil {
+		return err
+	}
+
+	// End record locates the durable snapshot.
+	db.logGate.RLock()
+	end, err := db.log.Reserve(len(name), wal.BlockCheckpointEnd)
+	if err != nil {
+		db.logGate.RUnlock()
+		return db.noteLogErr(err)
+	}
+	end.Append([]byte(name))
+	end.Commit()
+	db.logGate.RUnlock()
+	db.lastCkptBegin.Store(beginOff)
+	return nil
+}
+
+// writeCheckpointBlob persists a checkpoint blob (content plus trailer).
+func (db *DB) writeCheckpointBlob(name string, buf []byte) error {
 	f, err := db.cfg.WAL.Storage.Create(name)
 	if err != nil {
 		return fmt.Errorf("core: create checkpoint: %w", err)
@@ -42,15 +71,6 @@ func (db *DB) Checkpoint() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("core: close checkpoint: %w", err)
 	}
-
-	// End record locates the durable snapshot.
-	end, err := db.log.Reserve(len(name), wal.BlockCheckpointEnd)
-	if err != nil {
-		return err
-	}
-	end.Append([]byte(name))
-	end.Commit()
-	db.lastCkptBegin.Store(beginOff)
 	return nil
 }
 

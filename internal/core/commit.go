@@ -58,13 +58,17 @@ func (t *Txn) Commit() error {
 		}
 	}
 
-	// Single global synchronization point: commit LSN + log space.
+	// Single global synchronization point: commit LSN + log space. The gate
+	// stays read-locked until the reservation is finished (Commit or Abort)
+	// so a concurrent Reattach never observes a half-filled claim.
 	ls := t.clock()
+	t.db.logGate.RLock()
 	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockCommit)
 	t.accLog(ls)
 	if err != nil {
+		t.db.logGate.RUnlock()
 		t.Abort()
-		return err
+		return t.db.updateUnavailable(err)
 	}
 	cstamp := res.Offset()
 	t.db.tids.SetCommitting(t.tid, cstamp)
@@ -73,12 +77,14 @@ func (t *Txn) Commit() error {
 	case SSN:
 		if err := t.ssnCommit(cstamp); err != nil {
 			res.Abort() // the claimed space becomes a skip record
+			t.db.logGate.RUnlock()
 			t.Abort()
 			return err
 		}
 	case ReadValidation:
 		if err := t.rvCommit(); err != nil {
 			res.Abort()
+			t.db.logGate.RUnlock()
 			t.Abort()
 			return err
 		}
@@ -89,6 +95,7 @@ func (t *Txn) Commit() error {
 	res.SetPrev(t.opChain)
 	res.Append(t.logBuf)
 	res.Commit()
+	t.db.logGate.RUnlock()
 	t.accLog(ls)
 
 	t.db.tids.SetCommitted(t.tid)
@@ -222,9 +229,11 @@ func (t *Txn) waitReaders(v *mvcc.Version, cstamp uint64) {
 func (t *Txn) spillOverflow() error {
 	ls := t.clock()
 	defer t.accLog(ls)
+	t.db.logGate.RLock()
+	defer t.db.logGate.RUnlock()
 	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
 	if err != nil {
-		return err
+		return t.db.updateUnavailable(err)
 	}
 	res.SetPrev(t.opChain)
 	res.Append(t.logBuf)

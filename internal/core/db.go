@@ -101,6 +101,13 @@ type DB struct {
 	closeOnce     sync.Once
 	closeErr      error
 
+	// Fault containment (see health.go). logGate is read-locked by every
+	// log-writing window so Reattach can take it exclusively and rebuild the
+	// log with no reservation in flight.
+	health      atomic.Int32 // engine.HealthState
+	healthCause atomic.Pointer[error]
+	logGate     sync.RWMutex
+
 	stats DBStats
 }
 
@@ -219,11 +226,15 @@ func (db *DB) CreateTable(name string) engine.Table {
 
 	// Log the catalog change in its own commit block.
 	rec := encodeCreateTable(t.id, name)
+	db.logGate.RLock()
 	res, err := db.log.Reserve(len(rec), wal.BlockCommit)
 	if err == nil {
 		res.Append(rec)
 		res.Commit()
+	} else {
+		db.noteLogErr(err)
 	}
+	db.logGate.RUnlock()
 	return t
 }
 
@@ -294,8 +305,9 @@ func (db *DB) RunGC() int {
 }
 
 // WaitDurable blocks until every transaction committed so far is durable
-// (group commit).
-func (db *DB) WaitDurable() error { return db.log.Flush() }
+// (group commit). A device error surfaces here and degrades the DB to
+// read-only; see Health and Reattach.
+func (db *DB) WaitDurable() error { return db.noteLogErr(db.log.Flush()) }
 
 // Close stops background work and shuts down the log.
 func (db *DB) Close() error {
@@ -305,6 +317,7 @@ func (db *DB) Close() error {
 			<-db.gcDone
 		}
 		db.gcEpoch.Close()
+		db.health.Store(int32(engine.Failed))
 		db.closeErr = db.log.Close()
 	})
 	return db.closeErr

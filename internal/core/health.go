@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+// This file is the fault-containment layer: a log-device failure costs write
+// availability, not the whole database. ERMIA's redo-only log holds only
+// committed state (§3.7), and the version chains the log describes live in
+// memory — so when the device dies, reads keep running against intact
+// in-memory state while updates (which must reach the log to commit) are
+// refused with engine.ErrReadOnlyDegraded until Reattach heals the log.
+
+// Health implements engine.HealthReporter.
+func (db *DB) Health() engine.HealthStatus {
+	s := engine.HealthState(db.health.Load())
+	var cause error
+	if p := db.healthCause.Load(); p != nil {
+		cause = *p
+	}
+	return engine.HealthStatus{State: s, Cause: cause}
+}
+
+// noteLogErr records a log-layer failure in the health state machine and
+// returns err unchanged. Device faults take Healthy to Degraded; a closed
+// log means shutdown, which is Failed; ErrTooLarge is the caller's problem
+// and moves nothing.
+func (db *DB) noteLogErr(err error) error {
+	switch {
+	case err == nil, errors.Is(err, wal.ErrTooLarge):
+		return err
+	case errors.Is(err, wal.ErrClosed):
+		db.health.CompareAndSwap(int32(engine.Healthy), int32(engine.Failed))
+		db.health.CompareAndSwap(int32(engine.Degraded), int32(engine.Failed))
+		return err
+	}
+	e := err
+	db.healthCause.CompareAndSwap(nil, &e)
+	db.health.CompareAndSwap(int32(engine.Healthy), int32(engine.Degraded))
+	return err
+}
+
+// updateUnavailable converts a log failure into the typed availability error
+// an update transaction surfaces: the transaction is not retryable against a
+// degraded DB, and the caller should observe Health and Reattach.
+func (db *DB) updateUnavailable(err error) error {
+	db.noteLogErr(err)
+	if engine.HealthState(db.health.Load()) == engine.Degraded {
+		return fmt.Errorf("%w (cause: %v)", engine.ErrReadOnlyDegraded, err)
+	}
+	return err
+}
+
+// checkWritable refuses mutating operations unless the DB is Healthy. Reads
+// never come here: SI reads stay serviceable in every state that leaves the
+// process alive.
+func (t *Txn) checkWritable() error {
+	switch engine.HealthState(t.db.health.Load()) {
+	case engine.Healthy:
+		return nil
+	case engine.Degraded:
+		return engine.ErrReadOnlyDegraded
+	default:
+		return wal.ErrClosed
+	}
+}
+
+// Reattach heals a Degraded DB once the log device works again, or has been
+// replaced by st (nil keeps the current device; a non-nil replacement must
+// hold the durable segment files). It quiesces log writers, delegates the
+// log repair to wal.Manager.Reattach — which replays still-buffered
+// committed work or reports it lost — and returns the DB to Healthy. Every
+// commit acknowledged durable before the fault is preserved in either case.
+//
+// If the repair itself fails the DB moves to Failed: the instance must be
+// replaced via Recover.
+func (db *DB) Reattach(st wal.Storage) (*wal.ReattachReport, error) {
+	// Writers hold the gate read-locked across their log windows; taking it
+	// exclusively guarantees no reservation is in flight while the log
+	// rebuilds its horizons.
+	db.logGate.Lock()
+	defer db.logGate.Unlock()
+	switch engine.HealthState(db.health.Load()) {
+	case engine.Failed:
+		return nil, fmt.Errorf("core: reattach failed instance: %w", wal.ErrClosed)
+	case engine.Healthy:
+		return nil, wal.ErrNotDegraded
+	}
+	rep, err := db.log.Reattach(st)
+	if err != nil {
+		db.health.Store(int32(engine.Failed))
+		return nil, err
+	}
+	if st != nil {
+		// Checkpoints write their blobs to the same device.
+		db.cfg.WAL.Storage = st
+	}
+	db.healthCause.Store(nil)
+	db.health.Store(int32(engine.Healthy))
+	return rep, nil
+}
+
+var _ engine.HealthReporter = (*DB)(nil)

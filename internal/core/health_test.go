@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ermia/internal/engine"
+	"ermia/internal/faultfs"
+	"ermia/internal/wal"
+)
+
+// TestDegradedServesReadsRefusesWrites: a log-device failure moves the DB to
+// Degraded instead of poisoning everything — SI reads keep committing against
+// the in-memory version chains, updates fail fast with ErrReadOnlyDegraded,
+// and Reattach restores full service.
+func TestDegradedServesReadsRefusesWrites(t *testing.T) {
+	inner := wal.NewMemStorage()
+	inj := faultfs.NewInjector(inner, faultfs.Plan{})
+	db, err := Open(sweepConfig(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	for i := 0; i < 8; i++ {
+		put(t, db, tbl, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h.State != engine.Healthy {
+		t.Fatalf("health = %v, want healthy", h)
+	}
+
+	// One transaction writes before the fault and will try to commit after
+	// it; another commits in memory but never becomes durable before the
+	// device dies.
+	doomed := db.Begin(0)
+	if err := doomed.Insert(tbl, []byte("doomed"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, tbl, "buffered", "survives") // committed, still in the ring
+
+	// Kill the device: the group-commit flush hits the fault and the DB
+	// degrades to read-only.
+	inj.SetFailOp(inj.OpCount() + 1)
+	if err := db.WaitDurable(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("WaitDurable over dead device = %v, want ErrInjected", err)
+	}
+	if h := db.Health(); h.State != engine.Degraded || h.Cause == nil {
+		t.Fatalf("health = %v, want degraded with cause", h)
+	}
+
+	// The in-flight writer cannot commit anymore: its log reservation is
+	// refused and the typed availability error surfaces.
+	if err := doomed.Commit(); !errors.Is(err, engine.ErrReadOnlyDegraded) {
+		t.Fatalf("commit while degraded = %v, want ErrReadOnlyDegraded", err)
+	}
+
+	// Reads keep committing — including under SSN-style validation of
+	// read-only transactions.
+	ro := db.BeginReadOnly(1)
+	if v, err := ro.Get(tbl, []byte("k3")); err != nil || string(v) != "v3" {
+		t.Fatalf("degraded read: %q, %v", v, err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("degraded read-only commit: %v", err)
+	}
+	// A read-write transaction that happens to write nothing also commits.
+	empty := db.Begin(2)
+	if _, err := empty.Get(tbl, []byte("k4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Commit(); err != nil {
+		t.Fatalf("degraded empty-write commit: %v", err)
+	}
+
+	// Updates fail fast, before touching version chains.
+	w := db.Begin(3)
+	if err := w.Insert(tbl, []byte("nope"), []byte("x")); !errors.Is(err, engine.ErrReadOnlyDegraded) {
+		t.Fatalf("degraded insert = %v, want ErrReadOnlyDegraded", err)
+	}
+	if err := w.Update(tbl, []byte("k1"), []byte("x")); !errors.Is(err, engine.ErrReadOnlyDegraded) {
+		t.Fatalf("degraded update = %v, want ErrReadOnlyDegraded", err)
+	}
+	if err := w.Delete(tbl, []byte("k1")); !errors.Is(err, engine.ErrReadOnlyDegraded) {
+		t.Fatalf("degraded delete = %v, want ErrReadOnlyDegraded", err)
+	}
+	w.Abort()
+	if got := engine.Classify(fmt.Errorf("wrap: %w", engine.ErrReadOnlyDegraded)); got != engine.OutcomeUnavailable {
+		t.Fatalf("Classify(degraded) = %v, want unavailable", got)
+	}
+
+	// Heal the device and re-attach: back to full service with zero loss of
+	// previously-durable commits.
+	inj.Heal()
+	rep, err := db.Reattach(nil)
+	if err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("reattach lost %d bytes of durable-window data", rep.Lost)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("the buffered commit was not replayed")
+	}
+	if h := db.Health(); h.State != engine.Healthy || h.Cause != nil {
+		t.Fatalf("health after reattach = %v, want healthy", h)
+	}
+	put(t, db, tbl, "post", "heal")
+	if err := db.WaitDurable(); err != nil {
+		t.Fatalf("durability after reattach: %v", err)
+	}
+
+	// The healed log recovers everything: pre-fault commits and post-heal
+	// commits, and no trace of the doomed transaction.
+	db.Close()
+	db2, err := Recover(sweepConfig(inner.Crash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.OpenTable("t")
+	txn2 := db2.BeginTxn(0)
+	defer txn2.Abort()
+	for i := 0; i < 8; i++ {
+		if v, err := txn2.Get(tbl2, []byte(fmt.Sprintf("k%d", i))); err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("recovered k%d = %q, %v", i, v, err)
+		}
+	}
+	if v, err := txn2.Get(tbl2, []byte("buffered")); err != nil || string(v) != "survives" {
+		t.Fatalf("recovered buffered commit = %q, %v", v, err)
+	}
+	if v, err := txn2.Get(tbl2, []byte("post")); err != nil || string(v) != "heal" {
+		t.Fatalf("recovered post = %q, %v", v, err)
+	}
+	if _, err := txn2.Get(tbl2, []byte("doomed")); !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("doomed transaction leaked into recovery: %v", err)
+	}
+}
+
+// TestCloseIsFailed: Close is the terminal health transition.
+func TestCloseIsFailed(t *testing.T) {
+	db, err := Open(sweepConfig(wal.NewMemStorage()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if h := db.Health(); h.State != engine.Failed {
+		t.Fatalf("health after close = %v, want failed", h)
+	}
+	if _, err := db.Reattach(nil); err == nil {
+		t.Fatal("reattach succeeded on a closed DB")
+	}
+}
+
+// TestCheckpointChecksumFallback: flipping one byte of the newest checkpoint
+// blob makes recovery reject it and fall back to the previous checkpoint plus
+// a longer log replay — with no data loss.
+func TestCheckpointChecksumFallback(t *testing.T) {
+	inner := wal.NewMemStorage()
+	db, err := Open(sweepConfig(inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	put(t, db, tbl, "a", "1")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, tbl, "b", "2")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	put(t, db, tbl, "c", "3")
+	if err := db.WaitDurable(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Corrupt one byte in the newest checkpoint blob.
+	st := inner.Crash()
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, n := range names {
+		if len(n) > 5 && n[:5] == "ckpt-" && n > newest {
+			newest = n
+		}
+	}
+	if newest == "" {
+		t.Fatal("no checkpoint blob found")
+	}
+	f, err := st.Open(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], 7); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0x40
+	if _, err := f.WriteAt(one[:], 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Recover(sweepConfig(st))
+	if err != nil {
+		t.Fatalf("recovery with corrupt newest checkpoint: %v", err)
+	}
+	defer db2.Close()
+	tbl2 := db2.OpenTable("t")
+	txn := db2.BeginTxn(0)
+	defer txn.Abort()
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if v, err := txn.Get(tbl2, []byte(k)); err != nil || string(v) != want {
+			t.Fatalf("recovered %s = %q, %v (want %q)", k, v, err, want)
+		}
+	}
+}

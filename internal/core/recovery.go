@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
@@ -25,12 +26,12 @@ func Recover(cfg Config) (*DB, error) {
 	}
 	st := cfg.WAL.Storage
 
-	// Pass 1: locate segments and the newest checkpoint-end record.
-	var ckptName string
+	// Pass 1: locate segments and every checkpoint-end record, oldest first.
+	var ckptNames []string
 	var ckptBegin uint64
 	pass1, err := wal.Recover(st, func(b wal.Block) error {
 		if b.Type == wal.BlockCheckpointEnd {
-			ckptName = string(b.Payload)
+			ckptNames = append(ckptNames, string(b.Payload))
 		}
 		return nil
 	})
@@ -40,26 +41,27 @@ func Recover(cfg Config) (*DB, error) {
 
 	db := newDB(cfg, nil)
 
-	if ckptName != "" {
-		if _, err := fmt.Sscanf(ckptName, "ckpt-%016x", &ckptBegin); err != nil {
-			return nil, fmt.Errorf("core: bad checkpoint name %q", ckptName)
+	// Restore the newest checkpoint whose blob verifies. A torn or
+	// bit-flipped blob (checksum trailer mismatch) or a missing file falls
+	// back to the previous checkpoint — recovery then replays a longer log
+	// suffix, trading time for correctness. A blob that verifies but fails
+	// to decode is a software bug, not device damage, and surfaces as an
+	// error.
+	for i := len(ckptNames) - 1; i >= 0; i-- {
+		name := ckptNames[i]
+		var begin uint64
+		if _, err := fmt.Sscanf(name, "ckpt-%016x", &begin); err != nil {
+			return nil, fmt.Errorf("core: bad checkpoint name %q", name)
 		}
-		f, err := st.Open(ckptName)
+		buf, err := readCheckpointBlob(st, name)
 		if err != nil {
-			return nil, fmt.Errorf("core: open checkpoint: %w", err)
+			continue
 		}
-		size, err := f.Size()
-		if err != nil {
-			return nil, err
-		}
-		buf := make([]byte, size)
-		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
-			return nil, fmt.Errorf("core: read checkpoint: %w", err)
-		}
-		f.Close()
 		if err := db.loadCheckpoint(buf); err != nil {
 			return nil, err
 		}
+		ckptBegin = begin
+		break
 	}
 
 	// Pass 2: roll forward from the checkpoint (or the log's start).
@@ -81,6 +83,32 @@ func Recover(cfg Config) (*DB, error) {
 	db.log = log
 	db.startGC()
 	return db, nil
+}
+
+// readCheckpointBlob reads and verifies a checkpoint blob, returning its
+// content without the FNV-1a trailer.
+func readCheckpointBlob(st wal.Storage, name string) ([]byte, error) {
+	f, err := st.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < 4 {
+		return nil, fmt.Errorf("core: checkpoint %s truncated", name)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	body := buf[:size-4]
+	if got, want := wal.Checksum(body), binary.LittleEndian.Uint32(buf[size-4:]); got != want {
+		return nil, fmt.Errorf("core: checkpoint %s checksum mismatch: %#x != %#x", name, got, want)
+	}
+	return body, nil
 }
 
 // applyCommitBlock replays one committed transaction: its overflow chain

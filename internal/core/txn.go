@@ -36,9 +36,9 @@ type Txn struct {
 	// transaction already wrote coalesces into the existing entry in place,
 	// so "the last element of writes" is not a valid way to find it.
 	lastWrite int
-	nodeSet []index.Handle[mvcc.OID]
-	logBuf  []byte
-	opChain uint64 // offset of the newest overflow/per-op block, or 0
+	nodeSet   []index.Handle[mvcc.OID]
+	logBuf    []byte
+	opChain   uint64 // offset of the newest overflow/per-op block, or 0
 
 	prof *Profile
 }
@@ -354,6 +354,9 @@ func (t *Txn) Insert(tbl engine.Table, key, value []byte) error {
 	if t.readOnly {
 		return engine.ErrAborted
 	}
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
 	tab := t.table(tbl)
 	newV := mvcc.NewVersion(value, mvcc.TIDStamp(t.tid), false)
 
@@ -389,6 +392,9 @@ func (t *Txn) Update(tbl engine.Table, key, value []byte) error {
 	if t.readOnly {
 		return engine.ErrAborted
 	}
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
 	tab := t.table(tbl)
 	is := t.clock()
 	oid, ok, h := tab.idx.GetH(key)
@@ -408,6 +414,9 @@ func (t *Txn) Delete(tbl engine.Table, key []byte) error {
 	}
 	if t.readOnly {
 		return engine.ErrAborted
+	}
+	if err := t.checkWritable(); err != nil {
+		return err
 	}
 	tab := t.table(tbl)
 	is := t.clock()
@@ -587,9 +596,11 @@ func (t *Txn) perOpLog() error {
 	t.logBuf = t.encodeWrite(t.logBuf[:0], w)
 	start := t.clock()
 	defer t.accLog(start)
+	t.db.logGate.RLock()
+	defer t.db.logGate.RUnlock()
 	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
 	if err != nil {
-		return err
+		return t.db.updateUnavailable(err)
 	}
 	res.SetPrev(t.opChain)
 	res.Append(t.logBuf)

@@ -30,6 +30,13 @@ var (
 	ErrPhantom = errors.New("engine: phantom detected")
 	// ErrAborted reports use of a transaction that already aborted.
 	ErrAborted = errors.New("engine: transaction aborted")
+	// ErrReadOnlyDegraded reports an update rejected because the engine is
+	// in the Degraded health state: the log device failed, so the DB serves
+	// reads from the in-memory version chains but refuses new writes until
+	// the log is re-attached. It is an availability error, not a conflict:
+	// retrying without healing the device cannot succeed, so IsRetryable
+	// reports false. Observe DB health and call Reattach instead.
+	ErrReadOnlyDegraded = errors.New("engine: database degraded to read-only")
 )
 
 // IsRetryable reports whether err is a concurrency conflict the application

@@ -1,0 +1,65 @@
+package engine
+
+import "fmt"
+
+// HealthState is the runtime fault-containment state machine both engines
+// share. ERMIA's redo-only log contains only committed state (§3.7), which
+// means a failed log device should cost write availability, not read
+// availability: the in-memory version chains are intact, so SI reads remain
+// serviceable while updates — which must reach the log to commit — are
+// refused.
+//
+// Transitions:
+//
+//	Healthy  --log device error-->  Degraded  --Reattach ok-->  Healthy
+//	Degraded --Reattach fails / log closed under us--> Failed
+//	any      --Close--> Failed (terminal)
+//
+// Degraded guarantees: every commit acknowledged durable before the fault
+// remains durable; read-only transactions keep committing against the
+// in-memory state; update transactions fail fast with ErrReadOnlyDegraded.
+// Failed is terminal: the instance must be replaced via recovery.
+type HealthState int32
+
+const (
+	// Healthy means the engine accepts reads and writes normally.
+	Healthy HealthState = iota
+	// Degraded means the log device failed: the engine is read-only.
+	Degraded
+	// Failed means the engine can no longer serve transactions.
+	Failed
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("health(%d)", int32(s))
+	}
+}
+
+// HealthStatus is a snapshot of an engine's health: the state plus the
+// fault that caused a non-Healthy state (nil when Healthy).
+type HealthStatus struct {
+	State HealthState
+	// Cause is the first error that moved the engine out of Healthy.
+	Cause error
+}
+
+func (h HealthStatus) String() string {
+	if h.Cause == nil {
+		return h.State.String()
+	}
+	return fmt.Sprintf("%s (%v)", h.State, h.Cause)
+}
+
+// HealthReporter is implemented by engines that expose the fault-containment
+// state machine. Both the ERMIA core and the Silo baseline implement it.
+type HealthReporter interface {
+	Health() HealthStatus
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestClassifyAuditsEveryAbortCause pins the outcome taxonomy for every
+// error the engines can surface: each abort cause is either a retryable
+// conflict, an availability event, or fatal — and wrapping must not change
+// the classification. A new abort type added to an engine belongs in this
+// table.
+func TestClassifyAuditsEveryAbortCause(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+		outcome   Outcome
+	}{
+		{"nil", nil, false, OutcomeCommitted},
+		// The conflict family: CC aborts that a retry can resolve.
+		{"write-conflict", ErrWriteConflict, true, OutcomeConflict},
+		{"read-validation", ErrReadValidation, true, OutcomeConflict},
+		{"serialization", ErrSerialization, true, OutcomeConflict},
+		{"phantom", ErrPhantom, true, OutcomeConflict},
+		// Availability: retrying without healing the engine cannot succeed.
+		{"read-only-degraded", ErrReadOnlyDegraded, false, OutcomeUnavailable},
+		// Logic errors: the application must handle them.
+		{"not-found", ErrNotFound, false, OutcomeFatal},
+		{"duplicate", ErrDuplicate, false, OutcomeFatal},
+		{"aborted", ErrAborted, false, OutcomeFatal},
+		{"unknown", errors.New("disk on fire"), false, OutcomeFatal},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := IsRetryable(c.err); got != c.retryable {
+				t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.retryable)
+			}
+			if got := Classify(c.err); got != c.outcome {
+				t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.outcome)
+			}
+			if c.err == nil {
+				return
+			}
+			wrapped := fmt.Errorf("layer: %w", c.err)
+			if got := IsRetryable(wrapped); got != c.retryable {
+				t.Errorf("IsRetryable(wrapped %v) = %v, want %v", c.err, got, c.retryable)
+			}
+			if got := Classify(wrapped); got != c.outcome {
+				t.Errorf("Classify(wrapped %v) = %v, want %v", c.err, got, c.outcome)
+			}
+		})
+	}
+}
+
+// scriptDB is a minimal engine.DB whose transactions fail with a scripted
+// error sequence at commit time.
+type scriptDB struct {
+	script  []error // error per attempt; past the end = commit
+	attempt int
+}
+
+type scriptTxn struct{ db *scriptDB }
+
+func (d *scriptDB) CreateTable(string) Table            { return nil }
+func (d *scriptDB) OpenTable(string) Table              { return nil }
+func (d *scriptDB) Begin(int) Txn                       { return &scriptTxn{db: d} }
+func (d *scriptDB) BeginReadOnly(int) Txn               { return &scriptTxn{db: d} }
+func (d *scriptDB) Close() error                        { return nil }
+func (x *scriptTxn) Get(Table, []byte) ([]byte, error)  { return nil, nil }
+func (x *scriptTxn) Insert(Table, []byte, []byte) error { return nil }
+func (x *scriptTxn) Update(Table, []byte, []byte) error { return nil }
+func (x *scriptTxn) Delete(Table, []byte) error         { return nil }
+func (x *scriptTxn) Scan(Table, []byte, []byte, func([]byte, []byte) bool) error {
+	return nil
+}
+func (x *scriptTxn) Abort() {}
+func (x *scriptTxn) Commit() error {
+	d := x.db
+	d.attempt++
+	if d.attempt <= len(d.script) {
+		return d.script[d.attempt-1]
+	}
+	return nil
+}
+
+func noop(Txn) error { return nil }
+
+// fastPolicy keeps test retries in the microsecond range, deterministic.
+var fastPolicy = RetryPolicy{BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Jitter: 0.5, Seed: 7}
+
+func TestRunWithRetryResolvesConflicts(t *testing.T) {
+	db := &scriptDB{script: []error{ErrWriteConflict, ErrSerialization, ErrPhantom}}
+	if err := fastPolicy.Run(context.Background(), db, 0, noop); err != nil {
+		t.Fatalf("retry loop = %v, want commit after conflicts", err)
+	}
+	if db.attempt != 4 {
+		t.Fatalf("took %d attempts, want 4", db.attempt)
+	}
+}
+
+func TestRunWithRetryStopsOnUnavailable(t *testing.T) {
+	db := &scriptDB{script: []error{ErrWriteConflict, ErrReadOnlyDegraded}}
+	err := fastPolicy.Run(context.Background(), db, 0, noop)
+	if !errors.Is(err, ErrReadOnlyDegraded) {
+		t.Fatalf("retry loop = %v, want immediate ErrReadOnlyDegraded", err)
+	}
+	if db.attempt != 2 {
+		t.Fatalf("took %d attempts, want 2 (no retry of an availability error)", db.attempt)
+	}
+}
+
+func TestRunWithRetryStopsOnFatal(t *testing.T) {
+	db := &scriptDB{}
+	boom := errors.New("boom")
+	err := fastPolicy.Run(context.Background(), db, 0, func(Txn) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("retry loop = %v, want the fatal error", err)
+	}
+	if db.attempt != 0 {
+		t.Fatalf("fn error must abort, not commit (attempts=%d)", db.attempt)
+	}
+}
+
+func TestRunWithRetryExhaustsAttempts(t *testing.T) {
+	db := &scriptDB{script: []error{
+		ErrWriteConflict, ErrWriteConflict, ErrWriteConflict, ErrWriteConflict,
+	}}
+	p := fastPolicy
+	p.MaxAttempts = 3
+	err := p.Run(context.Background(), db, 0, noop)
+	if !errors.Is(err, ErrRetriesExhausted) || !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("retry loop = %v, want ErrRetriesExhausted wrapping the conflict", err)
+	}
+	if db.attempt != 3 {
+		t.Fatalf("took %d attempts, want exactly MaxAttempts", db.attempt)
+	}
+}
+
+func TestRunWithRetryHonorsContext(t *testing.T) {
+	// Every attempt conflicts; the deadline must end the loop.
+	db := &scriptDB{script: make([]error, 1<<20)}
+	for i := range db.script {
+		db.script[i] = ErrWriteConflict
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	p := RetryPolicy{BaseDelay: 100 * time.Microsecond, Seed: 7}
+	err := p.Run(ctx, db, 0, noop)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("retry loop = %v, want DeadlineExceeded", err)
+	}
+}

@@ -198,6 +198,19 @@ type Plan struct {
 	// FailOp makes the FailOp-th mutating operation return ErrInjected
 	// without being applied. Later operations proceed normally.
 	FailOp int
+	// FailFrom/FailTo make every mutating operation in [FailFrom, FailTo]
+	// (1-based, inclusive) return ErrInjected without being applied: the
+	// transient-outage model — the device dies, stays dead for a window,
+	// then works again on its own. FailTo == 0 with FailFrom > 0 means the
+	// outage lasts until Heal is called.
+	FailFrom int
+	FailTo   int
+	// ErrorRate makes each mutating operation fail with this probability —
+	// the flaky-device model. The coin flips come from a generator seeded
+	// with Seed, so a run reproduces from the plan alone.
+	ErrorRate float64
+	// Seed seeds the ErrorRate coin flips (zero is remapped by xrand).
+	Seed uint64
 	// DropSyncs makes every Sync report success without persisting
 	// anything: the lying-disk model. Combined with MemStorage.Crash, all
 	// writes since the wrap are lost.
@@ -216,11 +229,12 @@ type Injector struct {
 	mu      sync.Mutex
 	ops     int
 	crashed bool
+	rng     *xrand.Rand // ErrorRate coin flips; seeded from plan.Seed
 }
 
 // NewInjector returns a fault-injecting decorator over inner.
 func NewInjector(inner wal.Storage, plan Plan) *Injector {
-	return &Injector{inner: inner, plan: plan}
+	return &Injector{inner: inner, plan: plan, rng: xrand.New2(plan.Seed, 0xFA07)}
 }
 
 // OpCount returns how many mutating operations have been attempted.
@@ -253,6 +267,22 @@ func (i *Injector) Crashed() bool {
 	return i.crashed
 }
 
+// Heal clears every armed fault — positional, range, rate, and crash — so
+// subsequent operations reach the underlying storage again. It models the
+// device coming back (or an operator swapping in a healthy one): state the
+// underlying storage already holds is untouched, operations that failed
+// during the outage stay failed. Pair with Manager.Reattach to bring the
+// log back into service.
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	i.plan.FailOp = 0
+	i.plan.FailFrom, i.plan.FailTo = 0, 0
+	i.plan.ErrorRate = 0
+	i.plan.CrashAtOp = 0
+	i.crashed = false
+	i.mu.Unlock()
+}
+
 // step accounts one mutating operation and decides its fate.
 func (i *Injector) step() error {
 	i.mu.Lock()
@@ -263,6 +293,13 @@ func (i *Injector) step() error {
 		return ErrCrashed
 	}
 	if i.ops == i.plan.FailOp {
+		return ErrInjected
+	}
+	if i.plan.FailFrom > 0 && i.ops >= i.plan.FailFrom &&
+		(i.plan.FailTo == 0 || i.ops <= i.plan.FailTo) {
+		return ErrInjected
+	}
+	if i.plan.ErrorRate > 0 && i.rng.Float64() < i.plan.ErrorRate {
 		return ErrInjected
 	}
 	return nil

@@ -190,8 +190,8 @@ func TestInjectorFailOp(t *testing.T) {
 func TestInjectorCrashAtOp(t *testing.T) {
 	inner := wal.NewMemStorage()
 	inj := NewInjector(inner, Plan{CrashAtOp: 3})
-	f, _ := inj.Create("f")           // op 1
-	f.WriteAt([]byte("aa"), 0)        // op 2
+	f, _ := inj.Create("f")                           // op 1
+	f.WriteAt([]byte("aa"), 0)                        // op 2
 	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // op 3: crash
 		t.Fatalf("want ErrCrashed, got %v", err)
 	}
@@ -241,5 +241,94 @@ func TestInjectorManualCrash(t *testing.T) {
 	}
 	if _, err := inj.Create("g"); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("create after crash: %v", err)
+	}
+}
+
+// TestInjectorFailRange: operations inside [FailFrom, FailTo] fail and are
+// not applied; the device recovers on its own after the window.
+func TestInjectorFailRange(t *testing.T) {
+	inner := wal.NewMemStorage()
+	inj := NewInjector(inner, Plan{FailFrom: 2, FailTo: 3})
+	f, err := inj.Create("f") // op 1: ok
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("xx"), 0); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("op 2 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 3
+		t.Fatalf("op 3 = %v, want ErrInjected", err)
+	}
+	if _, err := f.WriteAt([]byte("yy"), 0); err != nil { // op 4: healed
+		t.Fatalf("op 4 after window = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, inner, "f"); string(got) != "yy" {
+		t.Fatalf("contents %q: in-window op leaked through", got)
+	}
+}
+
+// TestInjectorFailRangeOpenEnded: FailTo == 0 keeps the outage going until
+// Heal, which restores service without touching stored state.
+func TestInjectorFailRangeOpenEnded(t *testing.T) {
+	inner := wal.NewMemStorage()
+	inj := NewInjector(inner, Plan{FailFrom: 2})
+	f, err := inj.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op := 0; op < 5; op++ {
+		if _, err := f.WriteAt([]byte("xx"), 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("open-ended outage op %d = %v, want ErrInjected", op, err)
+		}
+	}
+	inj.Heal()
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, inner, "f"); string(got) != "ok" {
+		t.Fatalf("contents %q", got)
+	}
+}
+
+// TestInjectorErrorRate: the flaky-device model fails a seed-determined
+// subset of operations — the same plan reproduces the same fault pattern.
+func TestInjectorErrorRate(t *testing.T) {
+	pattern := func(seed uint64) (string, int) {
+		inj := NewInjector(wal.NewMemStorage(), Plan{ErrorRate: 0.5, Seed: seed})
+		f, err := inj.Create("f")
+		for err != nil { // keep trying until the coin lands on success
+			f, err = inj.Create("f")
+		}
+		var pat []byte
+		fails := 0
+		for op := 0; op < 64; op++ {
+			if _, err := f.WriteAt([]byte("x"), 0); errors.Is(err, ErrInjected) {
+				pat = append(pat, '1')
+				fails++
+			} else if err != nil {
+				t.Fatalf("op %d: unexpected error %v", op, err)
+			} else {
+				pat = append(pat, '0')
+			}
+		}
+		return string(pat), fails
+	}
+	p1, fails := pattern(42)
+	p2, _ := pattern(42)
+	if p1 != p2 {
+		t.Fatalf("same seed, different fault patterns:\n%s\n%s", p1, p2)
+	}
+	if fails == 0 || fails == 64 {
+		t.Fatalf("rate 0.5 produced %d/64 failures", fails)
+	}
+	p3, _ := pattern(43)
+	if p1 == p3 {
+		t.Fatal("different seeds produced identical fault patterns")
 	}
 }

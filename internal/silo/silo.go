@@ -122,6 +122,10 @@ type DB struct {
 	logMu   sync.Mutex
 	logFile wal.File
 	logOff  int64
+	pending []pendingEntry // entries the dead device refused (health.go)
+
+	health      atomic.Int32 // engine.HealthState
+	healthCause atomic.Pointer[error]
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -184,9 +188,7 @@ func (db *DB) ticker() {
 		case <-t.C:
 			db.epoch.Add(1)
 			db.recomputeSnapFloor()
-			if db.logFile != nil {
-				db.logFile.Sync()
-			}
+			db.SyncLog() // a Sync failure degrades the DB (health.go)
 		}
 	}
 }
@@ -242,11 +244,12 @@ func (db *DB) OpenTable(name string) engine.Table {
 	return nil
 }
 
-// Close stops the epoch ticker.
+// Close stops the epoch ticker and makes Failed the terminal health state.
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {
 		close(db.stop)
 		<-db.done
+		db.health.Store(int32(engine.Failed))
 	})
 	return nil
 }
@@ -257,17 +260,27 @@ func (db *DB) newRecord() *Record {
 }
 
 // appendLog buffers a committed transaction's value-log image; an epoch
-// boundary syncs it (group commit). Kept deliberately simple: the ERMIA
-// paper evaluates Silo's forward performance, not its recovery.
+// boundary syncs it (group commit). A device failure does not lose the
+// entry: its bytes and assigned offset join the pending list for Reattach
+// to rewrite, and the DB degrades to read-only (health.go).
 func (db *DB) appendLog(buf []byte) {
 	if db.logFile == nil || len(buf) == 0 {
 		return
 	}
 	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	off := db.logOff
 	db.logOff += int64(len(buf))
-	db.logFile.WriteAt(buf, off)
-	db.logMu.Unlock()
+	if db.health.Load() != int32(engine.Healthy) {
+		// The device is already known dead; queue directly. The bytes are
+		// copied because callers reuse their encode buffers.
+		db.pending = append(db.pending, pendingEntry{off: off, buf: append([]byte(nil), buf...)})
+		return
+	}
+	if _, err := db.logFile.WriteAt(buf, off); err != nil {
+		db.pending = append(db.pending, pendingEntry{off: off, buf: append([]byte(nil), buf...)})
+		db.noteLogErr(err)
+	}
 }
 
 // stableRead performs Silo's consistent record read: word, data, word.

@@ -208,6 +208,9 @@ func (t *Txn) Insert(tbl engine.Table, key, value []byte) error {
 	if t.readOnly {
 		return engine.ErrAborted
 	}
+	if err := t.checkWritable(); err != nil {
+		return err
+	}
 	tab := t.table(tbl)
 	fresh := t.db.newRecord()
 	fresh.word.Store(makeWord(0, true)) // absent until our commit installs
@@ -254,6 +257,9 @@ func (t *Txn) write(tbl engine.Table, key, value []byte, absent bool) error {
 	}
 	if t.readOnly {
 		return engine.ErrAborted
+	}
+	if err := t.checkWritable(); err != nil {
+		return err
 	}
 	tab := t.table(tbl)
 	rec, ok, h := tab.idx.GetH(key)
@@ -304,6 +310,14 @@ func (t *Txn) Commit() error {
 		}
 		t.finish(true)
 		return nil
+	}
+
+	// A degraded DB refuses to install new versions: the value log cannot
+	// accept their entries, and read service must stay consistent with what
+	// Reattach will make durable.
+	if err := t.checkWritable(); err != nil {
+		t.abortInternal()
+		return err
 	}
 
 	// Phase 1: lock the write set in record-id order (deadlock freedom).

@@ -122,5 +122,10 @@ func fnvAdd(h uint32, p []byte) uint32 {
 	return h
 }
 
+// Checksum returns the 32-bit FNV-1a hash of p — the same function block
+// headers use for payload integrity, exported so sibling artifacts
+// (checkpoint blobs) can share one checksum scheme.
+func Checksum(p []byte) uint32 { return fnvAdd(fnvInit, p) }
+
 // pad rounds n up to the next multiple of Grain.
 func pad(n uint64) uint64 { return (n + Grain - 1) &^ (Grain - 1) }

@@ -95,6 +95,7 @@ type Manager struct {
 	durMu   sync.Mutex
 	durCond *sync.Cond
 	syncMu  sync.Mutex // serializes flushOnce in SyncFlush mode
+	lifeMu  sync.Mutex // serializes Close and Reattach (flusher lifecycle)
 
 	err    atomic.Pointer[error]
 	closed atomic.Bool
@@ -193,12 +194,21 @@ func (m *Manager) setErr(err error) {
 		return
 	}
 	m.err.CompareAndSwap(nil, &err)
+	// Wake the flusher so it notices the poison and parks (see flusher);
+	// Reattach relies on the flusher being dead before it mutates state.
+	m.kickFlusher()
 	// Broadcast under durMu: without the lock a WaitDurable caller that has
 	// already checked Err but not yet parked in durCond.Wait would miss this
 	// wakeup — and with the flusher dead, no later broadcast would come.
 	m.durMu.Lock()
 	m.durCond.Broadcast()
 	m.durMu.Unlock()
+}
+
+// Degraded reports whether the manager carries a sticky storage error but is
+// still open — the state Reattach can heal.
+func (m *Manager) Degraded() bool {
+	return m.Err() != nil && !m.closed.Load()
 }
 
 // kickFlusher wakes the flusher immediately instead of waiting out its idle
@@ -302,6 +312,12 @@ func (m *Manager) MaxPayload() int {
 func (m *Manager) Reserve(payload int, typ uint8) (Reservation, error) {
 	if m.closed.Load() {
 		return Reservation{}, ErrClosed
+	}
+	if err := m.Err(); err != nil {
+		// Fail fast before claiming LSN space: a claim made after the
+		// manager is poisoned could never be filled or flushed, and would
+		// leave one more hole for Reattach to seal over.
+		return Reservation{}, err
 	}
 	if payload > m.MaxPayload() {
 		return Reservation{}, ErrTooLarge
@@ -534,6 +550,12 @@ func (m *Manager) syncTo(off uint64) error {
 func (m *Manager) flusher() {
 	defer close(m.done)
 	for {
+		if m.Err() != nil {
+			// Poisoned by anyone (our own flushOnce, a failed segment open
+			// in Reserve, a SyncFlush driver): park. Reattach waits for this
+			// exit before it rebuilds state and spawns a fresh flusher.
+			return
+		}
 		n, err := m.flushOnce()
 		if err != nil {
 			m.setErr(err)
@@ -673,6 +695,10 @@ func (m *Manager) Close() error {
 	if m.closed.Swap(true) {
 		return nil
 	}
+	// lifeMu orders Close against a concurrent Reattach: whichever wins, the
+	// other observes a consistent flusher/done pair.
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
 	close(m.stop)
 	<-m.done
 	if m.cfg.SyncFlush {

@@ -81,6 +81,13 @@ func Recover(st Storage, fn func(Block) error) (*RecoverResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wal: open segment %s: %w", sm.Name, err)
 		}
+		// The file's real size clamps every header-declared length below:
+		// segment names and block headers are data, and data can lie.
+		fsize, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: size segment %s: %w", sm.Name, err)
+		}
 		off := sm.Start
 		closed := false
 		for off < sm.End {
@@ -100,8 +107,9 @@ func Recover(st Storage, fn func(Block) error) (*RecoverResult, error) {
 			plen := binary.LittleEndian.Uint32(hdr[24:])
 			sum := binary.LittleEndian.Uint32(hdr[28:])
 			if blockOff != off || size == 0 || size%Grain != 0 || off+size > sm.End ||
-				uint64(plen) > size-headerSize {
-				break // torn block
+				uint64(plen) > size-headerSize ||
+				off-sm.Start+headerSize+uint64(plen) > uint64(fsize) {
+				break // torn block, or a header declaring bytes the file lacks
 			}
 			if typ == BlockSkip {
 				if off+size == sm.End {
@@ -158,6 +166,10 @@ func ReadBlock(st Storage, metas []SegmentMeta, l LSN) (Block, error) {
 			return Block{}, err
 		}
 		defer f.Close()
+		fsize, err := f.Size()
+		if err != nil {
+			return Block{}, err
+		}
 		hdr := make([]byte, headerSize)
 		if _, err := f.ReadAt(hdr, int64(off-sm.Start)); err != nil {
 			return Block{}, err
@@ -165,12 +177,26 @@ func ReadBlock(st Storage, metas []SegmentMeta, l LSN) (Block, error) {
 		if binary.LittleEndian.Uint16(hdr[0:]) != headerMagic {
 			return Block{}, fmt.Errorf("wal: no block at %v", l)
 		}
+		// Validate every header-declared length against the segment bounds
+		// and the file's real size before allocating or reading: a corrupt
+		// header must produce an error, not a giant allocation.
+		size := uint64(binary.LittleEndian.Uint32(hdr[4:]))
+		blockOff := binary.LittleEndian.Uint64(hdr[8:])
 		plen := binary.LittleEndian.Uint32(hdr[24:])
+		sum := binary.LittleEndian.Uint32(hdr[28:])
+		if blockOff != off || size == 0 || size%Grain != 0 || off+size > sm.End ||
+			uint64(plen) > size-headerSize ||
+			off-sm.Start+headerSize+uint64(plen) > uint64(fsize) {
+			return Block{}, fmt.Errorf("wal: corrupt block header at %v", l)
+		}
 		payload := make([]byte, plen)
 		if plen > 0 {
 			if _, err := f.ReadAt(payload, int64(off-sm.Start+headerSize)); err != nil && err != io.EOF {
 				return Block{}, err
 			}
+		}
+		if fnvAdd(fnvInit, payload) != sum {
+			return Block{}, fmt.Errorf("wal: corrupt block payload at %v", l)
 		}
 		return Block{
 			LSN:     l,
