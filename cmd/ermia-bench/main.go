@@ -30,6 +30,7 @@ func main() {
 		customers  = flag.Int("customers", 0, "TPC-E customers (default 300, 5000 with -full)")
 		microRows  = flag.Int("micro-rows", 0, "microbenchmark rows (default 20000, 100000 with -full)")
 		full       = flag.Bool("full", false, "approximate the paper's scale (24 threads, 30s, full tables)")
+		jsonPath   = flag.String("json", "", "write the experiment's machine-readable report here (server experiment)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		MicroRows: *microRows,
 		Full:      *full,
 		Out:       os.Stdout,
+		JSONPath:  *jsonPath,
 	}
 
 	run := func(name string) {

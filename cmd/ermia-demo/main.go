@@ -2,6 +2,8 @@
 // ERMIA engine, useful for poking at the system by hand:
 //
 //	ermia-demo -dir /tmp/ermia-data
+//	ermia-demo -dir /tmp/ermia-data -serve :7244     # shell + network server
+//	ermia-demo -connect localhost:7244               # shell over the wire
 //
 // Commands (one per line on stdin):
 //
@@ -9,13 +11,16 @@
 //	get <key>             read a record
 //	del <key>             delete a record
 //	scan [prefix]         list records
-//	checkpoint            take a fuzzy checkpoint
-//	stats                 engine counters
-//	gc                    run a garbage-collection sweep
+//	checkpoint            take a fuzzy checkpoint (local engine only)
+//	stats                 engine or server counters
+//	gc                    run a garbage-collection sweep (local engine only)
 //	quit
 //
 // With -dir, the database recovers from the directory's log on startup, so
-// killing the process and restarting demonstrates recovery.
+// killing the process and restarting demonstrates recovery. With -serve the
+// same database is simultaneously exposed to ermia-demo -connect peers; the
+// shell and remote clients see each other's commits. With -connect no local
+// database is opened at all — every command runs over the wire protocol.
 package main
 
 import (
@@ -32,24 +37,69 @@ import (
 func main() {
 	dir := flag.String("dir", "", "data directory (empty: in-memory)")
 	serializable := flag.Bool("serializable", true, "enable SSN serializability")
+	serve := flag.String("serve", "", "also serve this database for -connect peers on the given address")
+	connect := flag.String("connect", "", "connect to a remote ermia-server instead of opening a database")
 	flag.Parse()
 
-	opts := ermia.Options{Dir: *dir, Serializable: *serializable}
-	var db *ermia.DB
-	var err error
-	if *dir != "" {
-		if db, err = ermia.Recover(opts); err == nil {
-			fmt.Println("recovered existing database from", *dir)
+	var eng ermia.Engine
+	var db *ermia.DB     // non-nil only with a local engine
+	var cl *ermia.Client // non-nil only with -connect
+
+	switch {
+	case *connect != "":
+		if *serve != "" || *dir != "" {
+			fmt.Fprintln(os.Stderr, "ermia-demo: -connect excludes -dir and -serve")
+			os.Exit(2)
 		}
-	}
-	if db == nil {
-		if db, err = ermia.Open(opts); err != nil {
-			fmt.Fprintln(os.Stderr, "open:", err)
+		c, err := ermia.DialServer(ermia.ClientOptions{Addr: *connect})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
 			os.Exit(1)
 		}
+		defer c.Close()
+		cl, eng = c, c
+		fmt.Println("connected to", *connect)
+	default:
+		opts := ermia.Options{Dir: *dir, Serializable: *serializable}
+		var err error
+		if *dir != "" {
+			if db, err = ermia.Recover(opts); err == nil {
+				fmt.Println("recovered existing database from", *dir)
+			}
+		}
+		if db == nil {
+			if db, err = ermia.Open(opts); err != nil {
+				fmt.Fprintln(os.Stderr, "open:", err)
+				os.Exit(1)
+			}
+		}
+		defer db.Close()
+		eng = db
+		if *serve != "" {
+			srv, err := ermia.NewServer(ermia.ServerConfig{
+				DB: db,
+				ReattachFn: func() (string, error) {
+					rep, err := db.Reattach(nil)
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("replayed=%dB holes=%d", rep.Replayed, rep.HolesFilled), nil
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			go func() {
+				if err := srv.ListenAndServe(*serve); err != nil {
+					fmt.Fprintln(os.Stderr, "serve:", err)
+				}
+			}()
+			defer srv.Close()
+			fmt.Println("serving on", *serve)
+		}
 	}
-	defer db.Close()
-	tbl := db.CreateTable("kv")
+	tbl := eng.CreateTable("kv")
 
 	fmt.Println("ermia-demo ready (put/get/del/scan/checkpoint/stats/gc/quit)")
 	sc := bufio.NewScanner(os.Stdin)
@@ -69,7 +119,7 @@ func main() {
 				continue
 			}
 			key, val := []byte(fields[1]), []byte(strings.Join(fields[2:], " "))
-			err := ermia.WithRetry(db, 0, func(txn ermia.Txn) error {
+			err := ermia.WithRetry(eng, 0, func(txn ermia.Txn) error {
 				if err := txn.Insert(tbl, key, val); errors.Is(err, ermia.ErrDuplicate) {
 					return txn.Update(tbl, key, val)
 				} else if err != nil {
@@ -83,7 +133,7 @@ func main() {
 				fmt.Println("usage: get <key>")
 				continue
 			}
-			txn := db.Begin(0)
+			txn := eng.Begin(0)
 			v, err := txn.Get(tbl, []byte(fields[1]))
 			txn.Abort()
 			if err != nil {
@@ -96,7 +146,7 @@ func main() {
 				fmt.Println("usage: del <key>")
 				continue
 			}
-			err := ermia.WithRetry(db, 0, func(txn ermia.Txn) error {
+			err := ermia.WithRetry(eng, 0, func(txn ermia.Txn) error {
 				return txn.Delete(tbl, []byte(fields[1]))
 			})
 			report(err, "deleted")
@@ -106,7 +156,7 @@ func main() {
 				lo = []byte(fields[1])
 				hi = append([]byte(fields[1]), 0xFF)
 			}
-			txn := db.Begin(0)
+			txn := eng.Begin(0)
 			n := 0
 			err := txn.Scan(tbl, lo, hi, func(k, v []byte) bool {
 				fmt.Printf("  %s = %s\n", k, v)
@@ -116,10 +166,33 @@ func main() {
 			txn.Abort()
 			report(err, fmt.Sprintf("%d records", n))
 		case "checkpoint":
+			if db == nil {
+				fmt.Println("checkpoint is a local-engine command; run it on the server")
+				continue
+			}
 			report(db.Checkpoint(), "checkpoint written")
 		case "gc":
+			if db == nil {
+				fmt.Println("gc is a local-engine command; run it on the server")
+				continue
+			}
 			fmt.Printf("pruned %d versions\n", db.RunGC())
 		case "stats":
+			if cl != nil {
+				s, err := cl.Stats()
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				state, cause, _ := cl.Health()
+				fmt.Printf("server: conns=%d open-txns=%d commits=%d aborts=%d group-batches=%d durable-lsn=%d health=%v",
+					s.Conns, s.OpenTxns, s.Commits, s.Aborts, s.GroupBatches, s.DurableOffset, state)
+				if cause != "" {
+					fmt.Printf(" (%s)", cause)
+				}
+				fmt.Println()
+				continue
+			}
 			s := db.Stats()
 			fmt.Printf("commits=%d aborts=%d ww-aborts=%d ssn-aborts=%d phantom=%d pruned=%d durable-lsn=%d\n",
 				s.Commits.Load(), s.Aborts.Load(), s.WWAborts.Load(),

@@ -23,8 +23,10 @@ import (
 	"context"
 	"time"
 
+	"ermia/internal/client"
 	"ermia/internal/core"
 	"ermia/internal/engine"
+	"ermia/internal/server"
 	"ermia/internal/silo"
 	"ermia/internal/wal"
 )
@@ -260,3 +262,71 @@ func RecoverSilo(opts SiloOptions) (*SiloDB, error) {
 func WithRetry(db Engine, worker int, fn func(Txn) error) error {
 	return engine.RunWithRetry(context.Background(), db, worker, fn)
 }
+
+// ---- Network service layer ----
+//
+// The same Engine interface runs over TCP: put any engine behind a Server
+// and application code — including WithRetry — works unchanged against a
+// Client. See DESIGN.md ("Network service layer") for the wire protocol,
+// session lifetime rules, and the cross-connection group-commit path.
+//
+//	srv, _ := ermia.NewServer(ermia.ServerConfig{DB: db})
+//	go srv.ListenAndServe(":7244")
+//	...
+//	c, _ := ermia.DialServer(ermia.ClientOptions{Addr: "db-host:7244"})
+//	err := ermia.WithRetry(c, 0, func(txn ermia.Txn) error { ... })
+
+// Server serves an Engine over TCP with request pipelining, per-session
+// transaction registries, admission control, and cross-connection group
+// commit (internal/server re-exported).
+type Server = server.Server
+
+// ServerConfig configures a Server: the engine, connection and worker-slot
+// limits, the commit durability mode, and the admin reattach hook.
+type ServerConfig = server.Config
+
+// ServerStats is the server's counter snapshot (also served remotely via
+// Client.Stats).
+type ServerStats = server.StatsSnapshot
+
+// Durability selects what a positive Commit acknowledgment promises.
+type Durability = server.Durability
+
+// Durability modes.
+const (
+	// DurabilityGroup acknowledges commits from the cross-connection group
+	// committer: one log-durability wakeup covers every commit that arrived
+	// during the previous device sync. The default.
+	DurabilityGroup = server.DurabilityGroup
+	// DurabilityPerCommit pays one uncoordinated device sync per commit —
+	// the naive synchronous-commit baseline.
+	DurabilityPerCommit = server.DurabilityPerCommit
+	// DurabilityNone acknowledges once the commit is logically applied.
+	DurabilityNone = server.DurabilityNone
+)
+
+// NewServer builds a Server around cfg.DB; start it with Serve or
+// ListenAndServe, stop it with Shutdown (graceful drain) or Close.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Client is a remote Engine: a connection-pooled, pipelined client for an
+// ermia-server (internal/client re-exported). Wire statuses map back onto
+// the error taxonomy above, so IsRetryable, Classify, and WithRetry behave
+// identically against local and remote engines.
+type Client = client.Client
+
+// ClientOptions configures a Client (address, pool size, dial timeout).
+type ClientOptions = client.Options
+
+// DialServer connects to an ermia-server.
+func DialServer(opts ClientOptions) (*Client, error) { return client.Dial(opts) }
+
+// Network-layer availability errors. ErrConnLost and ErrOverloaded are
+// retryable (a lost connection leaves the commit outcome indeterminate;
+// retrying an idempotent transaction is the correct response). ErrShutdown
+// classifies as OutcomeUnavailable: the server is draining.
+var (
+	ErrConnLost   = engine.ErrConnLost
+	ErrOverloaded = engine.ErrOverloaded
+	ErrShutdown   = engine.ErrShutdown
+)

@@ -36,6 +36,9 @@ type Params struct {
 	Customers int           // TPC-E customers
 	Full      bool          // use paper-scale parameters
 	Out       io.Writer
+	// JSONPath, when non-empty, is where experiments that produce
+	// machine-readable reports (currently "server") write their JSON.
+	JSONPath string
 }
 
 func (p *Params) setDefaults() {
@@ -739,11 +742,12 @@ func maxInt(s []int) int {
 var Experiments = map[string]func(Params) error{
 	"fig1": Fig1, "fig2": Fig2, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 	"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
-	"fig12": Fig12, "table1": Table1,
+	"fig12": Fig12, "table1": Table1, "server": ServerBench,
 }
 
-// ExperimentOrder lists experiments in paper order for "all".
+// ExperimentOrder lists experiments in paper order for "all"; "server" (not
+// from the paper's evaluation) comes last.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "table1",
+	"fig11", "fig12", "table1", "server",
 }

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerBenchJSON runs the network experiment at a tiny scale and
+// validates the machine-readable report: both durability modes present,
+// every grid point carries throughput and latency percentiles.
+func TestServerBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network bench skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var sb strings.Builder
+	err := ServerBench(Params{
+		Duration: 100 * time.Millisecond,
+		Out:      &sb,
+		JSONPath: path,
+	})
+	if err != nil {
+		t.Fatalf("ServerBench: %v\n%s", err, sb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ServerBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Benchmark != "network-server" || report.Storage != "dir" {
+		t.Fatalf("report header: %+v", report)
+	}
+	modes := map[string]int{}
+	for _, pt := range report.Points {
+		modes[pt.Mode]++
+		if pt.Commits == 0 || pt.TxnPerSec <= 0 {
+			t.Fatalf("empty grid point: %+v", pt)
+		}
+		if pt.P99Micros < pt.P50Micros {
+			t.Fatalf("p99 < p50: %+v", pt)
+		}
+		if pt.Mode == "group" && pt.Batches == 0 {
+			t.Fatalf("group point has no batches: %+v", pt)
+		}
+	}
+	if modes["group"] == 0 || modes["percommit"] == 0 || modes["group"] != modes["percommit"] {
+		t.Fatalf("unbalanced grid: %v", modes)
+	}
+}

@@ -1,0 +1,298 @@
+// Package client is the network counterpart of the ermia public API: a
+// connection-pooled, pipelined client for internal/server that implements
+// engine.DB, so application code — including engine.RunWithRetry — runs
+// unchanged against a remote database. Wire statuses are mapped back onto
+// the engine error taxonomy: a write-write conflict on the server is
+// errors.Is(err, engine.ErrWriteConflict) on the client, a dead connection
+// is the retryable engine.ErrConnLost, and a draining server is the
+// non-retryable engine.ErrShutdown.
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// errClientClosed reports use of a closed client. Deliberately NOT
+// engine.ErrConnLost: retrying against a closed client cannot succeed.
+var errClientClosed = errors.New("client: closed")
+
+// Options configures a client.
+type Options struct {
+	// Addr is the server's TCP address. Required.
+	Addr string
+	// PoolSize is the number of connections; Begin pins transaction w to
+	// connection w%PoolSize, so concurrent workers spread across the pool
+	// while each transaction stays on the session that owns it. Default 1.
+	PoolSize int
+	// DialTimeout bounds each dial. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Client is a remote engine.DB. All methods are safe for concurrent use.
+// Connections are dialed lazily and redialed transparently after failures,
+// so a client survives a server restart: in-flight work fails with the
+// retryable engine.ErrConnLost and the next attempt reconnects.
+type Client struct {
+	opts Options
+
+	mu     sync.Mutex
+	conns  []*conn
+	closed bool
+
+	tmu    sync.Mutex
+	tables map[string]*clientTable // handle identity: same name, same handle
+}
+
+// Dial connects to a server. The first connection is dialed eagerly so a
+// bad address fails here rather than on first use.
+func Dial(opts Options) (*Client, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	c := &Client{
+		opts:   opts,
+		conns:  make([]*conn, opts.PoolSize),
+		tables: make(map[string]*clientTable),
+	}
+	if _, err := c.conn(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// conn returns pool connection i%PoolSize, dialing or redialing as needed.
+func (c *Client) conn(i int) (*conn, error) {
+	if i < 0 {
+		i = -i
+	}
+	idx := i % c.opts.PoolSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if cn := c.conns[idx]; cn != nil && !cn.isBroken() {
+		return cn, nil
+	}
+	cn, err := dialConn(c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, connLost(err)
+	}
+	c.conns[idx] = cn
+	return cn, nil
+}
+
+// Close closes every pool connection. Open remote transactions are aborted
+// by server-side session teardown.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cn := range c.conns {
+		if cn != nil {
+			cn.close()
+		}
+	}
+	return nil
+}
+
+// clientTable is a remote table handle. Ops carry the table name on the
+// wire, so handles stay valid across reconnects and server restarts.
+type clientTable struct {
+	c       *Client
+	name    string
+	ensured bool // CreateTable acknowledged by the server
+	mu      sync.Mutex
+}
+
+// Name implements engine.Table.
+func (t *clientTable) Name() string { return t.name }
+
+// ensure retries the remote CreateTable if the original attempt was lost to
+// a connection failure.
+func (t *clientTable) ensure(cn *conn) error {
+	t.mu.Lock()
+	done := t.ensured
+	t.mu.Unlock()
+	if done {
+		return nil
+	}
+	st, detail, _, err := cn.call(proto.MsgCreateTable, proto.AppendBytes(nil, []byte(t.name)))
+	if err != nil {
+		return err
+	}
+	if err := st.Err(detail); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.ensured = true
+	t.mu.Unlock()
+	return nil
+}
+
+// recreate forces a fresh remote CreateTable; used when the server reports
+// the table unknown (its creation was lost to a restart).
+func (t *clientTable) recreate(cn *conn) error {
+	t.mu.Lock()
+	t.ensured = false
+	t.mu.Unlock()
+	return t.ensure(cn)
+}
+
+// handle returns the cached table handle for name, creating it if absent.
+// Caching keeps handle identity: CreateTable and OpenTable of the same name
+// return the same engine.Table, matching in-process engines.
+func (c *Client) handle(name string) *clientTable {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	t, ok := c.tables[name]
+	if !ok {
+		t = &clientTable{c: c, name: name}
+		c.tables[name] = t
+	}
+	return t
+}
+
+// CreateTable makes (or opens) the named table on the server. Network
+// failures are absorbed: the returned handle re-attempts creation on first
+// use, so retry loops converge once the server is reachable.
+func (c *Client) CreateTable(name string) engine.Table {
+	t := c.handle(name)
+	if cn, err := c.conn(0); err == nil {
+		t.ensure(cn)
+	}
+	return t
+}
+
+// OpenTable returns a handle to an existing table, or nil if the server
+// does not have it (or cannot be reached).
+func (c *Client) OpenTable(name string) engine.Table {
+	cn, err := c.conn(0)
+	if err != nil {
+		return nil
+	}
+	st, detail, _, err := cn.call(proto.MsgOpenTable, proto.AppendBytes(nil, []byte(name)))
+	if err != nil || st.Err(detail) != nil {
+		return nil
+	}
+	t := c.handle(name)
+	t.mu.Lock()
+	t.ensured = true
+	t.mu.Unlock()
+	return t
+}
+
+// Begin starts a read-write transaction pinned to pool connection
+// worker%PoolSize. Failures surface on the returned transaction's
+// operations (engine.DB.Begin has no error return), as the retryable
+// engine.ErrConnLost.
+func (c *Client) Begin(worker int) engine.Txn { return c.begin(worker, 0) }
+
+// BeginReadOnly starts a read-only transaction.
+func (c *Client) BeginReadOnly(worker int) engine.Txn {
+	return c.begin(worker, proto.BeginReadOnly)
+}
+
+func (c *Client) begin(worker int, flags byte) engine.Txn {
+	cn, err := c.conn(worker)
+	if err != nil {
+		return &clientTxn{err: err}
+	}
+	st, detail, d, err := cn.call(proto.MsgBegin, proto.AppendU8(nil, flags))
+	if err != nil {
+		return &clientTxn{err: err}
+	}
+	if err := st.Err(detail); err != nil {
+		return &clientTxn{err: err}
+	}
+	id := d.U64()
+	if d.Err() != nil {
+		return &clientTxn{err: connLost(d.Err())}
+	}
+	return &clientTxn{c: c, cn: cn, id: id}
+}
+
+// Health fetches the server's engine health snapshot. Cause is the causing
+// fault's text ("" when healthy).
+func (c *Client) Health() (state engine.HealthState, cause string, err error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return 0, "", err
+	}
+	st, detail, d, err := cn.call(proto.MsgHealth, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := st.Err(detail); err != nil {
+		return 0, "", err
+	}
+	state = engine.HealthState(d.U8())
+	cause = string(d.Bytes())
+	return state, cause, d.Err()
+}
+
+// ServerStats is the server-level counter snapshot (see server.StatsSnapshot).
+type ServerStats struct {
+	Conns         uint32
+	OpenTxns      uint32
+	Commits       uint64
+	Aborts        uint64
+	GroupBatches  uint64
+	GroupCommits  uint64
+	DurableOffset uint64
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (ServerStats, error) {
+	var out ServerStats
+	cn, err := c.conn(0)
+	if err != nil {
+		return out, err
+	}
+	st, detail, d, err := cn.call(proto.MsgStats, nil)
+	if err != nil {
+		return out, err
+	}
+	if err := st.Err(detail); err != nil {
+		return out, err
+	}
+	out.Conns = d.U32()
+	out.OpenTxns = d.U32()
+	out.Commits = d.U64()
+	out.Aborts = d.U64()
+	out.GroupBatches = d.U64()
+	out.GroupCommits = d.U64()
+	out.DurableOffset = d.U64()
+	return out, d.Err()
+}
+
+// Reattach asks the server to heal a degraded engine (admin operation); it
+// returns the server's reattach report text.
+func (c *Client) Reattach() (string, error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return "", err
+	}
+	st, detail, d, err := cn.call(proto.MsgReattach, nil)
+	if err != nil {
+		return "", err
+	}
+	if err := st.Err(detail); err != nil {
+		return "", err
+	}
+	report := string(d.Bytes())
+	return report, d.Err()
+}
+
+var _ engine.DB = (*Client)(nil)

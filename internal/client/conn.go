@@ -1,0 +1,149 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// conn is one pipelined wire connection. Any number of goroutines may issue
+// calls concurrently: writes are serialized under wmu, and a single reader
+// goroutine dispatches responses to their waiters by request id — which is
+// what lets the server acknowledge commits out of order from the group
+// committer while the rest of the pipeline keeps flowing.
+type conn struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	broken  bool
+	cause   error
+}
+
+type response struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+func dialConn(addr string, timeout time.Duration) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelined small frames must not wait on Nagle
+	}
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		typ, id, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if ok {
+			ch <- response{typ: typ, payload: payload}
+		}
+	}
+}
+
+// fail marks the connection broken and releases every in-flight caller with
+// the cause; their requests' outcomes are indeterminate.
+func (c *conn) fail(cause error) {
+	c.nc.Close()
+	c.pmu.Lock()
+	if !c.broken {
+		c.broken = true
+		c.cause = cause
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.pmu.Unlock()
+	for _, ch := range pending {
+		ch <- response{err: cause}
+	}
+}
+
+func (c *conn) isBroken() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.broken
+}
+
+func (c *conn) close() { c.fail(errClientClosed) }
+
+// call performs one request/response exchange. Transport failures surface
+// as engine.ErrConnLost so retry loops treat them like any other retryable
+// conflict; protocol-level outcomes are carried in the returned status.
+func (c *conn) call(typ byte, payload []byte) (proto.Status, string, *proto.Dec, error) {
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	if c.broken {
+		cause := c.cause
+		c.pmu.Unlock()
+		return 0, "", nil, connLost(cause)
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := proto.WriteFrame(c.bw, typ, id, payload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		c.fail(err)
+		return 0, "", nil, connLost(err)
+	}
+
+	r := <-ch
+	if r.err != nil {
+		return 0, "", nil, connLost(r.err)
+	}
+	if r.typ != typ|proto.RespFlag {
+		err := fmt.Errorf("%w: response type %#x for request %#x", proto.ErrBadFrame, r.typ, typ)
+		c.fail(err)
+		return 0, "", nil, connLost(err)
+	}
+	d := proto.NewDec(r.payload)
+	st := d.Status()
+	detail := string(d.Bytes())
+	if d.Err() != nil {
+		c.fail(d.Err())
+		return 0, "", nil, connLost(d.Err())
+	}
+	return st, detail, d, nil
+}
+
+func connLost(cause error) error {
+	return fmt.Errorf("%w: %v", engine.ErrConnLost, cause)
+}

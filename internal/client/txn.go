@@ -1,0 +1,209 @@
+package client
+
+import (
+	"errors"
+
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// clientTxn is one remote transaction, pinned to the pool connection whose
+// server session owns it. Like engine transactions it is single-goroutine.
+// A transport failure is sticky: every later operation (including Commit)
+// reports the original engine.ErrConnLost, and the server aborts the
+// orphaned transaction during session teardown.
+type clientTxn struct {
+	c    *Client
+	cn   *conn
+	id   uint64
+	err  error // sticky failure; also set for a failed Begin
+	done bool
+}
+
+// fail records the first transport failure.
+func (t *clientTxn) fail(err error) error {
+	if t.err == nil {
+		t.err = err
+	}
+	return err
+}
+
+// table resolves the engine.Table argument, ensuring the table exists
+// server-side if its creation was lost to a network failure.
+func (t *clientTxn) table(tbl engine.Table) (*clientTable, error) {
+	ct, ok := tbl.(*clientTable)
+	if !ok {
+		return nil, proto.ErrUnknownTable
+	}
+	if err := ct.ensure(t.cn); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// op runs one keyed operation RPC and returns the response body decoder.
+func (t *clientTxn) op(typ byte, tbl engine.Table, key, value []byte) (*proto.Dec, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if t.done {
+		return nil, engine.ErrAborted
+	}
+	ct, err := t.table(tbl)
+	if err != nil {
+		return nil, t.fail(err)
+	}
+	for attempt := 0; ; attempt++ {
+		p := proto.AppendU64(nil, t.id)
+		p = proto.AppendBytes(p, []byte(ct.name))
+		p = proto.AppendBytes(p, key)
+		if typ == proto.MsgInsert || typ == proto.MsgUpdate {
+			p = proto.AppendBytes(p, value)
+		}
+		st, detail, d, err := t.cn.call(typ, p)
+		if err != nil {
+			return nil, t.fail(err)
+		}
+		if err := st.Err(detail); err != nil {
+			// A handle can go stale across a server restart that lost the
+			// table's creation; re-create and retry once, transparently.
+			if errors.Is(err, proto.ErrUnknownTable) && attempt == 0 {
+				if err := ct.recreate(t.cn); err == nil {
+					continue
+				}
+			}
+			return nil, err // taxonomy error: not sticky, the txn may abort normally
+		}
+		return d, nil
+	}
+}
+
+// Get implements engine.Txn.
+func (t *clientTxn) Get(tbl engine.Table, key []byte) ([]byte, error) {
+	d, err := t.op(proto.MsgGet, tbl, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	v := d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, t.fail(connLost(err))
+	}
+	return v, nil
+}
+
+// Insert implements engine.Txn.
+func (t *clientTxn) Insert(tbl engine.Table, key, value []byte) error {
+	_, err := t.op(proto.MsgInsert, tbl, key, value)
+	return err
+}
+
+// Update implements engine.Txn.
+func (t *clientTxn) Update(tbl engine.Table, key, value []byte) error {
+	_, err := t.op(proto.MsgUpdate, tbl, key, value)
+	return err
+}
+
+// Delete implements engine.Txn.
+func (t *clientTxn) Delete(tbl engine.Table, key []byte) error {
+	_, err := t.op(proto.MsgDelete, tbl, key, nil)
+	return err
+}
+
+// Scan implements engine.Txn. Large ranges page transparently: each page is
+// one RPC inside the same server-side transaction, so the whole scan sees
+// one snapshot and phantom protection covers the full range.
+func (t *clientTxn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []byte) bool) error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return engine.ErrAborted
+	}
+	ct, err := t.table(tbl)
+	if err != nil {
+		return t.fail(err)
+	}
+	cursor := lo
+	recreated := false
+	for {
+		p := proto.AppendU64(nil, t.id)
+		p = proto.AppendBytes(p, []byte(ct.name))
+		p = proto.AppendU32(p, 0) // 0: server page size
+		hasHi := byte(0)
+		if hi != nil {
+			hasHi = 1
+		}
+		p = proto.AppendU8(p, hasHi)
+		p = proto.AppendBytes(p, cursor)
+		p = proto.AppendBytes(p, hi)
+		st, detail, d, err := t.cn.call(proto.MsgScan, p)
+		if err != nil {
+			return t.fail(err)
+		}
+		if err := st.Err(detail); err != nil {
+			if errors.Is(err, proto.ErrUnknownTable) && !recreated {
+				recreated = true
+				if err := ct.recreate(t.cn); err == nil {
+					continue
+				}
+			}
+			return err
+		}
+		n := d.U32()
+		var last []byte
+		for i := uint32(0); i < n; i++ {
+			k := d.Bytes()
+			v := d.Bytes()
+			if d.Err() != nil {
+				break
+			}
+			last = k
+			if !fn(k, v) {
+				return nil
+			}
+		}
+		more := d.U8()
+		if err := d.Err(); err != nil {
+			return t.fail(connLost(err))
+		}
+		if more == 0 {
+			return nil
+		}
+		// Resume just past the last delivered key: its immediate successor
+		// in bytewise order is last+0x00.
+		cursor = append(append(make([]byte, 0, len(last)+1), last...), 0)
+	}
+}
+
+// Commit implements engine.Txn. A positive response means the server's
+// durability policy was satisfied; a lost connection means the outcome is
+// indeterminate and surfaces as the retryable engine.ErrConnLost.
+func (t *clientTxn) Commit() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return engine.ErrAborted
+	}
+	t.done = true
+	st, detail, _, err := t.cn.call(proto.MsgCommit, proto.AppendU64(nil, t.id))
+	if err != nil {
+		return err
+	}
+	return st.Err(detail)
+}
+
+// Abort implements engine.Txn. Best-effort over the wire: if the
+// connection is gone the server-side session teardown aborts the orphan.
+func (t *clientTxn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	if t.err != nil || t.cn == nil {
+		return
+	}
+	t.cn.call(proto.MsgAbort, proto.AppendU64(nil, t.id))
+}
+
+var _ engine.Txn = (*clientTxn)(nil)

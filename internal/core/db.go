@@ -309,6 +309,13 @@ func (db *DB) RunGC() int {
 // read-only; see Health and Reattach.
 func (db *DB) WaitDurable() error { return db.noteLogErr(db.log.Flush()) }
 
+// SyncCommit is the per-commit durability wait of a traditional
+// synchronous-commit server: everything reserved so far becomes durable and
+// the caller additionally pays its own device sync, even when another
+// committer's sync already covered it. The network server's naive
+// durability mode uses it as the baseline group commit is measured against.
+func (db *DB) SyncCommit() error { return db.noteLogErr(db.log.SyncCommit(db.log.CurrentOffset())) }
+
 // Close stops background work and shuts down the log.
 func (db *DB) Close() error {
 	db.closeOnce.Do(func() {

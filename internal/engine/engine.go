@@ -37,6 +37,20 @@ var (
 	// retrying without healing the device cannot succeed, so IsRetryable
 	// reports false. Observe DB health and call Reattach instead.
 	ErrReadOnlyDegraded = errors.New("engine: database degraded to read-only")
+	// ErrConnLost reports a network operation whose connection died before a
+	// response arrived. For a commit the true outcome is indeterminate — the
+	// server may have committed before the connection broke. It is classified
+	// retryable because RunWithRetry already requires idempotent transaction
+	// bodies; callers that cannot retry blindly must reconcile by reading.
+	ErrConnLost = errors.New("engine: connection lost before response")
+	// ErrOverloaded reports a transaction refused by server admission
+	// control (no free worker slot). Retryable: backoff clears the burst.
+	ErrOverloaded = errors.New("engine: server overloaded")
+	// ErrShutdown reports a transaction refused because the server is
+	// draining. Like ErrReadOnlyDegraded it is an availability error, not a
+	// conflict: this server instance will not accept the work, so the retry
+	// loop returns immediately instead of spinning through the drain.
+	ErrShutdown = errors.New("engine: server shutting down")
 )
 
 // IsRetryable reports whether err is a concurrency conflict the application
@@ -45,7 +59,9 @@ func IsRetryable(err error) bool {
 	return errors.Is(err, ErrWriteConflict) ||
 		errors.Is(err, ErrReadValidation) ||
 		errors.Is(err, ErrSerialization) ||
-		errors.Is(err, ErrPhantom)
+		errors.Is(err, ErrPhantom) ||
+		errors.Is(err, ErrConnLost) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // Table identifies one table (index + storage) inside a DB. Concrete

@@ -51,7 +51,7 @@ func Classify(err error) Outcome {
 		return OutcomeCommitted
 	case IsRetryable(err):
 		return OutcomeConflict
-	case errors.Is(err, ErrReadOnlyDegraded):
+	case errors.Is(err, ErrReadOnlyDegraded), errors.Is(err, ErrShutdown):
 		return OutcomeUnavailable
 	default:
 		return OutcomeFatal

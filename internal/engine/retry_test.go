@@ -26,8 +26,14 @@ func TestClassifyAuditsEveryAbortCause(t *testing.T) {
 		{"read-validation", ErrReadValidation, true, OutcomeConflict},
 		{"serialization", ErrSerialization, true, OutcomeConflict},
 		{"phantom", ErrPhantom, true, OutcomeConflict},
+		// Network-era conflicts: a lost connection leaves the outcome
+		// indeterminate (retry requires the usual idempotence contract), and
+		// admission-control rejections clear with backoff.
+		{"conn-lost", ErrConnLost, true, OutcomeConflict},
+		{"overloaded", ErrOverloaded, true, OutcomeConflict},
 		// Availability: retrying without healing the engine cannot succeed.
 		{"read-only-degraded", ErrReadOnlyDegraded, false, OutcomeUnavailable},
+		{"shutdown", ErrShutdown, false, OutcomeUnavailable},
 		// Logic errors: the application must handle them.
 		{"not-found", ErrNotFound, false, OutcomeFatal},
 		{"duplicate", ErrDuplicate, false, OutcomeFatal},

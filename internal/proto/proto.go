@@ -1,0 +1,237 @@
+// Package proto is the wire protocol of the ERMIA network service: a
+// length-prefixed, CRC-protected binary framing plus the payload encodings
+// shared by internal/server and internal/client.
+//
+// Frame layout (little-endian):
+//
+//	offset  size  field
+//	0       2     magic 0xE27A
+//	2       1     protocol version (1)
+//	3       1     message type (high bit set on responses)
+//	4       8     request id (echoed verbatim in the response)
+//	12      4     payload length N
+//	16      N     payload
+//	16+N    4     CRC-32C over bytes [0, 16+N)
+//
+// Responses to a request of type T carry type T|RespFlag and a payload that
+// begins with a 2-byte status code; the rest of the payload is
+// message-specific. Requests on one connection may be pipelined arbitrarily;
+// the server is free to answer commits out of order (group commit), which is
+// why responses are matched by request id rather than by arrival order.
+//
+// Payload fields use the Enc/Dec helpers below: fixed-width little-endian
+// integers and uvarint-length-prefixed byte strings.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Framing constants.
+const (
+	Magic      = 0xE27A
+	Version    = 1
+	HeaderSize = 16
+	// MaxPayload bounds a single frame's payload; larger messages (scans)
+	// must page. It also caps the allocation a hostile peer can force.
+	MaxPayload = 8 << 20
+	// RespFlag marks a frame as the response to the request type in the low
+	// bits.
+	RespFlag = 0x80
+)
+
+// Message types. A response frame uses the request's type with RespFlag set.
+const (
+	MsgBegin byte = iota + 1
+	MsgGet
+	MsgInsert
+	MsgUpdate
+	MsgDelete
+	MsgScan
+	MsgCommit
+	MsgAbort
+	MsgCreateTable
+	MsgOpenTable
+	MsgHealth
+	MsgStats
+	MsgReattach
+)
+
+// Begin request flag bits.
+const (
+	BeginReadOnly byte = 1 << 0
+)
+
+// Framing errors.
+var (
+	// ErrBadFrame reports a malformed frame: wrong magic, unknown version,
+	// or CRC mismatch. The connection cannot be resynchronized and must be
+	// closed.
+	ErrBadFrame = errors.New("proto: malformed frame")
+	// ErrFrameTooLarge reports a frame whose declared payload exceeds
+	// MaxPayload.
+	ErrFrameTooLarge = errors.New("proto: frame too large")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends a complete frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, typ byte, reqID uint64, payload []byte) []byte {
+	start := len(dst)
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint16(h[0:], Magic)
+	h[2] = Version
+	h[3] = typ
+	binary.LittleEndian.PutUint64(h[4:], reqID)
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(payload)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// WriteFrame writes one frame to w (callers typically pass a bufio.Writer
+// and flush when the pipeline empties).
+func WriteFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)+4), typ, reqID, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one complete frame from r, verifying magic, version, size
+// bound, and CRC. The returned payload is freshly allocated.
+func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) {
+	var h [HeaderSize]byte
+	if _, err = io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if binary.LittleEndian.Uint16(h[0:]) != Magic || h[2] != Version {
+		return 0, 0, nil, ErrBadFrame
+	}
+	typ = h[3]
+	reqID = binary.LittleEndian.Uint64(h[4:])
+	plen := binary.LittleEndian.Uint32(h[12:])
+	if plen > MaxPayload {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	rest := make([]byte, int(plen)+4)
+	if _, err = io.ReadFull(r, rest); err != nil {
+		// A truncated body is a framing violation, not a clean EOF.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	sum := crc32.Checksum(h[:], castagnoli)
+	sum = crc32.Update(sum, castagnoli, rest[:plen])
+	if sum != binary.LittleEndian.Uint32(rest[plen:]) {
+		return 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	}
+	return typ, reqID, rest[:plen:plen], nil
+}
+
+// ---- Payload encoding helpers ----
+
+// AppendBytes appends a uvarint-length-prefixed byte string.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendU64 appends a fixed-width little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendU32 appends a fixed-width little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU16 appends a fixed-width little-endian uint16.
+func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v byte) []byte { return append(b, v) }
+
+// Dec decodes a payload sequentially. Decoding errors are sticky: after the
+// first short read every accessor returns zero values and Err reports
+// ErrBadFrame, so message decoders can run straight-line and check once.
+type Dec struct {
+	b   []byte
+	bad bool
+}
+
+// NewDec returns a decoder over p.
+func NewDec(p []byte) *Dec { return &Dec{b: p} }
+
+// Bytes decodes a uvarint-length-prefixed byte string (aliasing the input).
+func (d *Dec) Bytes() []byte {
+	if d.bad {
+		return nil
+	}
+	n, used := binary.Uvarint(d.b)
+	if used <= 0 || n > uint64(len(d.b)-used) {
+		d.bad = true
+		return nil
+	}
+	p := d.b[used : used+int(n) : used+int(n)]
+	d.b = d.b[used+int(n):]
+	return p
+}
+
+// U64 decodes a fixed-width uint64.
+func (d *Dec) U64() uint64 {
+	if d.bad || len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// U32 decodes a fixed-width uint32.
+func (d *Dec) U32() uint32 {
+	if d.bad || len(d.b) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+// U16 decodes a fixed-width uint16.
+func (d *Dec) U16() uint16 {
+	if d.bad || len(d.b) < 2 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+// U8 decodes one byte.
+func (d *Dec) U8() byte {
+	if d.bad || len(d.b) < 1 {
+		d.bad = true
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Err reports whether decoding ran past the payload.
+func (d *Dec) Err() error {
+	if d.bad {
+		return fmt.Errorf("%w: truncated payload", ErrBadFrame)
+	}
+	return nil
+}

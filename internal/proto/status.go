@@ -1,0 +1,107 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"ermia/internal/engine"
+)
+
+// Status is the 2-byte outcome code leading every response payload. The
+// codes are a bijection with the engine error taxonomy (plus the
+// server-side admission codes), so a client can rebuild the exact sentinel
+// error a local engine would have returned — errors.Is, Classify, and
+// RunWithRetry behave identically over the wire and in process.
+type Status uint16
+
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusDuplicate
+	StatusWriteConflict
+	StatusReadValidation
+	StatusSerialization
+	StatusPhantom
+	StatusAborted
+	StatusReadOnlyDegraded
+	StatusOverloaded
+	StatusShuttingDown
+	// StatusUnknownTxn reports an operation naming a transaction id the
+	// session does not hold (already ended, or never begun here).
+	StatusUnknownTxn
+	// StatusUnknownTable reports an operation naming a table that does not
+	// exist on the server.
+	StatusUnknownTable
+	// StatusBadRequest reports a payload the server could parse as a frame
+	// but not as a message.
+	StatusBadRequest
+	// StatusInternal carries any error outside the taxonomy as text.
+	StatusInternal
+)
+
+// Server-side request errors with no engine sentinel. They are fatal to the
+// issuing transaction, matching how a local engine treats misuse.
+var (
+	ErrUnknownTxn   = errors.New("proto: unknown transaction id")
+	ErrUnknownTable = errors.New("proto: unknown table")
+	ErrBadRequest   = errors.New("proto: bad request")
+)
+
+// statusTable is the bijection between statuses and sentinel errors; both
+// directions below walk it, so the two mappings cannot drift apart.
+var statusTable = []struct {
+	status Status
+	err    error
+}{
+	{StatusNotFound, engine.ErrNotFound},
+	{StatusDuplicate, engine.ErrDuplicate},
+	{StatusWriteConflict, engine.ErrWriteConflict},
+	{StatusReadValidation, engine.ErrReadValidation},
+	{StatusSerialization, engine.ErrSerialization},
+	{StatusPhantom, engine.ErrPhantom},
+	{StatusAborted, engine.ErrAborted},
+	{StatusReadOnlyDegraded, engine.ErrReadOnlyDegraded},
+	{StatusOverloaded, engine.ErrOverloaded},
+	{StatusShuttingDown, engine.ErrShutdown},
+	{StatusUnknownTxn, ErrUnknownTxn},
+	{StatusUnknownTable, ErrUnknownTable},
+	{StatusBadRequest, ErrBadRequest},
+}
+
+// StatusOf maps a server-side error to its wire status plus a detail string
+// (non-empty only for StatusInternal, whose text is the only information the
+// client gets).
+func StatusOf(err error) (Status, string) {
+	if err == nil {
+		return StatusOK, ""
+	}
+	for _, e := range statusTable {
+		if errors.Is(err, e.err) {
+			return e.status, ""
+		}
+	}
+	return StatusInternal, err.Error()
+}
+
+// Err rebuilds the typed error for a status received off the wire. detail
+// is the StatusInternal text; returns nil for StatusOK.
+func (s Status) Err(detail string) error {
+	if s == StatusOK {
+		return nil
+	}
+	for _, e := range statusTable {
+		if e.status == s {
+			return e.err
+		}
+	}
+	if s == StatusInternal {
+		return fmt.Errorf("proto: server error: %s", detail)
+	}
+	return fmt.Errorf("proto: unknown status %d (%s)", s, detail)
+}
+
+// AppendStatus appends a response status header to b.
+func AppendStatus(b []byte, s Status) []byte { return AppendU16(b, uint16(s)) }
+
+// DecStatus reads the response status header.
+func (d *Dec) Status() Status { return Status(d.U16()) }

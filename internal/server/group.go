@@ -1,0 +1,100 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"ermia/internal/proto"
+)
+
+// commitAck is one commit waiting for its durability acknowledgment.
+type commitAck struct {
+	sess  *session
+	reqID uint64
+}
+
+// groupCommitter amortizes commit durability across connections. Sessions
+// enqueue logically-committed transactions and move on (their pipelines
+// keep flowing; responses are matched by request id, so a commit ack may
+// overtake later responses). The committer gathers everything that has
+// accumulated, issues ONE WaitDurable — during which the next batch
+// accumulates behind it — and releases every gathered acknowledgment at
+// once. No timer and no artificial batching window: the device sync itself
+// is the batching window, which is classic group commit.
+type groupCommitter struct {
+	srv  *Server
+	ch   chan commitAck
+	stop chan struct{}
+	done chan struct{}
+
+	batches atomic.Uint64
+	commits atomic.Uint64
+}
+
+func newGroupCommitter(srv *Server) *groupCommitter {
+	return &groupCommitter{
+		srv:  srv,
+		ch:   make(chan commitAck, 4*cap(srv.slots)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// enqueue hands a committed transaction's acknowledgment to the committer.
+// The caller must hold the session's async-response count (wg) so teardown
+// cannot close the response channel underneath the eventual respond.
+func (g *groupCommitter) enqueue(a commitAck) { g.ch <- a }
+
+func (g *groupCommitter) run() {
+	defer close(g.done)
+	var batch []commitAck
+	for {
+		var first commitAck
+		select {
+		case first = <-g.ch:
+		case <-g.stop:
+			// Sessions have all exited by the time the server stops us;
+			// this drain only covers a shutdown race.
+			for {
+				select {
+				case a := <-g.ch:
+					g.flush([]commitAck{a})
+				default:
+					return
+				}
+			}
+		}
+		batch = append(batch[:0], first)
+	gather:
+		for {
+			select {
+			case a := <-g.ch:
+				batch = append(batch, a)
+			default:
+				break gather
+			}
+		}
+		g.flush(batch)
+	}
+}
+
+// flush makes the batch durable with a single wait and releases every
+// acknowledgment.
+func (g *groupCommitter) flush(batch []commitAck) {
+	err := g.srv.waitDurable()
+	g.batches.Add(1)
+	g.commits.Add(uint64(len(batch)))
+	st, detail := proto.StatusOf(err)
+	for _, a := range batch {
+		a.sess.respond(proto.MsgCommit, a.reqID, respPayload(st, detail, nil))
+		if st == proto.StatusOK {
+			g.srv.commits.Add(1)
+		}
+		a.sess.wg.Done()
+	}
+}
+
+// close stops the committer; call only after every session has exited.
+func (g *groupCommitter) close() {
+	close(g.stop)
+	<-g.done
+}

@@ -1,0 +1,361 @@
+// Package server puts an engine behind a TCP socket: per-connection
+// sessions speak the internal/proto framing with arbitrary request
+// pipelining, a bounded worker-slot pool applies admission control across
+// connections, and commit durability is acknowledged through a
+// cross-connection group committer — many concurrent sessions share one
+// WaitDurable wakeup per device sync instead of paying one fsync wait each,
+// which is exactly the amortization ERMIA's centralized log (one
+// fetch-and-add per commit) was designed to feed.
+//
+// Lifecycle rules:
+//
+//   - A transaction belongs to the session that began it; its id is only
+//     meaningful on that connection.
+//   - Every transaction holds one engine worker slot from Begin until
+//     Commit/Abort returns. The pool bounds in-flight transactions
+//     server-wide; an empty pool refuses Begin with StatusOverloaded
+//     (retryable) rather than queueing, so a session's pipeline can never
+//     deadlock behind its own open transactions.
+//   - Session teardown — graceful or forced — aborts still-open
+//     transactions through the normal engine Abort path, so epoch slots,
+//     TID-table entries, and reader marks are reclaimed exactly as if the
+//     client had aborted.
+//   - Shutdown drains: the listener closes, new Begins are refused with
+//     StatusShuttingDown, in-flight transactions run to completion, and
+//     every response already owed (including group-commit acks) is flushed
+//     before the connection closes. Past the context deadline, connections
+//     are force-closed and orphans aborted.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ermia/internal/engine"
+	"ermia/internal/wal"
+)
+
+// Durability selects what a positive Commit response promises.
+type Durability int
+
+const (
+	// DurabilityGroup (the default) acknowledges commits from the
+	// cross-connection group committer: one WaitDurable covers every commit
+	// that arrived while the previous device sync was in flight.
+	DurabilityGroup Durability = iota
+	// DurabilityPerCommit is the naive synchronous-commit baseline: every
+	// commit pays its own device sync before the acknowledgment, with no
+	// cross-connection coordination.
+	DurabilityPerCommit
+	// DurabilityNone acknowledges as soon as the commit is logically
+	// applied; durability rides behind on the engine's background flusher.
+	DurabilityNone
+)
+
+func (d Durability) String() string {
+	switch d {
+	case DurabilityGroup:
+		return "group"
+	case DurabilityPerCommit:
+		return "percommit"
+	case DurabilityNone:
+		return "none"
+	default:
+		return fmt.Sprintf("durability(%d)", int(d))
+	}
+}
+
+// Config configures a Server.
+type Config struct {
+	// DB is the engine to serve. Required.
+	DB engine.DB
+	// MaxConns caps concurrent connections; further dials wait in the
+	// listen backlog (backpressure) rather than being churned. Default 64.
+	MaxConns int
+	// Workers is the size of the worker-slot pool shared by all sessions;
+	// it bounds in-flight transactions server-wide and must not exceed the
+	// engine's worker capacity (256 for the ERMIA core). Default 64.
+	Workers int
+	// Durability selects the commit acknowledgment policy.
+	Durability Durability
+	// ScanPageSize caps key/value pairs in one Scan response page; clients
+	// page transparently. Default 1024.
+	ScanPageSize int
+	// ReattachFn, when set, serves the admin Reattach frame: heal the
+	// engine's log device and return a human-readable report (wire it to
+	// DB.Reattach). Nil refuses the frame.
+	ReattachFn func() (string, error)
+}
+
+// StatsSnapshot is the server-level counter set served by the Stats frame.
+type StatsSnapshot struct {
+	Conns         uint32 // current connections
+	OpenTxns      uint32 // transactions currently holding a slot
+	Commits       uint64 // positively acknowledged commits
+	Aborts        uint64 // aborts, including conflict-failed commits
+	GroupBatches  uint64 // group-commit wakeups
+	GroupCommits  uint64 // commits acknowledged by those wakeups
+	DurableOffset uint64 // engine log durable horizon (0 if unavailable)
+}
+
+// Server serves one engine over TCP.
+type Server struct {
+	cfg Config
+	db  engine.DB
+
+	// waitDurable is the group-commit action; syncCommit the per-commit
+	// baseline. Resolved from the engine's capabilities at New.
+	waitDurable func() error
+	syncCommit  func() error
+	logOf       func() uint64
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	doneCh   chan struct{} // closed when Shutdown begins (drain signal)
+	connSem  chan struct{}
+	slots    chan int
+	gc       *groupCommitter
+	sessWG   sync.WaitGroup
+	sessMu   sync.Mutex
+	sessions map[*session]struct{}
+
+	nextTxnID atomic.Uint64
+
+	conns    atomic.Int32
+	openTxns atomic.Int32
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New builds a Server around cfg.DB. Call Serve or ListenAndServe to start
+// accepting.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.ScanPageSize <= 0 {
+		cfg.ScanPageSize = 1024
+	}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		doneCh:   make(chan struct{}),
+		connSem:  make(chan struct{}, cfg.MaxConns),
+		slots:    make(chan int, cfg.Workers),
+		sessions: make(map[*session]struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.slots <- i
+	}
+	s.resolveDurability()
+	s.gc = newGroupCommitter(s)
+	go s.gc.run()
+	return s, nil
+}
+
+// resolveDurability binds the durability actions to whatever the engine
+// offers: the ERMIA core exposes WaitDurable/SyncCommit, the Silo baseline
+// SyncLog; an engine with neither degrades every mode to DurabilityNone.
+func (s *Server) resolveDurability() {
+	s.waitDurable = func() error { return nil }
+	s.logOf = func() uint64 { return 0 }
+	if w, ok := s.db.(interface{ WaitDurable() error }); ok {
+		s.waitDurable = w.WaitDurable
+	} else if l, ok := s.db.(interface{ SyncLog() error }); ok {
+		s.waitDurable = l.SyncLog
+	}
+	s.syncCommit = s.waitDurable
+	if p, ok := s.db.(interface{ SyncCommit() error }); ok {
+		s.syncCommit = p.SyncCommit
+	}
+	if lp, ok := s.db.(interface{ Log() *wal.Manager }); ok {
+		s.logOf = func() uint64 { return lp.Log().DurableOffset() }
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It returns nil
+// after a clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.lnMu.Unlock()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		// Admission before Accept: at MaxConns sessions the server stops
+		// accepting entirely and lets the kernel backlog queue dials.
+		select {
+		case s.connSem <- struct{}{}:
+		case <-s.doneCh:
+			return nil
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-s.connSem
+			select {
+			case <-s.doneCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.startSession(nc)
+	}
+}
+
+// Addr returns the listener address once Serve has started, else nil.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// acquireSlot is non-blocking admission control: queueing here could
+// deadlock a session pipeline behind its own open transactions.
+func (s *Server) acquireSlot() (int, bool) {
+	select {
+	case w := <-s.slots:
+		return w, true
+	default:
+		return 0, false
+	}
+}
+
+func (s *Server) releaseSlot(w int) { s.slots <- w }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Conns:         uint32(s.conns.Load()),
+		OpenTxns:      uint32(s.openTxns.Load()),
+		Commits:       s.commits.Load(),
+		Aborts:        s.aborts.Load(),
+		GroupBatches:  s.gc.batches.Load(),
+		GroupCommits:  s.gc.commits.Load(),
+		DurableOffset: s.logOf(),
+	}
+}
+
+func (s *Server) startSession(nc net.Conn) {
+	sess := newSession(s, nc)
+	s.sessMu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.sessMu.Unlock()
+	s.sessWG.Add(1)
+	s.conns.Add(1)
+	sess.start()
+	if s.draining() {
+		// Raced in during drain: answer what arrives, close as soon as idle.
+		sess.kickIfIdle()
+	}
+}
+
+func (s *Server) removeSession(sess *session) {
+	s.sessMu.Lock()
+	delete(s.sessions, sess)
+	s.sessMu.Unlock()
+	s.conns.Add(-1)
+	<-s.connSem
+	s.sessWG.Done()
+}
+
+func (s *Server) snapshotSessions() []*session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	out := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// Shutdown drains the server: stop accepting, refuse new transactions,
+// finish in-flight ones, flush every owed response, then close. Past ctx's
+// deadline remaining connections are force-closed and their open
+// transactions aborted through the normal abort path. Safe to call once;
+// later calls return the first result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() { s.shutErr = s.shutdown(ctx) })
+	return s.shutErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	close(s.doneCh)
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	// Idle sessions (no open transactions) are parked in a blocking read;
+	// poke them so their handlers can answer anything queued and exit.
+	for _, sess := range s.snapshotSessions() {
+		sess.kickIfIdle()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		for _, sess := range s.snapshotSessions() {
+			sess.forceClose()
+		}
+		<-done
+		err = ctx.Err()
+	}
+	s.gc.close()
+	return err
+}
+
+// Close force-closes the server immediately: in-flight transactions are
+// aborted through the normal abort path and their resources reclaimed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bufio"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"net"
+
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// pipelineWindow bounds decoded-but-unprocessed requests per session; a
+// client pipelining deeper than this blocks in the TCP stream, which is the
+// per-connection backpressure.
+const pipelineWindow = 64
+
+// openTxn is one live transaction owned by a session.
+type openTxn struct {
+	txn      engine.Txn
+	slot     int
+	readOnly bool
+}
+
+type request struct {
+	typ     byte
+	id      uint64
+	payload []byte
+}
+
+// session is one connection: a reader goroutine decodes frames into a
+// bounded queue, a handler goroutine executes them in arrival order against
+// the engine, and a writer goroutine streams out response frames (batched
+// into one flush whenever the queue empties). Commit acknowledgments may be
+// produced asynchronously by the group committer or a per-commit sync
+// goroutine; wg tracks those so teardown never closes the response channel
+// under a pending acknowledgment.
+type session struct {
+	srv *Server
+	nc  net.Conn
+
+	reqs chan request
+	out  chan []byte
+	wg   sync.WaitGroup // outstanding async commit responders
+
+	txns     map[uint64]openTxn
+	openTxns atomic.Int32 // mirror of len(txns) readable off-thread
+	tables   map[string]engine.Table
+
+	writerDone chan struct{}
+}
+
+func newSession(srv *Server, nc net.Conn) *session {
+	return &session{
+		srv:        srv,
+		nc:         nc,
+		reqs:       make(chan request, pipelineWindow),
+		out:        make(chan []byte, 4*pipelineWindow),
+		txns:       make(map[uint64]openTxn),
+		tables:     make(map[string]engine.Table),
+		writerDone: make(chan struct{}),
+	}
+}
+
+func (s *session) start() {
+	go s.readLoop()
+	go s.writeLoop()
+	go s.run()
+}
+
+// kickIfIdle unparks a session that holds no transactions so its handler
+// can drain queued work and exit; used by Shutdown. An immediate read
+// deadline (rather than closing the connection) lets responses already owed
+// still be written.
+func (s *session) kickIfIdle() {
+	if s.openTxns.Load() == 0 {
+		s.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+}
+
+// forceClose tears the connection down; the reader unblocks with an error
+// and the handler aborts whatever is still open.
+func (s *session) forceClose() { s.nc.Close() }
+
+func (s *session) readLoop() {
+	defer close(s.reqs)
+	br := bufio.NewReaderSize(s.nc, 64<<10)
+	for {
+		typ, id, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			return // EOF, forced close, drain kick, or framing violation
+		}
+		s.reqs <- request{typ: typ, id: id, payload: payload}
+	}
+}
+
+func (s *session) writeLoop() {
+	defer close(s.writerDone)
+	bw := bufio.NewWriterSize(s.nc, 64<<10)
+	dead := false
+	for f := range s.out {
+		if dead {
+			continue // keep draining so producers never block on a dead conn
+		}
+		// A peer that stops reading must not wedge this writer (and through
+		// a full response queue, the group committer) forever.
+		s.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := bw.Write(f); err != nil {
+			dead = true
+			continue
+		}
+		if len(s.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}
+
+// respond enqueues one response frame. Callers running outside the handler
+// goroutine must be registered in s.wg.
+func (s *session) respond(typ byte, reqID uint64, payload []byte) {
+	s.out <- proto.AppendFrame(nil, typ|proto.RespFlag, reqID, payload)
+}
+
+// respPayload builds the standard response payload: status, detail (empty
+// unless StatusInternal), then the message body.
+func respPayload(st proto.Status, detail string, body []byte) []byte {
+	p := proto.AppendStatus(make([]byte, 0, 3+len(detail)+len(body)), st)
+	p = proto.AppendBytes(p, []byte(detail))
+	return append(p, body...)
+}
+
+// run is the handler goroutine; it owns s.txns and the session lifecycle.
+func (s *session) run() {
+	defer s.teardown()
+	for req := range s.reqs {
+		s.dispatch(req)
+		if s.srv.draining() && len(s.txns) == 0 && len(s.reqs) == 0 {
+			return // graceful drain: nothing owed, nothing open
+		}
+	}
+}
+
+// teardown aborts orphaned transactions through the normal engine abort
+// path (releasing their slots and epoch resources), then shuts the
+// goroutines down in dependency order.
+func (s *session) teardown() {
+	for id, ot := range s.txns {
+		ot.txn.Abort()
+		s.srv.aborts.Add(1)
+		s.endTxn(id, ot)
+	}
+	// Unblock a parked reader WITHOUT killing the write side: responses
+	// still owed — group-commit acks in particular — must reach the peer
+	// before the connection dies.
+	if tc, ok := s.nc.(*net.TCPConn); ok {
+		tc.CloseRead()
+	} else {
+		s.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+	for range s.reqs { // reap queued requests so the reader can exit
+	}
+	s.wg.Wait() // async commit acks land before the channel closes
+	close(s.out)
+	<-s.writerDone // writer has flushed everything it will ever flush
+	s.nc.Close()
+	s.srv.removeSession(s)
+}
+
+func (s *session) endTxn(id uint64, ot openTxn) {
+	delete(s.txns, id)
+	s.openTxns.Add(-1)
+	s.srv.openTxns.Add(-1)
+	s.srv.releaseSlot(ot.slot)
+}
+
+func (s *session) dispatch(req request) {
+	d := proto.NewDec(req.payload)
+	switch req.typ {
+	case proto.MsgBegin:
+		s.handleBegin(req, d)
+	case proto.MsgGet, proto.MsgInsert, proto.MsgUpdate, proto.MsgDelete:
+		s.handleOp(req, d)
+	case proto.MsgScan:
+		s.handleScan(req, d)
+	case proto.MsgCommit:
+		s.handleCommit(req, d)
+	case proto.MsgAbort:
+		s.handleAbort(req, d)
+	case proto.MsgCreateTable, proto.MsgOpenTable:
+		s.handleTable(req, d)
+	case proto.MsgHealth:
+		s.handleHealth(req)
+	case proto.MsgStats:
+		s.handleStats(req)
+	case proto.MsgReattach:
+		s.handleReattach(req)
+	default:
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+	}
+}
+
+func (s *session) handleBegin(req request, d *proto.Dec) {
+	flags := d.U8()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	if s.srv.draining() {
+		s.respond(req.typ, req.id, respPayload(proto.StatusShuttingDown, "", nil))
+		return
+	}
+	slot, ok := s.srv.acquireSlot()
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusOverloaded, "", nil))
+		return
+	}
+	var txn engine.Txn
+	readOnly := flags&proto.BeginReadOnly != 0
+	if readOnly {
+		txn = s.srv.db.BeginReadOnly(slot)
+	} else {
+		txn = s.srv.db.Begin(slot)
+	}
+	id := s.srv.nextTxnID.Add(1)
+	s.txns[id] = openTxn{txn: txn, slot: slot, readOnly: readOnly}
+	s.openTxns.Add(1)
+	s.srv.openTxns.Add(1)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", proto.AppendU64(nil, id)))
+}
+
+// lookupTable resolves a table name through the session cache.
+func (s *session) lookupTable(name []byte) engine.Table {
+	if t, ok := s.tables[string(name)]; ok {
+		return t
+	}
+	t := s.srv.db.OpenTable(string(name))
+	if t != nil {
+		s.tables[string(name)] = t
+	}
+	return t
+}
+
+func (s *session) handleOp(req request, d *proto.Dec) {
+	txnID := d.U64()
+	name := d.Bytes()
+	key := d.Bytes()
+	var value []byte
+	if req.typ == proto.MsgInsert || req.typ == proto.MsgUpdate {
+		value = d.Bytes()
+	}
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ot, ok := s.txns[txnID]
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTxn, "", nil))
+		return
+	}
+	tbl := s.lookupTable(name)
+	if tbl == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTable, "", nil))
+		return
+	}
+	var body []byte
+	var err error
+	switch req.typ {
+	case proto.MsgGet:
+		var v []byte
+		if v, err = ot.txn.Get(tbl, key); err == nil {
+			body = proto.AppendBytes(nil, v)
+		}
+	case proto.MsgInsert:
+		err = ot.txn.Insert(tbl, key, value)
+	case proto.MsgUpdate:
+		err = ot.txn.Update(tbl, key, value)
+	case proto.MsgDelete:
+		err = ot.txn.Delete(tbl, key)
+	}
+	st, detail := proto.StatusOf(err)
+	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}
+
+func (s *session) handleScan(req request, d *proto.Dec) {
+	txnID := d.U64()
+	name := d.Bytes()
+	limit := d.U32()
+	hasHi := d.U8()
+	lo := d.Bytes()
+	hi := d.Bytes()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ot, ok := s.txns[txnID]
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTxn, "", nil))
+		return
+	}
+	tbl := s.lookupTable(name)
+	if tbl == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTable, "", nil))
+		return
+	}
+	if limit == 0 || limit > uint32(s.srv.cfg.ScanPageSize) {
+		limit = uint32(s.srv.cfg.ScanPageSize)
+	}
+	var hiArg []byte
+	if hasHi != 0 {
+		hiArg = hi
+	}
+	var pairs []byte
+	var n uint32
+	more := byte(0)
+	err := ot.txn.Scan(tbl, lo, hiArg, func(k, v []byte) bool {
+		if n >= limit {
+			more = 1
+			return false
+		}
+		pairs = proto.AppendBytes(pairs, k)
+		pairs = proto.AppendBytes(pairs, v)
+		n++
+		return true
+	})
+	st, detail := proto.StatusOf(err)
+	var body []byte
+	if st == proto.StatusOK {
+		body = proto.AppendU32(nil, n)
+		body = append(body, pairs...)
+		body = proto.AppendU8(body, more)
+	}
+	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}
+
+// handleCommit runs the engine commit synchronously (it is the CC protocol,
+// cheap and in-memory) and routes the durability wait by mode. The
+// transaction's slot is released as soon as the engine is done with it —
+// the durability wait holds no engine resources.
+func (s *session) handleCommit(req request, d *proto.Dec) {
+	txnID := d.U64()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ot, ok := s.txns[txnID]
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTxn, "", nil))
+		return
+	}
+	err := ot.txn.Commit()
+	s.endTxn(txnID, ot) // either way the engine transaction is finished
+	if err != nil {
+		s.srv.aborts.Add(1)
+		st, detail := proto.StatusOf(err)
+		s.respond(req.typ, req.id, respPayload(st, detail, nil))
+		return
+	}
+	if ot.readOnly {
+		// Nothing was logged; there is no durability to wait for (and a
+		// degraded log must not poison read-only service).
+		s.srv.commits.Add(1)
+		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+		return
+	}
+	switch s.srv.cfg.Durability {
+	case DurabilityNone:
+		s.srv.commits.Add(1)
+		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+	case DurabilityPerCommit:
+		s.wg.Add(1)
+		go func(reqID uint64) {
+			defer s.wg.Done()
+			st, detail := proto.StatusOf(s.srv.syncCommit())
+			if st == proto.StatusOK {
+				s.srv.commits.Add(1)
+			}
+			s.respond(proto.MsgCommit, reqID, respPayload(st, detail, nil))
+		}(req.id)
+	default: // DurabilityGroup
+		s.wg.Add(1)
+		s.srv.gc.enqueue(commitAck{sess: s, reqID: req.id})
+	}
+}
+
+func (s *session) handleAbort(req request, d *proto.Dec) {
+	txnID := d.U64()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ot, ok := s.txns[txnID]
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTxn, "", nil))
+		return
+	}
+	ot.txn.Abort()
+	s.srv.aborts.Add(1)
+	s.endTxn(txnID, ot)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+}
+
+func (s *session) handleTable(req request, d *proto.Dec) {
+	name := d.Bytes()
+	if d.Err() != nil || len(name) == 0 {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	if req.typ == proto.MsgCreateTable {
+		t := s.srv.db.CreateTable(string(name))
+		s.tables[string(name)] = t
+		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+		return
+	}
+	if s.lookupTable(name) == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusNotFound, "", nil))
+		return
+	}
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+}
+
+func (s *session) handleHealth(req request) {
+	st := engine.HealthStatus{State: engine.Healthy}
+	if hr, ok := s.srv.db.(engine.HealthReporter); ok {
+		st = hr.Health()
+	}
+	cause := ""
+	if st.Cause != nil {
+		cause = st.Cause.Error()
+	}
+	body := proto.AppendU8(nil, byte(st.State))
+	body = proto.AppendBytes(body, []byte(cause))
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
+}
+
+func (s *session) handleStats(req request) {
+	st := s.srv.Stats()
+	body := proto.AppendU32(nil, st.Conns)
+	body = proto.AppendU32(body, st.OpenTxns)
+	body = proto.AppendU64(body, st.Commits)
+	body = proto.AppendU64(body, st.Aborts)
+	body = proto.AppendU64(body, st.GroupBatches)
+	body = proto.AppendU64(body, st.GroupCommits)
+	body = proto.AppendU64(body, st.DurableOffset)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
+}
+
+func (s *session) handleReattach(req request) {
+	if s.srv.cfg.ReattachFn == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusInternal, "reattach unsupported on this server", nil))
+		return
+	}
+	report, err := s.srv.cfg.ReattachFn()
+	st, detail := proto.StatusOf(err)
+	var body []byte
+	if st == proto.StatusOK {
+		body = proto.AppendBytes(nil, []byte(report))
+	}
+	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}

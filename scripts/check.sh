@@ -15,7 +15,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, wal, epoch; -short) =="
-go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/
+echo "== go test -race (core, wal, epoch, engine, server, client; -short) =="
+go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
+	./internal/engine/ ./internal/server/ ./internal/client/
 
 echo "ok: all checks passed"
