@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz bench
+.PHONY: build test check race vet ermia-vet fuzz bench
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repo-specific static-analysis suite (internal/vet): atomicmix,
+# epochguard, errclass, lockorder, nodeterminism.
+ermia-vet:
+	$(GO) run ./cmd/ermia-vet ./...
+
 race:
 	$(GO) test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/
 
-# The full local gate: vet + build + test + short race pass.
+# The full local gate: vet + ermia-vet + build + test + short race pass.
 check:
 	./scripts/check.sh
 

@@ -95,14 +95,14 @@ func report(db ermia.Engine, inventory ermia.Table, worker int) error {
 }
 
 type counters struct {
-	orders, orderAborts, reports, reportAborts uint64
+	orders, orderAborts, reports, reportAborts atomic.Uint64
 }
 
-func run(name string, db ermia.Engine) counters {
+func run(name string, db ermia.Engine) *counters {
 	defer db.Close()
 	inventory := load(db)
 
-	var out counters
+	out := new(counters)
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -113,17 +113,17 @@ func run(name string, db ermia.Engine) counters {
 			for time.Now().Before(deadline) {
 				if rng.Intn(100) < reportPercent {
 					if err := report(db, inventory, id); err == nil {
-						atomic.AddUint64(&out.reports, 1)
+						out.reports.Add(1)
 					} else if ermia.IsRetryable(err) {
-						atomic.AddUint64(&out.reportAborts, 1)
+						out.reportAborts.Add(1)
 					} else {
 						log.Fatalf("%s report: %v", name, err)
 					}
 				} else {
 					if err := order(db, inventory, id, rng); err == nil {
-						atomic.AddUint64(&out.orders, 1)
+						out.orders.Add(1)
 					} else if ermia.IsRetryable(err) {
-						atomic.AddUint64(&out.orderAborts, 1)
+						out.orderAborts.Add(1)
 					} else {
 						log.Fatalf("%s order: %v", name, err)
 					}
@@ -154,16 +154,16 @@ func main() {
 	fmt.Printf("%-10s %12s %14s %16s %14s\n", "engine", "orders/s", "reports/s", "report aborts", "report-abort%")
 	for _, row := range []struct {
 		name string
-		c    counters
+		c    *counters
 	}{{"Silo-OCC", s}, {"ERMIA-SI", e}} {
 		ratio := 0.0
-		if n := row.c.reports + row.c.reportAborts; n > 0 {
-			ratio = float64(row.c.reportAborts) / float64(n) * 100
+		if n := row.c.reports.Load() + row.c.reportAborts.Load(); n > 0 {
+			ratio = float64(row.c.reportAborts.Load()) / float64(n) * 100
 		}
 		fmt.Printf("%-10s %12.0f %14.2f %16d %13.1f%%\n", row.name,
-			float64(row.c.orders)/duration.Seconds(),
-			float64(row.c.reports)/duration.Seconds(),
-			row.c.reportAborts, ratio)
+			float64(row.c.orders.Load())/duration.Seconds(),
+			float64(row.c.reports.Load())/duration.Seconds(),
+			row.c.reportAborts.Load(), ratio)
 	}
 	fmt.Println("\nthe report writes (restocks), so Silo cannot serve it from a read-only")
 	fmt.Println("snapshot: concurrent order overwrites abort it at validation. ERMIA reads")

@@ -1,3 +1,7 @@
+// The degradation sweep must reproduce from its seed alone: every fault
+// point, workload choice, and audit outcome is a function of the Plan.
+//
+//ermia:deterministic
 package bench
 
 import (

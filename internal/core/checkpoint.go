@@ -93,6 +93,8 @@ func (db *DB) TruncateLog() ([]string, error) {
 
 // encodeCheckpoint serializes the catalogs, every table's live records, and
 // every secondary index's bindings.
+//
+//ermia:guard-entry the fuzzy scan tolerates concurrent pruning: a version unlinked mid-walk stays reachable through the held pointer, and replay's apply-if-newer rule deduplicates whatever skew the scan captured
 func (db *DB) encodeCheckpoint(buf []byte) []byte {
 	tables := db.allTables()
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
@@ -257,6 +259,8 @@ func (db *DB) loadCheckpoint(buf []byte) error {
 // applyVersion installs a recovered version at oid if it is newer than what
 // the slot already holds; withKey also (re)binds key → oid in the index.
 // Recovery is single-threaded, so plain stores suffice.
+//
+//ermia:guard-entry recovery is single-threaded: no transactions run and no GC sweeps until Open returns
 func (db *DB) applyVersion(t *Table, oid mvcc.OID, key, val []byte, clsn uint64, tombstone, withKey bool) {
 	t.arr.EnsureAllocated(oid)
 	if withKey && len(key) > 0 {

@@ -18,6 +18,8 @@ import (
 // resources.
 //
 // On a conflict error the transaction has already been aborted.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Commit() error {
 	if t.done {
 		return engine.ErrAborted
@@ -247,6 +249,8 @@ func (t *Txn) spillOverflow() error {
 // overwritten versions get their successor stamps restored, and resources
 // return to their epoch managers. Safe to call on a transaction whose
 // Commit already failed (Commit aborts internally first).
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish, which runs at the end of this call
 func (t *Txn) Abort() {
 	if t.done {
 		return

@@ -284,6 +284,8 @@ func (db *DB) allTables() []*Table {
 // RunGC performs one garbage collection sweep over every indirection
 // array, pruning versions no snapshot can reach (§3.2). It returns the
 // number of versions unlinked.
+//
+//ermia:guard-entry the GC thread is the reclaimer side of the protocol: Advance/TryReclaim bracket the sweep, and a pruned version stays allocated until every slot that could have observed it has exited
 func (db *DB) RunGC() int {
 	horizon := db.tids.MinActiveBegin()
 	if cur := db.log.CurrentOffset(); cur < horizon {
@@ -341,6 +343,8 @@ func init() {
 
 // CountInFlightHeads counts head versions still carrying a TID stamp, a
 // diagnostic for write-lock residency.
+//
+//ermia:guard-entry test-only diagnostic: callers run it on a quiesced engine with no concurrent GC sweep
 func (t *Table) CountInFlightHeads() int {
 	n := 0
 	t.arr.Scan(func(oid mvcc.OID, head *mvcc.Version) bool {

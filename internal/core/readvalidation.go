@@ -60,6 +60,8 @@ func (t *Txn) rvTrack(arr *mvcc.OIDArray, oid mvcc.OID, v *mvcc.Version, cstamp 
 // rvCommit validates the read set: each read version must still be the
 // newest committed version of its record (our own overwrite of it counts
 // as current). Any interleaved committed overwrite aborts us — writers win.
+//
+//ermia:guarded
 func (t *Txn) rvCommit() error {
 	for _, h := range t.nodeSet {
 		if !h.Valid() {

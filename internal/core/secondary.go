@@ -126,6 +126,8 @@ type SecondaryEntry struct {
 // InsertWithSecondary inserts a record and registers it under each
 // secondary key. The secondary entries point at the same OID, so later
 // updates to the record touch no index at all.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) InsertWithSecondary(tbl engine.Table, key, value []byte, secondary []SecondaryEntry) error {
 	tab := t.table(tbl)
 	for _, se := range secondary {
@@ -167,6 +169,8 @@ func (t *Txn) InsertWithSecondary(tbl engine.Table, key, value []byte, secondary
 // GetBySecondary reads the record bound to skey through the secondary
 // index: one tree probe, then straight to the version chain — no primary
 // probe.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) GetBySecondary(si *SecondaryIndex, skey []byte) ([]byte, error) {
 	if t.done {
 		return nil, engine.ErrAborted
@@ -194,6 +198,8 @@ func (t *Txn) GetBySecondary(si *SecondaryIndex, skey []byte) ([]byte, error) {
 
 // ScanSecondary visits records with secondary keys in [lo, hi) in secondary
 // order.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) ScanSecondary(si *SecondaryIndex, lo, hi []byte, fn func(skey, value []byte) bool) error {
 	if t.done {
 		return engine.ErrAborted

@@ -176,6 +176,8 @@ func (t *Txn) visible(v *mvcc.Version) (bool, uint64) {
 
 // readVisible walks oid's version chain and returns the version in t's
 // snapshot, or nil.
+//
+//ermia:guarded
 func (t *Txn) readVisible(arr *mvcc.OIDArray, oid mvcc.OID) (*mvcc.Version, uint64) {
 	start := t.clock()
 	defer t.accIndirect(start)
@@ -286,6 +288,8 @@ func (t *Txn) refreshNode(before, after index.Handle[mvcc.OID]) {
 func (t *Txn) table(tbl engine.Table) *Table { return tbl.(*Table) }
 
 // Get implements engine.Txn.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Get(tbl engine.Table, key []byte) ([]byte, error) {
 	if t.done {
 		return nil, engine.ErrAborted
@@ -313,6 +317,8 @@ func (t *Txn) Get(tbl engine.Table, key []byte) ([]byte, error) {
 }
 
 // Scan implements engine.Txn.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []byte) bool) error {
 	if t.done {
 		return engine.ErrAborted
@@ -347,6 +353,8 @@ func (t *Txn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []byte) b
 
 // Insert implements engine.Txn: allocate a fresh OID (contention-free),
 // publish the version, then insert key → OID into the index (§3.2).
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Insert(tbl engine.Table, key, value []byte) error {
 	if t.done {
 		return engine.ErrAborted
@@ -385,6 +393,8 @@ func (t *Txn) Insert(tbl engine.Table, key, value []byte) error {
 }
 
 // Update implements engine.Txn.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Update(tbl engine.Table, key, value []byte) error {
 	if t.done {
 		return engine.ErrAborted
@@ -408,6 +418,8 @@ func (t *Txn) Update(tbl engine.Table, key, value []byte) error {
 
 // Delete implements engine.Txn: a tombstone update (§3.2). The index entry
 // stays; the garbage collector reclaims dead versions later.
+//
+//ermia:guard-entry the worker's epoch slot was entered in begin and is held until finish; every Txn method runs inside that window
 func (t *Txn) Delete(tbl engine.Table, key []byte) error {
 	if t.done {
 		return engine.ErrAborted
@@ -435,6 +447,8 @@ func (t *Txn) Delete(tbl engine.Table, key []byte) error {
 // work), a committed head newer than our snapshot aborts us, and a racing
 // CAS aborts us. asInsert permits writing over a tombstone (reinsert) and
 // reports ErrDuplicate instead of overwriting live records.
+//
+//ermia:guarded
 func (t *Txn) installOver(tab *Table, oid mvcc.OID, value []byte, tombstone, asInsert bool, insKey []byte) error {
 	start := t.clock()
 	defer t.accIndirect(start)

@@ -11,8 +11,12 @@ import "errors"
 // treat the rest as logic errors.
 var (
 	// ErrNotFound reports a read of a key with no visible record.
+	//
+	//ermia:classify fatal a logic error the application handles; retrying cannot make the key appear
 	ErrNotFound = errors.New("engine: key not found")
 	// ErrDuplicate reports an insert of an existing key.
+	//
+	//ermia:classify fatal a logic error the application handles; retrying re-collides
 	ErrDuplicate = errors.New("engine: duplicate key")
 	// ErrWriteConflict reports a write-write conflict: another transaction
 	// updated (or is updating) the record. Under ERMIA's first-updater-wins
@@ -29,6 +33,8 @@ var (
 	// scanned index range.
 	ErrPhantom = errors.New("engine: phantom detected")
 	// ErrAborted reports use of a transaction that already aborted.
+	//
+	//ermia:classify fatal misuse of a dead transaction handle, not a conflict on live work
 	ErrAborted = errors.New("engine: transaction aborted")
 	// ErrReadOnlyDegraded reports an update rejected because the engine is
 	// in the Degraded health state: the log device failed, so the DB serves
@@ -42,6 +48,8 @@ var (
 	// server may have committed before the connection broke. It is classified
 	// retryable because RunWithRetry already requires idempotent transaction
 	// bodies; callers that cannot retry blindly must reconcile by reading.
+	//
+	//ermia:classify local synthesized client-side when the connection dies; no server ever sends it
 	ErrConnLost = errors.New("engine: connection lost before response")
 	// ErrOverloaded reports a transaction refused by server admission
 	// control (no free worker slot). Retryable: backoff clears the burst.

@@ -14,6 +14,8 @@ import (
 // all of them are OutcomeConflict: routine, retryable events, exactly as the
 // SSI and SSN papers frame them. Everything else is either the application's
 // problem (OutcomeFatal) or an availability event (OutcomeUnavailable).
+//
+//ermia:exhaustive
 type Outcome int
 
 const (
@@ -61,6 +63,8 @@ func Classify(err error) Outcome {
 // ErrRetriesExhausted wraps the final conflict when a RetryPolicy's attempt
 // budget runs out. Use errors.Is to detect it; the underlying conflict stays
 // reachable through Unwrap.
+//
+//ermia:classify fatal local wraps the last conflict client-side after the attempt budget; Classify sees the wrapped conflict through Unwrap
 var ErrRetriesExhausted = errors.New("engine: retries exhausted")
 
 // RetryPolicy bounds the retry loop of RunWithRetry: exponential backoff

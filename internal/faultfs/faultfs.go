@@ -23,6 +23,8 @@
 //     medium). Points enumerates every crash and torn-write point of a
 //     trace with seeded, reproducible torn lengths: a failing point is
 //     reconstructed from (seed, index, torn) alone.
+//
+//ermia:deterministic
 package faultfs
 
 import (

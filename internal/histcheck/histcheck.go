@@ -13,6 +13,12 @@
 //   - WR (read dependency):  T2 read the version T1 wrote       → T1 ➝ T2
 //   - WW (write dependency): T2 overwrote the version T1 wrote  → T1 ➝ T2
 //   - RW (anti-dependency):  T1 read a version T2 overwrote     → T1 ➝ T2
+//
+// The checker is part of the reproducibility contract: given the same
+// recorded history it must emit edges and cycles in the same order, so a
+// failing seed prints the same counterexample every run.
+//
+//ermia:deterministic
 package histcheck
 
 import (
@@ -92,8 +98,18 @@ func (h *History) Graph() []Edge {
 		}
 	}
 
+	// Iterate keys in sorted order: map order would randomize edge order
+	// (and therefore which cycle FindCycle reports) between runs.
+	keys := make([]string, 0, len(writers))
+	//ermia:allow nodeterminism collecting keys to sort; order does not escape
+	for key := range writers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
 	var edges []Edge
-	for key, ws := range writers {
+	for _, key := range keys {
+		ws := writers[key]
 		sort.Slice(ws, func(i, j int) bool { return ws[i].version < ws[j].version })
 		// WW edges: consecutive writers of the same key.
 		for i := 1; i < len(ws); i++ {
@@ -161,7 +177,15 @@ func (h *History) FindCycle() []Edge {
 		color[n] = black
 		return false
 	}
+	// Root the DFS at ascending node ids so the reported cycle is the same
+	// every run regardless of map order.
+	nodes := make([]int, 0, len(adj))
+	//ermia:allow nodeterminism collecting keys to sort; order does not escape
 	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
 		if color[n] == white {
 			if dfs(n) {
 				return cycle

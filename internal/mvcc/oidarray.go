@@ -88,7 +88,12 @@ func (a *OIDArray) slot(oid OID, create bool) *atomic.Pointer[Version] {
 	return &c[uint64(oid)&chunkMask]
 }
 
-// Head returns the newest version of oid, or nil if the slot is empty.
+// Head returns the newest version of oid, or nil if the slot is empty. The
+// returned pointer is only safe to dereference while the caller's epoch
+// slot is entered: once the caller's epoch is reclaimable, GC may recycle
+// the version.
+//
+//ermia:guarded
 func (a *OIDArray) Head(oid OID) *Version {
 	s := a.slot(oid, false)
 	if s == nil {
@@ -111,7 +116,10 @@ func (a *OIDArray) CASHead(oid OID, old, new *Version) bool {
 
 // Scan invokes fn for every allocated OID with a non-nil head, in OID
 // order. The garbage collector and checkpointer drive their passes with it.
-// fn returning false stops the scan.
+// fn returning false stops the scan. fn receives live chain heads, so the
+// whole scan must run under an epoch guard.
+//
+//ermia:guarded
 func (a *OIDArray) Scan(fn func(oid OID, head *Version) bool) {
 	max := a.next.Load()
 	for ci := uint64(0); ci*chunkSize < max && ci < dirSize; ci++ {
@@ -134,7 +142,10 @@ func (a *OIDArray) Scan(fn func(oid OID, head *Version) bool) {
 // horizon (an LSN offset) survives as the chain tail: every transaction
 // whose begin stamp is at or past horizon reads either a newer version or
 // that one. It returns the number of versions unlinked. Versions with
-// TID-tagged stamps (in-flight or finishing) are never cut.
+// TID-tagged stamps (in-flight or finishing) are never cut. Prune walks the
+// chain it is cutting, so it must itself run under an epoch guard.
+//
+//ermia:guarded
 func (a *OIDArray) Prune(oid OID, horizon uint64) int {
 	v := a.Head(oid)
 	// Find the newest committed version with clsn < horizon; everything

@@ -59,7 +59,11 @@ func (v *Version) CLSN() Stamp { return v.clsn.Load() }
 // tag for the commit LSN.
 func (v *Version) SetCLSN(s Stamp) { v.clsn.Store(s) }
 
-// Next returns the next-older version, or nil.
+// Next returns the next-older version, or nil. Chain traversal is only safe
+// under an epoch guard: a version unlinked by GC is freed once every epoch
+// that could have observed it has been reclaimed.
+//
+//ermia:guarded
 func (v *Version) Next() *Version { return v.next.Load() }
 
 // SetNext links v in front of older.

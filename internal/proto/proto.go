@@ -71,9 +71,13 @@ var (
 	// ErrBadFrame reports a malformed frame: wrong magic, unknown version,
 	// or CRC mismatch. The connection cannot be resynchronized and must be
 	// closed.
+	//
+	//ermia:classify local a transport framing error below the transaction taxonomy; the connection dies, the client surfaces ErrConnLost
 	ErrBadFrame = errors.New("proto: malformed frame")
 	// ErrFrameTooLarge reports a frame whose declared payload exceeds
 	// MaxPayload.
+	//
+	//ermia:classify local a transport framing error below the transaction taxonomy; the connection dies, the client surfaces ErrConnLost
 	ErrFrameTooLarge = errors.New("proto: frame too large")
 )
 

@@ -12,9 +12,15 @@ import (
 // server-side admission codes), so a client can rebuild the exact sentinel
 // error a local engine would have returned — errors.Is, Classify, and
 // RunWithRetry behave identically over the wire and in process.
+//
+//ermia:exhaustive
 type Status uint16
 
 const (
+	// StatusOK is the success code; it maps to a nil error, not a sentinel,
+	// so it stands outside the statusTable bijection.
+	//
+	//ermia:status special success maps to nil, not a sentinel
 	StatusOK Status = iota
 	StatusNotFound
 	StatusDuplicate
@@ -36,6 +42,8 @@ const (
 	// but not as a message.
 	StatusBadRequest
 	// StatusInternal carries any error outside the taxonomy as text.
+	//
+	//ermia:status special catch-all carrying arbitrary error text, not a fixed sentinel
 	StatusInternal
 )
 

@@ -1,0 +1,196 @@
+package proto
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ermia/internal/engine"
+)
+
+// sentinelValues resolves engine sentinel names to their runtime values.
+// The exhaustiveness test below enumerates the names straight from the
+// engine package's source, so adding a sentinel to the engine without
+// extending this map (and, unless it is wire-local, the statusTable) fails
+// the test with a pointed message rather than silently shipping an error
+// the wire cannot carry.
+var sentinelValues = map[string]error{
+	"ErrNotFound":         engine.ErrNotFound,
+	"ErrDuplicate":        engine.ErrDuplicate,
+	"ErrWriteConflict":    engine.ErrWriteConflict,
+	"ErrReadValidation":   engine.ErrReadValidation,
+	"ErrSerialization":    engine.ErrSerialization,
+	"ErrPhantom":          engine.ErrPhantom,
+	"ErrAborted":          engine.ErrAborted,
+	"ErrReadOnlyDegraded": engine.ErrReadOnlyDegraded,
+	"ErrConnLost":         engine.ErrConnLost,
+	"ErrOverloaded":       engine.ErrOverloaded,
+	"ErrShutdown":         engine.ErrShutdown,
+	"ErrRetriesExhausted": engine.ErrRetriesExhausted,
+}
+
+// engineSentinel is one parsed sentinel declaration.
+type engineSentinel struct {
+	name  string
+	local bool // declaration carries //ermia:classify local
+}
+
+// parseEngineSentinels enumerates the exported Err* package variables of
+// internal/engine from its source, with their //ermia:classify annotations.
+func parseEngineSentinels(t *testing.T) []engineSentinel {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "../engine", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse internal/engine: %v", err)
+	}
+	var out []engineSentinel
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					doc := vs.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					local := false
+					if doc != nil {
+						for _, c := range doc.List {
+							if rest, ok := strings.CutPrefix(c.Text, "//ermia:classify "); ok {
+								for _, tok := range strings.Fields(rest) {
+									if tok == "local" {
+										local = true
+									}
+								}
+							}
+						}
+					}
+					for _, id := range vs.Names {
+						if ast.IsExported(id.Name) && strings.HasPrefix(id.Name, "Err") {
+							out = append(out, engineSentinel{name: id.Name, local: local})
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("parsed no sentinels from internal/engine")
+	}
+	return out
+}
+
+// TestStatusBijectionExhaustive proves the status<->error mapping is a true
+// bijection over the full engine error taxonomy: every engine sentinel
+// either round-trips through a distinct wire status or is explicitly
+// annotated as wire-local, and every status code rebuilds the exact
+// sentinel it came from.
+func TestStatusBijectionExhaustive(t *testing.T) {
+	sentinels := parseEngineSentinels(t)
+
+	seenStatus := make(map[Status]string)
+	for _, s := range sentinels {
+		err, ok := sentinelValues[s.name]
+		if !ok {
+			t.Errorf("engine.%s is not in sentinelValues; add it here and decide its wire mapping", s.name)
+			continue
+		}
+		status, detail := StatusOf(err)
+		if s.local {
+			if status != StatusInternal {
+				t.Errorf("engine.%s is annotated //ermia:classify local but maps to wire status %d", s.name, status)
+			}
+			continue
+		}
+		if status == StatusInternal {
+			t.Errorf("engine.%s has no dedicated wire status (fell through to StatusInternal %q); add a statusTable row or annotate it //ermia:classify local", s.name, detail)
+			continue
+		}
+		if prev, dup := seenStatus[status]; dup {
+			t.Errorf("engine.%s and engine.%s share wire status %d; the mapping must be injective", s.name, prev, status)
+		}
+		seenStatus[status] = s.name
+
+		// And back: the client must rebuild the identical sentinel object so
+		// errors.Is and Classify behave exactly as they do in process.
+		back := status.Err("")
+		if !errors.Is(back, err) {
+			t.Errorf("status %d rebuilds %v, not engine.%s", status, back, s.name)
+		}
+		if back != err {
+			t.Errorf("status %d rebuilds a different error instance than engine.%s", status, s.name)
+		}
+	}
+}
+
+// TestStatusTableIsBijection audits the table itself row by row: no status
+// and no sentinel appears twice, and both mapping directions agree with
+// every row.
+func TestStatusTableIsBijection(t *testing.T) {
+	byStatus := make(map[Status]int)
+	byErr := make(map[error]int)
+	for i, row := range statusTable {
+		if prev, dup := byStatus[row.status]; dup {
+			t.Errorf("rows %d and %d both map status %d", prev, i, row.status)
+		}
+		if prev, dup := byErr[row.err]; dup {
+			t.Errorf("rows %d and %d both map error %v", prev, i, row.err)
+		}
+		byStatus[row.status] = i
+		byErr[row.err] = i
+
+		if got, _ := StatusOf(row.err); got != row.status {
+			t.Errorf("StatusOf(%v) = %d, table row says %d", row.err, got, row.status)
+		}
+		if got := row.status.Err(""); got != row.err {
+			t.Errorf("Status(%d).Err() = %v, table row says %v", row.status, got, row.err)
+		}
+	}
+}
+
+// TestStatusCodeCoverage walks the numeric status space: every code between
+// StatusOK and StatusInternal is either one of the two special codes or
+// backed by a table row, so no constant can be added to the iota block
+// without a mapping decision.
+func TestStatusCodeCoverage(t *testing.T) {
+	if got, _ := StatusOf(nil); got != StatusOK {
+		t.Errorf("StatusOf(nil) = %d, want StatusOK", got)
+	}
+	if err := StatusOK.Err(""); err != nil {
+		t.Errorf("StatusOK.Err() = %v, want nil", err)
+	}
+	for s := StatusOK + 1; s < StatusInternal; s++ {
+		found := false
+		for _, row := range statusTable {
+			if row.status == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("status code %d has no statusTable row and is not a special code", s)
+		}
+	}
+	// StatusInternal carries arbitrary text and must round-trip as itself.
+	err := StatusInternal.Err("disk on fire")
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("StatusInternal.Err must carry the detail text, got %v", err)
+	}
+	if got, detail := StatusOf(err); got != StatusInternal || detail == "" {
+		t.Errorf("StatusOf of an internal error = %d (%q), want StatusInternal with detail", got, detail)
+	}
+}

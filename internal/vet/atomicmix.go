@@ -1,0 +1,140 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed both through sync/atomic
+// functions (atomic.LoadUint64(&s.f), atomic.AddInt32(&s.f, 1), ...) and by
+// plain load/store anywhere in the module. Mixing the two is the classic
+// torn-stamp bug class: the plain access is a data race the race detector
+// only catches under lucky interleavings, and on relaxed hardware it can
+// observe a half-written value. Fields of the typed atomic kinds
+// (atomic.Uint64 and friends) are immune by construction — the type system
+// already forbids plain access — which is why the engine uses them; this
+// pass guards the boundary for code that reverts to the function style.
+//
+// Struct-literal keys (T{f: v}) are not counted: initialization before
+// publication is the conventional exception to the protocol.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag struct fields accessed both via sync/atomic and by plain load/store",
+	Run:  runAtomicMix,
+}
+
+type fieldAccess struct {
+	atomicPos []token.Position
+	plainPos  []token.Position
+}
+
+func runAtomicMix(m *Module) []Finding {
+	acc := make(map[*types.Var]*fieldAccess)
+	rec := func(field *types.Var, pos token.Position, atomic bool) {
+		a := acc[field]
+		if a == nil {
+			a = &fieldAccess{}
+			acc[field] = a
+		}
+		if atomic {
+			a.atomicPos = append(a.atomicPos, pos)
+		} else {
+			a.plainPos = append(a.plainPos, pos)
+		}
+	}
+
+	for _, p := range m.Pkgs {
+		// First pass per file: selector expressions that are the &-operand
+		// of a sync/atomic call are atomic accesses.
+		atomicSel := make(map[ast.Expr]bool)
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || !pkgPathIs(obj.Pkg(), "sync/atomic") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+						atomicSel[ast.Unparen(un.X)] = true
+					}
+				}
+				return true
+			})
+		}
+		// Second pass: classify every field selector.
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := p.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				rec(field, m.Fset.Position(sel.Sel.Pos()), atomicSel[sel])
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	for field, a := range acc {
+		if len(a.atomicPos) == 0 || len(a.plainPos) == 0 {
+			continue
+		}
+		sort.Slice(a.plainPos, func(i, j int) bool { return posLess(a.plainPos[i], a.plainPos[j]) })
+		sort.Slice(a.atomicPos, func(i, j int) bool { return posLess(a.atomicPos[i], a.atomicPos[j]) })
+		for _, pp := range a.plainPos {
+			out = append(out, Finding{
+				Analyzer: "atomicmix",
+				Pos:      pp,
+				Message: fmt.Sprintf("plain access to field %s, which is accessed atomically at %s; every access must go through sync/atomic (or migrate the field to a typed atomic)",
+					fieldName(field), shortPos(m, a.atomicPos[0])),
+			})
+		}
+	}
+	return out
+}
+
+func fieldName(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// shortPos renders a position relative to the module root for messages.
+func shortPos(m *Module, p token.Position) string {
+	name := p.Filename
+	if rel := strings.TrimPrefix(name, m.Root+"/"); rel != name {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

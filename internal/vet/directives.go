@@ -1,0 +1,69 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directive is one parsed "//ermia:<verb> <args...>" comment. The comment
+// convention follows go:build style: no space after "//", so ordinary prose
+// never parses as a directive.
+type directive struct {
+	verb string
+	args []string
+	// raw is everything after the verb, for free-text reasons.
+	raw string
+}
+
+func parseDirective(text string) (directive, bool) {
+	rest, ok := strings.CutPrefix(text, "//ermia:")
+	if !ok {
+		return directive{}, false
+	}
+	verb, raw, _ := strings.Cut(rest, " ")
+	verb = strings.TrimSpace(verb)
+	if verb == "" {
+		return directive{}, false
+	}
+	raw = strings.TrimSpace(raw)
+	return directive{verb: verb, args: strings.Fields(raw), raw: raw}, true
+}
+
+// directivesIn returns the parsed directives of a comment group.
+func directivesIn(doc *ast.CommentGroup) []directive {
+	if doc == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c.Text); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the comment group carries the verb, and
+// returns the first matching directive.
+func hasDirective(doc *ast.CommentGroup, verb string) (directive, bool) {
+	for _, d := range directivesIn(doc) {
+		if d.verb == verb {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// fileHasDirective reports whether any comment anywhere in the file carries
+// the verb (used for file-scoped marks like //ermia:deterministic).
+func fileHasDirective(f *ast.File, verb string) bool {
+	for _, cg := range f.Comments {
+		if _, ok := hasDirective(cg, verb); ok {
+			return true
+		}
+	}
+	if _, ok := hasDirective(f.Doc, verb); ok {
+		return true
+	}
+	return false
+}

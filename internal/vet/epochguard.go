@@ -1,0 +1,177 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochGuard proves, one call edge at a time, that version-chain
+// dereferences stay under an epoch guard. Two annotations drive it:
+//
+//	//ermia:guarded
+//	  The function dereferences epoch-protected state (walks a version
+//	  chain, loads an indirection-array head). It may only be called —
+//	  or referenced as a function value — from functions that are
+//	  themselves //ermia:guarded or //ermia:guard-entry.
+//
+//	//ermia:guard-entry <reason>
+//	  The function is an audited guard boundary: it either calls
+//	  (epoch.Slot).Enter directly before touching protected state, or the
+//	  annotation carries a non-empty reason explaining why the guard is
+//	  already active in its dynamic extent (e.g. the transaction lifecycle
+//	  enters the slot at Begin and exits at finish). A guard-entry with
+//	  neither is flagged: the annotation would be an unaudited assertion.
+//
+// Induction over the intra-module call graph then gives the paper's §3.4
+// property: every path that reaches a chain dereference passes through an
+// epoch entry (or an explicitly audited boundary). Dynamic calls through
+// interfaces cannot be resolved statically; the audit reasons carry those.
+var EpochGuard = &Analyzer{
+	Name: "epochguard",
+	Doc:  "prove //ermia:guarded functions are only reachable under an epoch guard",
+	Run:  runEpochGuard,
+}
+
+const (
+	guardNone = iota
+	guardGuarded
+	guardEntry
+)
+
+func runEpochGuard(m *Module) []Finding {
+	funcs := moduleFuncs(m)
+
+	// Annotation table.
+	kind := make(map[*types.Func]int)
+	reason := make(map[*types.Func]string)
+	for obj, fi := range funcs {
+		if _, ok := hasDirective(fi.decl.Doc, "guarded"); ok {
+			kind[obj] = guardGuarded
+		}
+		if d, ok := hasDirective(fi.decl.Doc, "guard-entry"); ok {
+			if kind[obj] == guardGuarded {
+				// Both annotations on one function is a contradiction.
+				continue
+			}
+			kind[obj] = guardEntry
+			reason[obj] = d.raw
+		}
+	}
+
+	var out []Finding
+
+	// Rule 1: a guard-entry function must call Slot.Enter directly or carry
+	// an audit reason.
+	for obj, fi := range funcs {
+		if kind[obj] != guardEntry {
+			continue
+		}
+		if strings.TrimSpace(reason[obj]) != "" {
+			continue
+		}
+		if callsEpochEnter(fi) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "epochguard",
+			Pos:      m.Fset.Position(fi.decl.Name.Pos()),
+			Message: fmt.Sprintf("guard-entry function %s neither calls (epoch.Slot).Enter nor gives an audit reason; write //ermia:guard-entry <why the guard is already active>",
+				fi.obj.Name()),
+		})
+	}
+
+	// Rule 2: every static use of a guarded function must sit inside a
+	// guarded or guard-entry function.
+	for _, p := range m.Pkgs {
+		callPos := callCalleePositions(p)
+		eachFuncBody(p, func(decl *ast.FuncDecl, body ast.Node) {
+			var encl *types.Func
+			if decl != nil {
+				encl, _ = p.Info.Defs[decl.Name].(*types.Func)
+			}
+			enclOK := encl != nil && kind[encl] != guardNone
+			ast.Inspect(body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				target, ok := p.Info.Uses[id].(*types.Func)
+				if !ok || kind[target] != guardGuarded {
+					return true
+				}
+				if enclOK {
+					return true
+				}
+				enclName := "package-level initializer"
+				hint := ""
+				if encl != nil {
+					enclName = "unguarded function " + encl.Name()
+					hint = fmt.Sprintf(" (annotate %s with //ermia:guarded or //ermia:guard-entry <reason>)", encl.Name())
+				}
+				verb := "reference to"
+				if callPos[id.Pos()] {
+					verb = "call to"
+				}
+				out = append(out, Finding{
+					Analyzer: "epochguard",
+					Pos:      m.Fset.Position(id.Pos()),
+					Message: fmt.Sprintf("%s epoch-guarded function %s from %s%s",
+						verb, target.Name(), enclName, hint),
+				})
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// callCalleePositions records the positions of identifiers that appear as
+// the callee of a call expression, so uses can be labelled call vs escape.
+func callCalleePositions(p *Package) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				out[fun.Pos()] = true
+			case *ast.SelectorExpr:
+				out[fun.Sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// callsEpochEnter reports whether the function body contains a direct call
+// to a method named Enter on a type from an epoch package (import path
+// ending in "internal/epoch").
+func callsEpochEnter(fi *funcInfo) bool {
+	if fi.decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(fi.pkg.Info, call)
+		if callee == nil || callee.Name() != "Enter" {
+			return true
+		}
+		if pkg := callee.Pkg(); pkg != nil && (pkg.Path() == "internal/epoch" || strings.HasSuffix(pkg.Path(), "/epoch")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,269 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("ermia/internal/wal").
+	Path string
+	// Dir is the absolute directory holding the package's files.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Module is a whole loaded module: every package, sharing one FileSet so
+// positions are comparable across packages.
+type Module struct {
+	// Path is the module path from go.mod ("ermia").
+	Path string
+	// Root is the absolute module root directory.
+	Root string
+	Fset *token.FileSet
+	// Pkgs is every loaded package, sorted by import path.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// LookupSuffix returns the unique package whose import path equals suffix or
+// ends in "/"+suffix, or nil. Analyzers key on path suffixes
+// ("internal/engine") so the same code runs against the real module and
+// against fixture modules that mirror the layout under a different root.
+func (m *Module) LookupSuffix(suffix string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix) {
+			return p
+		}
+	}
+	return nil
+}
+
+// loader resolves module-internal imports to packages it type-checks itself
+// and delegates everything else (the standard library) to the compiler's
+// source importer. No golang.org/x/tools involved.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	root    string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks every package under root. modPath is the
+// module path the directory tree is rooted at; dir names map to import paths
+// by joining. Test files (_test.go) and testdata/vendor/hidden directories
+// are skipped: the analyzers enforce invariants on shipped code.
+func Load(root, modPath string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		modPath: modPath,
+		root:    abs,
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: modPath, Root: abs, Fset: l.fset, byPath: make(map[string]*Package)}
+	for _, dir := range dirs {
+		p, err := l.load(l.pathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no buildable files
+		}
+		mod.Pkgs = append(mod.Pkgs, p)
+		mod.byPath[p.Path] = p
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// LoadModule locates the enclosing go.mod starting at dir and loads that
+// module.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Load(root, modPath)
+}
+
+// FindModule walks upward from dir to the nearest go.mod and returns the
+// module root and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("vet: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("vet: no go.mod found at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// packageDirs returns every directory under root that holds at least one
+// non-test .go file, skipping testdata, vendor, and hidden directories.
+func (l *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// pathFor maps an absolute directory to its import path.
+func (l *loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+func (l *loader) internal(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are loaded
+// (and type-checked) by the loader itself; everything else goes to the
+// standard library source importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if l.internal(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("vet: import %q: no Go files", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+// load parses and type-checks one module-internal package, memoized.
+// Dependencies are resolved recursively through ImportFrom.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("vet: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,429 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a static acquisition-order graph over the module's named
+// mutexes and reports cycles. A mutex is "named" by its declaration site: a
+// struct field of type sync.Mutex/sync.RWMutex ("wal.Manager.segMu") or a
+// package-level mutex variable. An edge A -> B is recorded when a function
+// acquires B while (textually) holding A, either directly or through a
+// callee that may acquire B (computed as a transitive lock summary over the
+// intra-module call graph). Any cycle among distinct mutex classes is a
+// potential deadlock: two goroutines taking the two locks in opposite
+// orders need only the right interleaving.
+//
+// Self-edges through callees are ignored — "holding a.mu, call a helper
+// that locks b.mu" where both are the same field of different instances is
+// indistinguishable statically — but a direct re-acquisition of the same
+// expression path (m.mu.Lock() twice without an unlock) is reported: Go
+// mutexes are not reentrant.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "report cycles in the static mutex acquisition-order graph",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one Lock/Unlock call inside a function body, in source
+// order.
+type lockEvent struct {
+	key      string // mutex class, e.g. "wal.Manager.segMu"
+	path     string // receiver expression text, e.g. "m.segMu"
+	acquire  bool
+	deferred bool
+	pos      token.Pos
+}
+
+// lockEdge is one acquisition-order edge with a witness position.
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+	via      string // callee name for summary edges, "" for direct
+}
+
+func runLockOrder(m *Module) []Finding {
+	funcs := moduleFuncs(m)
+
+	// Per-function lock events and direct callee lists.
+	events := make(map[*types.Func][]lockEvent)
+	callees := make(map[*types.Func][]*types.Func)
+	callPos := make(map[*types.Func]map[*types.Func]token.Pos)
+	for obj, fi := range funcs {
+		if fi.decl.Body == nil {
+			continue
+		}
+		var evs []lockEvent
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if ev, ok := lockEventOf(fi.pkg, n.Call); ok {
+					ev.deferred = true
+					evs = append(evs, ev)
+					return false
+				}
+			case *ast.CallExpr:
+				if ev, ok := lockEventOf(fi.pkg, n); ok {
+					evs = append(evs, ev)
+					return true
+				}
+				if callee := calleeOf(fi.pkg.Info, n); callee != nil {
+					if _, inModule := funcs[callee]; inModule {
+						callees[obj] = append(callees[obj], callee)
+						if callPos[obj] == nil {
+							callPos[obj] = make(map[*types.Func]token.Pos)
+						}
+						if _, ok := callPos[obj][callee]; !ok {
+							callPos[obj][callee] = n.Pos()
+						}
+						evs = append(evs, lockEvent{key: "", pos: n.Pos(), path: calleeKey(callee)})
+					}
+				}
+			}
+			return true
+		})
+		events[obj] = evs
+	}
+
+	// Transitive lock summaries: every mutex class a function may acquire,
+	// itself or through module-internal callees. Fixpoint handles recursion.
+	summary := make(map[*types.Func]map[string]bool)
+	for obj := range events {
+		summary[obj] = make(map[string]bool)
+		for _, ev := range events[obj] {
+			if ev.key != "" && ev.acquire {
+				summary[obj][ev.key] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, cs := range callees {
+			for _, c := range cs {
+				for k := range summary[c] {
+					if !summary[obj][k] {
+						if summary[obj] == nil {
+							summary[obj] = make(map[string]bool)
+						}
+						summary[obj][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge construction: linear walk per function maintaining the held set.
+	var out []Finding
+	edges := make(map[string]map[string]lockEdge)
+	addEdge := func(from, to string, pos token.Position, via string) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[string]lockEdge)
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = lockEdge{from: from, to: to, pos: pos, via: via}
+		}
+	}
+
+	var fnames []*types.Func
+	for obj := range events {
+		fnames = append(fnames, obj)
+	}
+	sort.Slice(fnames, func(i, j int) bool { return fnames[i].FullName() < fnames[j].FullName() })
+
+	for _, obj := range fnames {
+		held := make(map[string]int)     // class -> count
+		heldPath := make(map[string]int) // exact expression path -> count
+		calleeIdx := 0
+		cs := callees[obj]
+		for _, ev := range events[obj] {
+			switch {
+			case ev.key != "" && ev.acquire:
+				pos := m.Fset.Position(ev.pos)
+				if heldPath[ev.path+"\x00"+ev.key] > 0 {
+					out = append(out, Finding{
+						Analyzer: "lockorder",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s is re-locked while already held (mutexes are not reentrant)", ev.path),
+					})
+				}
+				for k, n := range held {
+					if n > 0 {
+						addEdge(k, ev.key, pos, "")
+					}
+				}
+				held[ev.key]++
+				heldPath[ev.path+"\x00"+ev.key]++
+			case ev.key != "" && !ev.acquire:
+				if ev.deferred {
+					continue // released at function end; stays held for the walk
+				}
+				if held[ev.key] > 0 {
+					held[ev.key]--
+				}
+				if heldPath[ev.path+"\x00"+ev.key] > 0 {
+					heldPath[ev.path+"\x00"+ev.key]--
+				}
+			case ev.key == "":
+				// Call to a module-internal function: edges from every held
+				// mutex to everything the callee may acquire.
+				var callee *types.Func
+				if calleeIdx < len(cs) {
+					callee = cs[calleeIdx]
+					calleeIdx++
+				}
+				if callee == nil {
+					continue
+				}
+				anyHeld := false
+				for _, n := range held {
+					if n > 0 {
+						anyHeld = true
+						break
+					}
+				}
+				if !anyHeld {
+					continue
+				}
+				pos := m.Fset.Position(ev.pos)
+				for k, n := range held {
+					if n == 0 {
+						continue
+					}
+					for target := range summary[callee] {
+						addEdge(k, target, pos, callee.Name())
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the class graph.
+	out = append(out, reportLockCycles(edges)...)
+	return out
+}
+
+func calleeKey(f *types.Func) string { return f.FullName() }
+
+// lockEventOf recognizes Lock/RLock/Unlock/RUnlock calls on named mutexes
+// and returns the event.
+func lockEventOf(p *Package, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockEvent{}, false
+	}
+	// The method must belong to sync.Mutex/RWMutex.
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return lockEvent{}, false
+	}
+	mf, ok := s.Obj().(*types.Func)
+	if !ok || !pkgPathIs(mf.Pkg(), "sync") {
+		return lockEvent{}, false
+	}
+	key, ok := mutexKey(p, sel.X)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{key: key, path: exprText(sel.X), acquire: acquire, pos: call.Pos()}, true
+}
+
+// mutexKey names the mutex class a lock expression refers to: the declaring
+// struct field ("pkg.Type.field") or package-level variable ("pkg.var").
+// Anonymous or local mutexes return ok == false; they cannot participate in
+// cross-function ordering by name.
+func mutexKey(p *Package, x ast.Expr) (string, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		s, ok := p.Info.Selections[x]
+		if ok && s.Kind() == types.FieldVal {
+			field := s.Obj().(*types.Var)
+			owner := ownerTypeName(s.Recv())
+			if owner == "" || field.Pkg() == nil {
+				return "", false
+			}
+			return field.Pkg().Name() + "." + owner + "." + field.Name(), true
+		}
+		// Package-qualified variable (pkg.mu).
+		if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+// ownerTypeName unwraps pointers to find the named struct type holding a
+// field.
+func ownerTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// exprText renders a lock receiver expression compactly for messages.
+func exprText(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	default:
+		return "?"
+	}
+}
+
+// reportLockCycles finds strongly connected components with more than one
+// node and renders each once, deterministically.
+func reportLockCycles(edges map[string]map[string]lockEdge) []Finding {
+	// Tarjan SCC, iterative enough for our graph sizes via recursion.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var nodes []string
+	nodeSet := make(map[string]bool)
+	for from, tos := range edges {
+		if !nodeSet[from] {
+			nodeSet[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !nodeSet[to] {
+				nodeSet[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+
+	var out []Finding
+	for _, comp := range comps {
+		sort.Strings(comp)
+		// Witness edges inside the component, for the message.
+		var wit []string
+		var pos token.Position
+		inComp := make(map[string]bool)
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		for _, from := range comp {
+			var tos []string
+			for to := range edges[from] {
+				tos = append(tos, to)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				if !inComp[to] {
+					continue
+				}
+				e := edges[from][to]
+				if pos.Filename == "" {
+					pos = e.pos
+				}
+				detail := ""
+				if e.via != "" {
+					detail = " (via " + e.via + ")"
+				}
+				wit = append(wit, fmt.Sprintf("%s -> %s at %s:%d%s", from, to, pos1(e.pos), e.pos.Line, detail))
+			}
+		}
+		out = append(out, Finding{
+			Analyzer: "lockorder",
+			Pos:      pos,
+			Message: fmt.Sprintf("lock acquisition-order cycle among {%s}: %s",
+				strings.Join(comp, ", "), strings.Join(wit, "; ")),
+		})
+	}
+	return out
+}
+
+func pos1(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,95 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeterminism polices the byte-reproducibility contract of the
+// crash-sweep and replay infrastructure. A file marked with an
+// "//ermia:deterministic" comment promises that its behaviour is a pure
+// function of its inputs (seed + crash point); inside such files the pass
+// forbids:
+//
+//   - clock reads: time.Now, time.Since, time.Until;
+//   - math/rand and math/rand/v2 (use the seeded internal/xrand instead);
+//   - ranging over a map, whose iteration order Go randomizes per run.
+//
+// A map range that is genuinely order-insensitive can be suppressed with a
+// justified "//ermia:allow nodeterminism <reason>" on the offending line,
+// but sorting the keys is almost always the better fix: it keeps failure
+// reproductions byte-identical from the printed seed alone.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid clocks, math/rand, and map iteration in //ermia:deterministic files",
+	Run:  runNoDeterminism,
+}
+
+func runNoDeterminism(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		for _, file := range p.Files {
+			if !fileHasDirective(file, "deterministic") {
+				continue
+			}
+			fname := m.Fset.Position(file.Pos()).Filename
+
+			// Imports: math/rand in a deterministic file is wrong whatever
+			// it is used for; even a locally seeded source shares global
+			// state via rand.Seed-era helpers and invites drift.
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, Finding{
+						Analyzer: "nodeterminism",
+						Pos:      m.Fset.Position(imp.Pos()),
+						Message:  fmt.Sprintf("deterministic file %s imports %s; use the seeded internal/xrand instead", baseName(fname), path),
+					})
+				}
+			}
+
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					callee := calleeOf(p.Info, n)
+					if callee == nil {
+						return true
+					}
+					if pkgPathIs(callee.Pkg(), "time") {
+						switch callee.Name() {
+						case "Now", "Since", "Until":
+							out = append(out, Finding{
+								Analyzer: "nodeterminism",
+								Pos:      m.Fset.Position(n.Pos()),
+								Message:  fmt.Sprintf("time.%s in deterministic file: the result must be a pure function of seed and input, not the clock", callee.Name()),
+							})
+						}
+					}
+				case *ast.RangeStmt:
+					tv, ok := p.Info.Types[n.X]
+					if !ok {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						out = append(out, Finding{
+							Analyzer: "nodeterminism",
+							Pos:      m.Fset.Position(n.Pos()),
+							Message:  "map iteration order is randomized per run; iterate a sorted key slice (or justify with //ermia:allow nodeterminism <reason>)",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

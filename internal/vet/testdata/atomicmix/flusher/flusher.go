@@ -1,0 +1,42 @@
+// Package flusher reproduces the PR-1 flusher error-propagation bug shape:
+// the background flusher published its sticky device-error state with
+// sync/atomic stores, while the foreground durability wait read the same
+// field with a plain load. The torn protocol compiled, raced, and dropped
+// the error on the floor. The analyzer must flag every plain access to a
+// field that is touched atomically anywhere in the module.
+package flusher
+
+import "sync/atomic"
+
+type manager struct {
+	errState uint64
+	closed   uint32
+	// flushed uses the typed-atomic style the engine migrated to; the type
+	// system forbids plain access, so the analyzer has nothing to say.
+	flushed atomic.Uint64
+}
+
+func (m *manager) noteErr() {
+	atomic.StoreUint64(&m.errState, 1)
+}
+
+func (m *manager) flushLoop() {
+	for atomic.LoadUint32(&m.closed) == 0 {
+		m.flushed.Add(1)
+	}
+}
+
+func (m *manager) waitDurable() error {
+	if m.errState != 0 { // want `plain access to field flusher\.errState, which is accessed atomically at`
+		return nil
+	}
+	return nil
+}
+
+func (m *manager) close() {
+	m.closed = 1 // want `plain access to field flusher\.closed, which is accessed atomically at`
+}
+
+func (m *manager) count() uint64 {
+	return m.flushed.Load()
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fix/internal/epoch"
+	"fix/internal/mvcc"
+)
+
+var slot epoch.Slot
+
+// entersDirectly is a proper guard boundary: the annotation is backed by a
+// direct Enter call in the body.
+//
+//ermia:guard-entry
+func entersDirectly(v *mvcc.Version) *mvcc.Version {
+	slot.Enter()
+	defer slot.Exit()
+	return v.Next()
+}
+
+// auditedEntry carries an audit reason instead of a direct Enter call.
+//
+//ermia:guard-entry the caller's transaction entered the slot at begin
+func auditedEntry(v *mvcc.Version) *mvcc.Version {
+	return v.Next()
+}
+
+// badEntry has neither an Enter call nor a reason: an unaudited assertion.
+//
+//ermia:guard-entry
+func badEntry(v *mvcc.Version) *mvcc.Version { // want `guard-entry function badEntry neither calls \(epoch\.Slot\)\.Enter nor gives an audit reason`
+	return next2(v)
+}
+
+// next2 shows guarded-to-guarded calls are fine.
+//
+//ermia:guarded
+func next2(w *mvcc.Version) *mvcc.Version { return w.Next() }
+
+func unguarded(v *mvcc.Version) {
+	_ = v.Next() // want `call to epoch-guarded function Next from unguarded function unguarded`
+}
+
+var hook = (*mvcc.Version).Next // want `reference to epoch-guarded function Next from package-level initializer`

@@ -1,0 +1,9 @@
+// Package epoch is the fixture's stand-in for the real epoch manager: the
+// analyzer recognizes (Slot).Enter by method name and package path suffix.
+package epoch
+
+type Slot struct{ entered int }
+
+func (s *Slot) Enter() { s.entered++ }
+
+func (s *Slot) Exit() { s.entered-- }

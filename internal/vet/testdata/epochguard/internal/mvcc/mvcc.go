@@ -1,0 +1,10 @@
+package mvcc
+
+// Version is a latch-free chain node; dereferencing next is only safe under
+// an epoch guard.
+type Version struct{ next *Version }
+
+// Next returns the next-older version.
+//
+//ermia:guarded
+func (v *Version) Next() *Version { return v.next }

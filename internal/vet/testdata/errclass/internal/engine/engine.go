@@ -1,0 +1,24 @@
+package engine
+
+import "errors"
+
+var (
+	// ErrConflict is classified (IsRetryable) and wire-mapped (statusTable).
+	ErrConflict = errors.New("conflict")
+
+	// ErrNoWire is classified by annotation but missing from statusTable.
+	//
+	//ermia:classify fatal fixture: intentionally fatal
+	ErrNoWire = errors.New("nowire") // want `sentinel ErrNoWire has no proto status`
+
+	// ErrNoClass is wire-mapped but never classified.
+	ErrNoClass = errors.New("noclass") // want `sentinel ErrNoClass is not referenced by engine\.IsRetryable or engine\.Classify`
+
+	// ErrFine is annotated both ways: fatal by default, never on the wire.
+	//
+	//ermia:classify fatal local fixture: fully annotated
+	ErrFine = errors.New("fine")
+)
+
+// IsRetryable is the classifier the analyzer scans for references.
+func IsRetryable(err error) bool { return errors.Is(err, ErrConflict) }

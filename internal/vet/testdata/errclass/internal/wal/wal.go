@@ -1,0 +1,6 @@
+package wal
+
+import "errors"
+
+// ErrDevice is a wal sentinel with no classification at all.
+var ErrDevice = errors.New("device failed") // want `sentinel ErrDevice is not referenced by engine\.IsRetryable or engine\.Classify`

@@ -1,0 +1,43 @@
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var a A
+
+var b B
+
+// lockAB establishes the direct edge A -> B.
+func lockAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock acquisition-order cycle among \{locks\.A\.mu, locks\.B\.mu\}`
+	b.mu.Unlock()
+}
+
+// lockBA establishes B -> A through a callee's lock summary, closing the
+// cycle.
+func lockBA() {
+	b.mu.Lock()
+	lockA()
+	b.mu.Unlock()
+}
+
+func lockA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func relock() {
+	a.mu.Lock()
+	a.mu.Lock() // want `a\.mu is re-locked while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+var _ = lockAB
+var _ = lockBA
+var _ = relock

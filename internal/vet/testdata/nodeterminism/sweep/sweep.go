@@ -1,0 +1,37 @@
+// Package sweep stands in for the crash-sweep infrastructure: marked
+// deterministic, so clocks, math/rand, and map iteration are forbidden.
+//
+//ermia:deterministic
+package sweep
+
+import (
+	"math/rand" // want `deterministic file sweep\.go imports math/rand; use the seeded internal/xrand instead`
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic file`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in deterministic file`
+}
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `map iteration order is randomized per run`
+		n += v
+	}
+	//ermia:allow nodeterminism order-insensitive sum, result identical any order
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func roll() int { return rand.Int() }
+
+var _ = now
+var _ = age
+var _ = sum
+var _ = roll

@@ -1,0 +1,218 @@
+// Package vet is ermia-vet's engine: a from-scratch, stdlib-only static
+// analysis driver (go/parser, go/ast, go/types, go/importer — no x/tools)
+// plus five repo-specific analyzers enforcing the invariants the Go compiler
+// cannot see:
+//
+//   - atomicmix: a struct field accessed both through sync/atomic and by
+//     plain load/store is a torn-read data race waiting for the right
+//     interleaving.
+//   - epochguard: functions that dereference latch-free version chains
+//     (//ermia:guarded) may only be called from other guarded functions or
+//     from audited guard boundaries (//ermia:guard-entry), proving chain
+//     walks stay under an epoch guard.
+//   - errclass: every exported sentinel error is classified by the retry
+//     taxonomy and round-trips through the wire-status bijection; switches
+//     over //ermia:exhaustive enum types must cover every constant.
+//   - lockorder: the static mutex acquisition-order graph must be acyclic.
+//   - nodeterminism: files marked //ermia:deterministic (crash-sweep and
+//     replay infrastructure) must not read clocks, use math/rand, or
+//     iterate maps in unspecified order.
+//
+// Findings are suppressed, one site at a time, with a justified
+// "//ermia:allow <analyzer> <reason>" comment on (or immediately above) the
+// offending line.
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Analyzer is one registered pass. Analyzers see the whole module at once:
+// several invariants (mixed field access, lock order, the status bijection)
+// only exist across package boundaries.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Finding
+}
+
+// Analyzers returns the full registered suite, in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		EpochGuard,
+		ErrClass,
+		LockOrder,
+		NoDeterminism,
+	}
+}
+
+// ByName returns the named subset of the suite, preserving suite order.
+func ByName(names []string) ([]*Analyzer, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("vet: unknown analyzer %q", n)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the module and returns the surviving
+// findings: deterministic order, //ermia:allow suppressions applied.
+func Run(m *Module, analyzers []*Analyzer) []Finding {
+	allows := collectAllows(m)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(m) {
+			if allows.allowed(a.Name, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// allowSet records //ermia:allow directives: analyzer name -> file -> lines
+// the suppression covers.
+type allowSet map[string]map[string]map[int]bool
+
+func (s allowSet) add(analyzer, file string, line int) {
+	byFile := s[analyzer]
+	if byFile == nil {
+		byFile = make(map[string]map[int]bool)
+		s[analyzer] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = make(map[int]bool)
+		byFile[file] = lines
+	}
+	// A directive covers its own line (trailing comment) and the next line
+	// (comment on the line above the flagged statement).
+	lines[line] = true
+	lines[line+1] = true
+}
+
+func (s allowSet) allowed(analyzer string, pos token.Position) bool {
+	return s[analyzer][pos.Filename][pos.Line]
+}
+
+func collectAllows(m *Module) allowSet {
+	s := make(allowSet)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text)
+					if !ok || d.verb != "allow" || len(d.args) == 0 {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					s.add(d.args[0], pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// RelFindings rewrites finding file names relative to root with forward
+// slashes, for stable output across machines.
+func RelFindings(root string, fs []Finding) []Finding {
+	out := make([]Finding, len(fs))
+	for i, f := range fs {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Text renders findings one per line: file:line:col: analyzer: message.
+func Text(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	return b.String()
+}
+
+// jsonFinding is the machine-readable schema: stable field names for CI
+// annotations and future tooling.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// JSON renders findings as an indented JSON array (always an array, never
+// null, so consumers can range without nil checks).
+func JSON(fs []Finding) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      col(f.Pos),
+			Message:  f.Message,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// col guards against zero columns from synthesized positions.
+func col(p token.Position) int {
+	if p.Column < 1 {
+		return 1
+	}
+	return p.Column
+}

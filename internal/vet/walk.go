@@ -1,0 +1,92 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcInfo pairs a declared function with its package and type object.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// moduleFuncs returns every declared function/method in the module, keyed by
+// its type object.
+func moduleFuncs(m *Module) map[*types.Func]*funcInfo {
+	out := make(map[*types.Func]*funcInfo)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				out[obj] = &funcInfo{pkg: p, decl: fd, obj: obj}
+			}
+		}
+	}
+	return out
+}
+
+// calleeOf resolves a call expression to the static *types.Func it invokes:
+// direct calls, method calls on concrete receivers, and calls through
+// function-valued selectors that the type-checker resolved. Interface-method
+// and function-variable calls return nil (dynamic dispatch).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if _, isInterface := sel.Recv().Underlying().(*types.Interface); isInterface {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// eachFuncBody invokes fn once per declared function body in the package,
+// plus once with decl == nil covering every package-level variable
+// initializer (where code can also run).
+func eachFuncBody(p *Package, fn func(decl *ast.FuncDecl, body ast.Node)) {
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d, d.Body)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							fn(nil, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pkgPathIs reports whether pkg (possibly nil) has the given import path.
+func pkgPathIs(pkg *types.Package, path string) bool {
+	return pkg != nil && pkg.Path() == path
+}

@@ -49,9 +49,13 @@ func (c *Config) setDefaults() {
 }
 
 // ErrTooLarge reports a reservation bigger than the manager can buffer.
+//
+//ermia:classify fatal an engine-internal sizing bug, never surfaced to transaction callers
 var ErrTooLarge = errors.New("wal: log block too large; split into overflow blocks")
 
 // ErrClosed reports use of a closed manager.
+//
+//ermia:classify fatal lifecycle misuse inside the engine, never surfaced to transaction callers
 var ErrClosed = errors.New("wal: log manager closed")
 
 type segment struct {

@@ -7,6 +7,8 @@ import (
 )
 
 // ErrNotDegraded reports a Reattach call on a manager with no sticky error.
+//
+//ermia:classify fatal an admin-operation precondition failure, not a transaction outcome
 var ErrNotDegraded = errors.New("wal: manager is not degraded")
 
 // ReattachReport accounts what a Reattach did with the log data that was in

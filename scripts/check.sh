@@ -1,13 +1,24 @@
 #!/bin/sh
-# check.sh — the full local gate: vet, build, tests, and a short race pass
-# over the packages with real concurrency (log manager, engine core, epoch
-# manager). CI and pre-commit hooks should run exactly this.
+# check.sh — the full local gate: vet, the repo-specific static-analysis
+# suite, build, tests, and a short race pass over the packages with real
+# concurrency (log manager, engine core, epoch manager). CI and pre-commit
+# hooks should run exactly this.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+
+echo "== ermia-vet (atomicmix, epochguard, errclass, lockorder, nodeterminism) =="
+if ! go run ./cmd/ermia-vet ./...; then
+	echo "" >&2
+	echo "check.sh: ermia-vet found invariant violations (listed above)." >&2
+	echo "Fix each finding or suppress a justified exception with" >&2
+	echo "'//ermia:allow <analyzer> <reason>' on the offending line." >&2
+	echo "See DESIGN.md, section 'Static analysis'." >&2
+	exit 1
+fi
 
 echo "== go build =="
 go build ./...
