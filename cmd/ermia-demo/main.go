@@ -191,6 +191,14 @@ func main() {
 					fmt.Printf(" (%s)", cause)
 				}
 				fmt.Println()
+				if s.ReplSubscribers > 0 || s.ReplBatches > 0 {
+					lag := uint64(0)
+					if s.ReplShippedOffset > s.ReplAckedOffset {
+						lag = s.ReplShippedOffset - s.ReplAckedOffset
+					}
+					fmt.Printf("replication: subscribers=%d batches=%d shipped-lsn=%d acked-lsn=%d lag=%dB\n",
+						s.ReplSubscribers, s.ReplBatches, s.ReplShippedOffset, s.ReplAckedOffset, lag)
+				}
 				continue
 			}
 			s := db.Stats()

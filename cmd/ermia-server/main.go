@@ -13,6 +13,17 @@
 // A degraded engine (log device fault) keeps serving reads; writes fail
 // with a typed retry-later status, and the admin Reattach frame (see
 // Client.Reattach) heals the log in place.
+//
+// With -replica-of the server runs as a read-only log-shipping replica of
+// another ermia-server:
+//
+//	ermia-server -addr :7245 -dir /var/lib/ermia-replica -replica-of primary:7244
+//
+// The replica mirrors the primary's log into -dir, replays it continuously,
+// and serves snapshot-consistent reads at its replay watermark; writes fail
+// with a typed replica-read-only status. After a primary failure, the admin
+// Promote frame (see Client.Promote) turns the replica into a full primary
+// over its mirrored log, in place, without a restart.
 package main
 
 import (
@@ -36,6 +47,7 @@ func main() {
 		maxConns     = flag.Int("max-conns", 256, "connection cap (excess dials wait in the listen backlog)")
 		workers      = flag.Int("workers", 128, "worker-slot pool size (bounds in-flight transactions)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before force-close")
+		replicaOf    = flag.String("replica-of", "", "primary ermia-server address; run as a read-only log-shipping replica")
 	)
 	flag.Parse()
 
@@ -55,6 +67,24 @@ func main() {
 	opts := ermia.Options{Dir: *dir, Serializable: *serializable}
 	var db *ermia.DB
 	var err error
+	if *replicaOf != "" {
+		rep, err := ermia.StartReplica(*replicaOf, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ermia-server: replica:", err)
+			os.Exit(1)
+		}
+		defer rep.Close()
+		db = rep.DB()
+		fmt.Printf("replicating from %s (watermark %#x)\n", *replicaOf, rep.Watermark())
+		go func() {
+			if err := waitReplicaErr(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "ermia-server: replication stream:", err)
+			}
+		}()
+		srv := newServer(db, mode, *maxConns, *workers, rep)
+		runServer(srv, *addr, mode, *workers, *drainTimeout)
+		return
+	}
 	if *dir != "" {
 		if db, err = ermia.Recover(opts); err == nil {
 			fmt.Println("recovered database from", *dir)
@@ -67,32 +97,62 @@ func main() {
 		}
 	}
 	defer db.Close()
+	srv := newServer(db, mode, *maxConns, *workers, nil)
+	runServer(srv, *addr, mode, *workers, *drainTimeout)
+}
 
-	srv, err := ermia.NewServer(ermia.ServerConfig{
+// newServer wires the admin hooks: Reattach always, Promote only when the
+// engine is a replica.
+func newServer(db *ermia.DB, mode ermia.Durability, maxConns, workers int, rep *ermia.LogReplica) *ermia.Server {
+	cfg := ermia.ServerConfig{
 		DB:         db,
-		MaxConns:   *maxConns,
-		Workers:    *workers,
+		MaxConns:   maxConns,
+		Workers:    workers,
 		Durability: mode,
 		ReattachFn: func() (string, error) {
-			rep, err := db.Reattach(nil)
+			r, err := db.Reattach(nil)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("reattached: replayed=%dB holes=%d lost=%dB",
-				rep.Replayed, rep.HolesFilled, rep.Lost), nil
+				r.Replayed, r.HolesFilled, r.Lost), nil
 		},
-	})
+	}
+	if rep != nil {
+		cfg.PromoteFn = func() (string, error) {
+			if err := rep.Promote(); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("promoted to primary at offset %#x", rep.Watermark()), nil
+		}
+	}
+	srv, err := ermia.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ermia-server:", err)
 		os.Exit(1)
 	}
+	return srv
+}
+
+// waitReplicaErr surfaces a fatal replication-stream error (transient
+// transport failures are retried inside the replica and never land here).
+func waitReplicaErr(rep *ermia.LogReplica) error {
+	for {
+		time.Sleep(time.Second)
+		if err := rep.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+func runServer(srv *ermia.Server, addr string, mode ermia.Durability, workers int, drainTimeout time.Duration) {
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sigs
 		fmt.Println("draining (signal again to force)...")
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		go func() {
 			<-sigs
@@ -103,8 +163,8 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("ermia-server listening on %s (durability=%s, workers=%d)\n", *addr, mode, *workers)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	fmt.Printf("ermia-server listening on %s (durability=%s, workers=%d)\n", addr, mode, workers)
+	if err := srv.ListenAndServe(addr); err != nil {
 		fmt.Fprintln(os.Stderr, "ermia-server:", err)
 		os.Exit(1)
 	}

@@ -26,6 +26,7 @@ import (
 	"ermia/internal/client"
 	"ermia/internal/core"
 	"ermia/internal/engine"
+	"ermia/internal/repl"
 	"ermia/internal/server"
 	"ermia/internal/silo"
 	"ermia/internal/wal"
@@ -86,6 +87,7 @@ var (
 	ErrSerialization    = engine.ErrSerialization
 	ErrPhantom          = engine.ErrPhantom
 	ErrReadOnlyDegraded = engine.ErrReadOnlyDegraded
+	ErrReplicaReadOnly  = engine.ErrReplicaReadOnly
 	ErrRetriesExhausted = engine.ErrRetriesExhausted
 )
 
@@ -118,6 +120,7 @@ const (
 	Healthy  = engine.Healthy
 	Degraded = engine.Degraded
 	Failed   = engine.Failed
+	Replica  = engine.Replica
 )
 
 // HealthStatus is a health snapshot: the state plus the causing fault.
@@ -330,3 +333,38 @@ var (
 	ErrOverloaded = engine.ErrOverloaded
 	ErrShutdown   = engine.ErrShutdown
 )
+
+// LogReplica is a running log-shipping replica (internal/repl.Replica
+// re-exported): a goroutine streaming the primary's committed log over the
+// wire protocol into a byte-identical local mirror, replaying it into a
+// read-only engine. LogReplica.DB serves snapshot reads pinned at the replay
+// watermark; writes fail with ErrReplicaReadOnly until LogReplica.Promote
+// turns the replica into a full primary over its mirrored log.
+type LogReplica = repl.Replica
+
+// ReplicaStats snapshots a replica's streaming progress: watermark, lag
+// behind the primary's durable horizon, and apply counters.
+type ReplicaStats = repl.Stats
+
+// Replication availability errors. ErrAlreadyPromoted reports a second
+// Promote. ErrReplStreamFatal means the replica cannot resume from its
+// watermark (the primary truncated or corrupted that log suffix) and must be
+// re-seeded from a fresh copy; transient transport failures never surface —
+// the replica reconnects and resubscribes on its own.
+var (
+	ErrAlreadyPromoted = repl.ErrPromoted
+	ErrReplStreamFatal = repl.ErrStreamFatal
+)
+
+// StartReplica opens (or re-opens) a replica whose log mirror lives in
+// opts.Dir/opts.Storage and streams from the primary ermia-server at
+// primaryAddr. Whatever the mirror already holds is recovered before
+// streaming resumes from the watermark, so a restarted replica re-fetches
+// only what it missed.
+func StartReplica(primaryAddr string, opts Options) (*LogReplica, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return repl.Start(repl.Config{PrimaryAddr: primaryAddr, Core: cfg})
+}

@@ -37,7 +37,7 @@ type Params struct {
 	Full      bool          // use paper-scale parameters
 	Out       io.Writer
 	// JSONPath, when non-empty, is where experiments that produce
-	// machine-readable reports (currently "server") write their JSON.
+	// machine-readable reports ("server", "repl") write their JSON.
 	JSONPath string
 }
 
@@ -742,12 +742,12 @@ func maxInt(s []int) int {
 var Experiments = map[string]func(Params) error{
 	"fig1": Fig1, "fig2": Fig2, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 	"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
-	"fig12": Fig12, "table1": Table1, "server": ServerBench,
+	"fig12": Fig12, "table1": Table1, "server": ServerBench, "repl": ReplBench,
 }
 
-// ExperimentOrder lists experiments in paper order for "all"; "server" (not
-// from the paper's evaluation) comes last.
+// ExperimentOrder lists experiments in paper order for "all"; "server" and
+// "repl" (not from the paper's evaluation) come last.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "table1", "server",
+	"fig11", "fig12", "table1", "server", "repl",
 }

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"ermia/internal/client"
+	"ermia/internal/core"
+	"ermia/internal/repl"
+	"ermia/internal/server"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+// ReplPoint is one load level of the replication experiment: a primary under
+// a write workload with one streaming replica, reporting the replica's
+// staleness (lag in log bytes between the primary's durable horizon and the
+// replica's applied watermark) and its apply rate.
+type ReplPoint struct {
+	Writers   int     `json:"writers"`
+	TxnPerSec float64 `json:"txn_per_sec"`
+
+	ApplyBlocksPerSec float64 `json:"apply_blocks_per_sec"`
+	ApplyMBPerSec     float64 `json:"apply_mb_per_sec"`
+	Batches           uint64  `json:"batches"`
+
+	// Lag percentiles over samples taken every few milliseconds while the
+	// writers run, in log bytes (0 = replica fully caught up at sample).
+	LagP50Bytes uint64 `json:"lag_p50_bytes"`
+	LagP99Bytes uint64 `json:"lag_p99_bytes"`
+	LagMaxBytes uint64 `json:"lag_max_bytes"`
+
+	// CatchupMicros is how long after the last writer stopped the replica
+	// took to reach the primary's final durable horizon.
+	CatchupMicros int64 `json:"catchup_us"`
+}
+
+// ReplBenchReport is the machine-readable output of the replication
+// experiment (written to Params.JSONPath as BENCH_repl.json).
+type ReplBenchReport struct {
+	Benchmark  string      `json:"benchmark"` // "log-shipping"
+	Engine     string      `json:"engine"`
+	Storage    string      `json:"storage"` // "dir" for both log and mirror
+	DurationMS int64       `json:"duration_ms_per_point"`
+	Points     []ReplPoint `json:"points"`
+}
+
+// replPoint runs one load level: file-backed primary behind a server,
+// file-backed replica streaming from it over loopback TCP, writers doing
+// single-insert commits on disjoint keys.
+func (p *Params) replPoint(dir string, writers int) (ReplPoint, error) {
+	pt := ReplPoint{Writers: writers}
+	primarySt, err := wal.NewDirStorage(dir + "/primary")
+	if err != nil {
+		return pt, err
+	}
+	db, err := core.Open(core.Config{
+		WAL: wal.Config{SegmentSize: 64 << 20, BufferSize: 8 << 20, Storage: primarySt},
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer db.Close()
+	srv, err := server.New(server.Config{DB: db, Workers: writers + 1, MaxConns: writers + 2})
+	if err != nil {
+		return pt, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	go srv.Serve(ln)
+
+	mirrorSt, err := wal.NewDirStorage(dir + "/mirror")
+	if err != nil {
+		return pt, err
+	}
+	r, err := repl.Start(repl.Config{
+		PrimaryAddr: ln.Addr().String(),
+		Core:        core.Config{WAL: wal.Config{Storage: mirrorSt}},
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer r.Close()
+
+	c, err := client.Dial(client.Options{Addr: ln.Addr().String(), PoolSize: writers})
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	tbl := c.CreateTable("bench")
+	value := make([]byte, 100)
+
+	// Lag sampler: instantaneous staleness as the primary's durable horizon
+	// minus the replica's applied watermark, in log bytes. (Sharper than the
+	// replica's own Stats().Lag, which only knows the horizon as of the last
+	// shipped batch.)
+	stopSample := make(chan struct{})
+	sampleDone := make(chan []uint64)
+	go func() {
+		var lags []uint64
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				sampleDone <- lags
+				return
+			case <-tick.C:
+				var lag uint64
+				if d, w := db.DurableOffset(), r.Watermark(); d > w {
+					lag = d - w
+				}
+				lags = append(lags, lag)
+			}
+		}
+	}()
+
+	seq := make([]uint64, writers)
+	res := Run(Options{
+		Workers:  writers,
+		Duration: p.Duration,
+		Exec: func(worker int, rng *xrand.Rand) (string, error) {
+			seq[worker]++
+			key := fmt.Sprintf("w%03d-%012d", worker, seq[worker])
+			txn := c.Begin(worker)
+			if err := txn.Insert(tbl, []byte(key), value); err != nil {
+				txn.Abort()
+				return "insert", err
+			}
+			return "insert", txn.Commit()
+		},
+	})
+	close(stopSample)
+	lags := <-sampleDone
+	if res.Err != nil {
+		return pt, res.Err
+	}
+
+	// Catch-up drain: writers stopped, measure how long the replica takes
+	// to reach the primary's final durable horizon.
+	drainStart := time.Now()
+	if err := db.WaitDurable(); err != nil {
+		return pt, err
+	}
+	target := db.DurableOffset()
+	for r.Watermark() < target {
+		if err := r.Err(); err != nil {
+			return pt, fmt.Errorf("replica stream failed: %w", err)
+		}
+		if time.Since(drainStart) > 30*time.Second {
+			return pt, fmt.Errorf("replica never caught up: watermark %#x, durable %#x", r.Watermark(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pt.CatchupMicros = time.Since(drainStart).Microseconds()
+
+	stats := r.Stats()
+	elapsed := p.Duration.Seconds() + time.Since(drainStart).Seconds()
+	pt.TxnPerSec = res.Throughput()
+	pt.ApplyBlocksPerSec = float64(stats.Blocks) / elapsed
+	pt.ApplyMBPerSec = float64(stats.Bytes) / elapsed / (1 << 20)
+	pt.Batches = stats.Batches
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	if n := len(lags); n > 0 {
+		pt.LagP50Bytes = lags[n/2]
+		pt.LagP99Bytes = lags[n*99/100]
+		pt.LagMaxBytes = lags[n-1]
+	}
+	return pt, nil
+}
+
+// ReplBench is the log-shipping replication experiment: one streaming
+// replica behind a loopback primary under an insert workload, measuring
+// replica staleness (lag in log bytes) and the replica's apply rate, plus
+// the drain time to full catch-up once the writers stop. Both the primary
+// log and the replica mirror are file-backed.
+func ReplBench(p Params) error {
+	p.setDefaults()
+	writerGrid := []int{1, p.Threads}
+	if p.Full {
+		writerGrid = []int{1, 4, p.Threads}
+	}
+
+	base, err := os.MkdirTemp("", "ermia-replbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(base)
+
+	report := ReplBenchReport{
+		Benchmark:  "log-shipping",
+		Engine:     EngERMIASI,
+		Storage:    "dir",
+		DurationMS: p.Duration.Milliseconds(),
+	}
+
+	p.printf("%-8s %12s %14s %12s %12s %12s %12s\n",
+		"writers", "txn/s", "apply-blk/s", "lag-p50", "lag-p99", "lag-max", "catchup(us)")
+	for i, writers := range writerGrid {
+		pt, err := p.replPoint(fmt.Sprintf("%s/point-%d", base, i), writers)
+		if err != nil {
+			return fmt.Errorf("bench: repl w=%d: %w", writers, err)
+		}
+		report.Points = append(report.Points, pt)
+		p.printf("%-8d %12.0f %14.0f %12d %12d %12d %12d\n",
+			pt.Writers, pt.TxnPerSec, pt.ApplyBlocksPerSec,
+			pt.LagP50Bytes, pt.LagP99Bytes, pt.LagMaxBytes, pt.CatchupMicros)
+	}
+
+	last := report.Points[len(report.Points)-1]
+	p.printf("# replica staleness at %d writers: p50 %dB, max %dB; catch-up %dus after writers stop\n",
+		last.Writers, last.LagP50Bytes, last.LagMaxBytes, last.CatchupMicros)
+
+	if p.JSONPath != "" {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(p.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		p.printf("# wrote %s\n", p.JSONPath)
+	}
+	return nil
+}

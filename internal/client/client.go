@@ -25,6 +25,13 @@ var errClientClosed = errors.New("client: closed")
 type Options struct {
 	// Addr is the server's TCP address. Required.
 	Addr string
+	// FallbackAddrs are alternative server addresses tried in order when a
+	// redial of the current address fails — typically the replicas of Addr.
+	// After a primary failure an operator promotes a replica and clients
+	// fail over by rotating onto it; transactions in flight during the
+	// switch surface the retryable engine.ErrConnLost, so RunWithRetry
+	// loops converge on the new primary without application changes.
+	FallbackAddrs []string
 	// PoolSize is the number of connections; Begin pins transaction w to
 	// connection w%PoolSize, so concurrent workers spread across the pool
 	// while each transaction stays on the session that owns it. Default 1.
@@ -43,6 +50,10 @@ type Client struct {
 	mu     sync.Mutex
 	conns  []*conn
 	closed bool
+	// addrIdx rotates through Addr + FallbackAddrs: 0 is Addr, i>0 is
+	// FallbackAddrs[i-1]. All pool connections follow the same index so the
+	// client talks to one server at a time.
+	addrIdx int
 
 	tmu    sync.Mutex
 	tables map[string]*clientTable // handle identity: same name, same handle
@@ -82,12 +93,30 @@ func (c *Client) conn(i int) (*conn, error) {
 	if cn := c.conns[idx]; cn != nil && !cn.isBroken() {
 		return cn, nil
 	}
-	cn, err := dialConn(c.opts.Addr, c.opts.DialTimeout)
-	if err != nil {
-		return nil, connLost(err)
+	// Try the current address first, then rotate through the fallbacks.
+	// One full rotation per conn() call: a dead fleet still fails fast.
+	addrs := 1 + len(c.opts.FallbackAddrs)
+	var firstErr error
+	for attempt := 0; attempt < addrs; attempt++ {
+		cn, err := dialConn(c.addr(), c.opts.DialTimeout)
+		if err == nil {
+			c.conns[idx] = cn
+			return cn, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		c.addrIdx = (c.addrIdx + 1) % addrs
 	}
-	c.conns[idx] = cn
-	return cn, nil
+	return nil, connLost(firstErr)
+}
+
+// addr returns the address the pool currently points at. Caller holds c.mu.
+func (c *Client) addr() string {
+	if c.addrIdx == 0 {
+		return c.opts.Addr
+	}
+	return c.opts.FallbackAddrs[c.addrIdx-1]
 }
 
 // Close closes every pool connection. Open remote transactions are aborted
@@ -251,6 +280,11 @@ type ServerStats struct {
 	GroupBatches  uint64
 	GroupCommits  uint64
 	DurableOffset uint64
+
+	ReplSubscribers   uint32
+	ReplBatches       uint64
+	ReplShippedOffset uint64
+	ReplAckedOffset   uint64
 }
 
 // Stats fetches the server's counters.
@@ -274,6 +308,10 @@ func (c *Client) Stats() (ServerStats, error) {
 	out.GroupBatches = d.U64()
 	out.GroupCommits = d.U64()
 	out.DurableOffset = d.U64()
+	out.ReplSubscribers = d.U32()
+	out.ReplBatches = d.U64()
+	out.ReplShippedOffset = d.U64()
+	out.ReplAckedOffset = d.U64()
 	return out, d.Err()
 }
 
@@ -285,6 +323,24 @@ func (c *Client) Reattach() (string, error) {
 		return "", err
 	}
 	st, detail, d, err := cn.call(proto.MsgReattach, nil)
+	if err != nil {
+		return "", err
+	}
+	if err := st.Err(detail); err != nil {
+		return "", err
+	}
+	report := string(d.Bytes())
+	return report, d.Err()
+}
+
+// Promote asks the server to promote its replica engine to primary (admin
+// operation); it returns the server's promotion report text.
+func (c *Client) Promote() (string, error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return "", err
+	}
+	st, detail, d, err := cn.call(proto.MsgPromote, nil)
 	if err != nil {
 		return "", err
 	}

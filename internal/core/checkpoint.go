@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ermia/internal/engine"
 	"ermia/internal/mvcc"
 	"ermia/internal/wal"
 )
@@ -21,9 +22,14 @@ import (
 // headers' checksum scheme) so recovery can detect a torn or bit-flipped
 // snapshot and fall back to the previous checkpoint.
 func (db *DB) Checkpoint() error {
+	if db.replica.Load() {
+		// A replica checkpoints nothing: its durable state is the primary's
+		// log, mirrored by the replication stream.
+		return engine.ErrReplicaReadOnly
+	}
 	// Begin record.
 	db.logGate.RLock()
-	res, err := db.log.Reserve(0, wal.BlockCheckpointBegin)
+	res, err := db.logMgr().Reserve(0, wal.BlockCheckpointBegin)
 	if err != nil {
 		db.logGate.RUnlock()
 		return db.noteLogErr(err)
@@ -44,7 +50,7 @@ func (db *DB) Checkpoint() error {
 
 	// End record locates the durable snapshot.
 	db.logGate.RLock()
-	end, err := db.log.Reserve(len(name), wal.BlockCheckpointEnd)
+	end, err := db.logMgr().Reserve(len(name), wal.BlockCheckpointEnd)
 	if err != nil {
 		db.logGate.RUnlock()
 		return db.noteLogErr(err)
@@ -85,10 +91,11 @@ func (db *DB) TruncateLog() ([]string, error) {
 	if begin == 0 {
 		return nil, nil // no checkpoint this run
 	}
-	if err := db.log.Flush(); err != nil {
+	log := db.logMgr()
+	if err := log.Flush(); err != nil {
 		return nil, err
 	}
-	return db.log.Truncate(begin)
+	return log.Truncate(begin)
 }
 
 // encodeCheckpoint serializes the catalogs, every table's live records, and
@@ -256,11 +263,17 @@ func (db *DB) loadCheckpoint(buf []byte) error {
 	return nil
 }
 
-// applyVersion installs a recovered version at oid if it is newer than what
-// the slot already holds; withKey also (re)binds key → oid in the index.
-// Recovery is single-threaded, so plain stores suffice.
+// applyVersion installs a recovered or replicated version at oid if it is
+// newer than what the slot already holds; withKey also (re)binds key → oid
+// in the index.
 //
-//ermia:guard-entry recovery is single-threaded: no transactions run and no GC sweeps until Open returns
+// There is never more than one applier: recovery is single-threaded, and a
+// replica has exactly one applier goroutine. Concurrent replica readers are
+// safe against the Install publication (the version is fully built first),
+// and the replica runs GC only from the applier goroutine itself, so an
+// installed version can never race a concurrent prune.
+//
+//ermia:guard-entry single-threaded applier: recovery runs before Open returns, and the replica applier is one goroutine that also owns GC, so no concurrent sweep can reclaim under it
 func (db *DB) applyVersion(t *Table, oid mvcc.OID, key, val []byte, clsn uint64, tombstone, withKey bool) {
 	t.arr.EnsureAllocated(oid)
 	if withKey && len(key) > 0 {

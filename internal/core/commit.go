@@ -49,7 +49,7 @@ func (t *Txn) Commit() error {
 	if !t.db.cfg.LogPerOperation {
 		for i := range t.writes {
 			t.logBuf = t.encodeWrite(t.logBuf, &t.writes[i])
-			if len(t.logBuf) > t.db.log.MaxPayload()-512 {
+			if len(t.logBuf) > t.db.logMgr().MaxPayload()-512 {
 				// Oversized footprint: spill into a backward-linked
 				// overflow block (§3.3, feature 4).
 				if err := t.spillOverflow(); err != nil {
@@ -65,7 +65,7 @@ func (t *Txn) Commit() error {
 	// so a concurrent Reattach never observes a half-filled claim.
 	ls := t.clock()
 	t.db.logGate.RLock()
-	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockCommit)
+	res, err := t.db.logMgr().Reserve(len(t.logBuf), wal.BlockCommit)
 	t.accLog(ls)
 	if err != nil {
 		t.db.logGate.RUnlock()
@@ -180,12 +180,13 @@ func (t *Txn) ssnCommit(cstamp uint64) error {
 
 // ssnReadOnlyCommit runs the exclusion test for a transaction with no
 // writes; η(T) came entirely from forward processing. The pseudo commit
-// stamp sits just below the log's current offset so it can never collide
-// with a real writer's stamp: a writer reserving now gets exactly
-// CurrentOffset, and the reader genuinely serializes before it (it cannot
-// have seen that writer's versions).
+// stamp sits just below the begin-stamp clock (the log's current offset, or
+// the replay watermark on a replica) so it can never collide with a real
+// writer's stamp: a writer reserving now gets exactly CurrentOffset, and the
+// reader genuinely serializes before it (it cannot have seen that writer's
+// versions).
 func (t *Txn) ssnReadOnlyCommit() error {
-	cstamp := t.db.log.CurrentOffset() - 1
+	cstamp := t.db.beginStamp() - 1
 	if cstamp < t.sstamp {
 		t.sstamp = cstamp
 	}
@@ -233,7 +234,7 @@ func (t *Txn) spillOverflow() error {
 	defer t.accLog(ls)
 	t.db.logGate.RLock()
 	defer t.db.logGate.RUnlock()
-	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
+	res, err := t.db.logMgr().Reserve(len(t.logBuf), wal.BlockOverflow)
 	if err != nil {
 		return t.db.updateUnavailable(err)
 	}

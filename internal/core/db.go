@@ -74,9 +74,21 @@ func (t *Table) Len() int { return t.idx.Len() }
 
 // DB is an ERMIA engine instance.
 type DB struct {
-	cfg  Config
-	log  *wal.Manager
+	cfg Config
+	// log is an atomic pointer because a replica runs without a log manager
+	// (nil) until promotion installs one; everything in the write path loads
+	// it through logMgr. On a primary it is set once at Open/Recover and
+	// never changes (Reattach heals the manager in place).
+	log  atomic.Pointer[wal.Manager]
 	tids *txnid.Manager
+
+	// Replica mode (see replica.go): replica engines replay the primary's
+	// shipped log instead of writing their own. watermark is the replay
+	// horizon — the offset just past the last fully applied commit block —
+	// and doubles as the begin timestamp of replica read transactions, which
+	// pins their snapshots to fully applied state.
+	replica   atomic.Bool
+	watermark atomic.Uint64
 
 	// gcEpoch tracks transaction-scale quiescence for version reclamation;
 	// every transaction joins it between begin and end (§3.4). Worker
@@ -162,9 +174,8 @@ func Open(cfg Config) (*DB, error) {
 }
 
 func newDB(cfg Config, log *wal.Manager) *DB {
-	return &DB{
+	db := &DB{
 		cfg:         cfg,
-		log:         log,
 		tids:        txnid.NewManager(),
 		gcEpoch:     epoch.NewManager(0),
 		tables:      make(map[string]*Table),
@@ -172,6 +183,26 @@ func newDB(cfg Config, log *wal.Manager) *DB {
 		nextTID:     1,
 		secondaries: newSecondaryCatalog(),
 	}
+	if log != nil {
+		db.log.Store(log)
+	}
+	return db
+}
+
+// logMgr returns the live log manager, or nil on a replica that has not
+// been promoted.
+func (db *DB) logMgr() *wal.Manager { return db.log.Load() }
+
+// beginStamp is the begin-timestamp clock: the log's current offset on a
+// primary (every commit block reserved afterwards gets a later offset), and
+// the replay watermark on a replica (every fully applied commit block has an
+// earlier offset, so the snapshot never sees a partially applied
+// transaction).
+func (db *DB) beginStamp() uint64 {
+	if db.replica.Load() {
+		return db.watermark.Load()
+	}
+	return db.logMgr().CurrentOffset()
 }
 
 func (db *DB) startGC() {
@@ -201,8 +232,32 @@ func (db *DB) Serializable() bool { return db.cfg.Isolation != SnapshotIsolation
 // IsolationLevel returns the active CC scheme.
 func (db *DB) IsolationLevel() Isolation { return db.cfg.Isolation }
 
-// Log exposes the log manager (for durability waits and stats).
-func (db *DB) Log() *wal.Manager { return db.log }
+// Log exposes the log manager (for durability waits and stats). It is nil
+// on a replica that has not been promoted; DurableOffset abstracts over the
+// difference.
+func (db *DB) Log() *wal.Manager { return db.log.Load() }
+
+// DurableOffset is the engine's durability horizon: the log's durable offset
+// on a primary, the replay watermark on a replica (everything below it was
+// durable on the primary before it was shipped).
+func (db *DB) DurableOffset() uint64 {
+	if log := db.logMgr(); log != nil {
+		return log.DurableOffset()
+	}
+	return db.watermark.Load()
+}
+
+// IsReplica reports whether the engine is in replica mode (replaying a
+// primary's log, refusing writes).
+func (db *DB) IsReplica() bool { return db.replica.Load() }
+
+// Watermark returns the replay watermark: the offset just past the last
+// fully applied commit block. Zero on a primary.
+func (db *DB) Watermark() uint64 { return db.watermark.Load() }
+
+// PublishWatermark advances the replay watermark after a block has been
+// fully applied. Called only by the replica applier goroutine.
+func (db *DB) PublishWatermark(off uint64) { db.watermark.Store(off) }
 
 // Stats returns the engine counters.
 func (db *DB) Stats() *DBStats { return &db.stats }
@@ -213,6 +268,15 @@ func (db *DB) WorkerProfile(w int) *Profile { return &db.workers[w&(MaxWorkers-1
 // CreateTable makes the named table, logging its creation so recovery can
 // rebuild the catalog. Creating an existing table returns it.
 func (db *DB) CreateTable(name string) engine.Table {
+	if db.replica.Load() {
+		// Catalog changes are writes; they must happen on the primary and
+		// arrive here through the shipped log. Returning a nil interface
+		// (not a typed-nil *Table) lets callers detect the refusal.
+		if t := db.OpenTable(name); t != nil {
+			return t
+		}
+		return nil
+	}
 	db.mu.Lock()
 	if t, ok := db.tables[name]; ok {
 		db.mu.Unlock()
@@ -227,7 +291,7 @@ func (db *DB) CreateTable(name string) engine.Table {
 	// Log the catalog change in its own commit block.
 	rec := encodeCreateTable(t.id, name)
 	db.logGate.RLock()
-	res, err := db.log.Reserve(len(rec), wal.BlockCommit)
+	res, err := db.logMgr().Reserve(len(rec), wal.BlockCommit)
 	if err == nil {
 		res.Append(rec)
 		res.Commit()
@@ -288,7 +352,7 @@ func (db *DB) allTables() []*Table {
 //ermia:guard-entry the GC thread is the reclaimer side of the protocol: Advance/TryReclaim bracket the sweep, and a pruned version stays allocated until every slot that could have observed it has exited
 func (db *DB) RunGC() int {
 	horizon := db.tids.MinActiveBegin()
-	if cur := db.log.CurrentOffset(); cur < horizon {
+	if cur := db.beginStamp(); cur < horizon {
 		horizon = cur
 	}
 	db.gcEpoch.Advance()
@@ -308,15 +372,29 @@ func (db *DB) RunGC() int {
 
 // WaitDurable blocks until every transaction committed so far is durable
 // (group commit). A device error surfaces here and degrades the DB to
-// read-only; see Health and Reattach.
-func (db *DB) WaitDurable() error { return db.noteLogErr(db.log.Flush()) }
+// read-only; see Health and Reattach. On a replica it is a no-op: a replica
+// commits nothing of its own, and everything it has applied was already
+// durable on the primary.
+func (db *DB) WaitDurable() error {
+	log := db.logMgr()
+	if log == nil {
+		return nil
+	}
+	return db.noteLogErr(log.Flush())
+}
 
 // SyncCommit is the per-commit durability wait of a traditional
 // synchronous-commit server: everything reserved so far becomes durable and
 // the caller additionally pays its own device sync, even when another
 // committer's sync already covered it. The network server's naive
 // durability mode uses it as the baseline group commit is measured against.
-func (db *DB) SyncCommit() error { return db.noteLogErr(db.log.SyncCommit(db.log.CurrentOffset())) }
+func (db *DB) SyncCommit() error {
+	log := db.logMgr()
+	if log == nil {
+		return nil
+	}
+	return db.noteLogErr(log.SyncCommit(log.CurrentOffset()))
+}
 
 // Close stops background work and shuts down the log.
 func (db *DB) Close() error {
@@ -327,7 +405,9 @@ func (db *DB) Close() error {
 		}
 		db.gcEpoch.Close()
 		db.health.Store(int32(engine.Failed))
-		db.closeErr = db.log.Close()
+		if log := db.logMgr(); log != nil {
+			db.closeErr = log.Close()
+		}
 	})
 	return db.closeErr
 }

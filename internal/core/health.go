@@ -64,6 +64,8 @@ func (t *Txn) checkWritable() error {
 		return nil
 	case engine.Degraded:
 		return engine.ErrReadOnlyDegraded
+	case engine.Replica:
+		return engine.ErrReplicaReadOnly
 	default:
 		return wal.ErrClosed
 	}
@@ -89,8 +91,12 @@ func (db *DB) Reattach(st wal.Storage) (*wal.ReattachReport, error) {
 		return nil, fmt.Errorf("core: reattach failed instance: %w", wal.ErrClosed)
 	case engine.Healthy:
 		return nil, wal.ErrNotDegraded
+	case engine.Replica:
+		// A replica has no log of its own to heal; Promote is the only way
+		// out of the Replica state.
+		return nil, wal.ErrNotDegraded
 	}
-	rep, err := db.log.Reattach(st)
+	rep, err := db.logMgr().Reattach(st)
 	if err != nil {
 		db.health.Store(int32(engine.Failed))
 		return nil, err

@@ -18,11 +18,34 @@ import (
 // first hole without losing committed work, because it contains only
 // committed state.
 func Recover(cfg Config) (*DB, error) {
+	db, pass1, _, err := recoverState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Resume the log at the recovered horizon and restart background work.
+	log, err := wal.Open(cfg.WAL, pass1)
+	if err != nil {
+		return nil, err
+	}
+	db.log.Store(log)
+	db.startGC()
+	return db, nil
+}
+
+// recoverState is the shared restore path behind Recover and OpenReplica:
+// scan the log in cfg.WAL.Storage, restore the newest verifiable
+// checkpoint, and roll forward through an Applier. It returns the rebuilt
+// DB (no log manager installed, no GC running), the scan result, and the
+// checkpoint-begin offset the replay skipped to.
+func recoverState(cfg Config) (*DB, *wal.RecoverResult, uint64, error) {
 	if cfg.WAL.Storage == nil {
-		return nil, fmt.Errorf("core: Recover requires explicit WAL storage")
+		return nil, nil, 0, fmt.Errorf("core: recovery requires explicit WAL storage")
 	}
 	if cfg.EpochInterval == 0 {
 		cfg.EpochInterval = 10 * time.Millisecond
+	}
+	if cfg.Serializable && cfg.Isolation == SnapshotIsolation {
+		cfg.Isolation = SSN
 	}
 	st := cfg.WAL.Storage
 
@@ -36,7 +59,7 @@ func Recover(cfg Config) (*DB, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: log scan: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: log scan: %w", err)
 	}
 
 	db := newDB(cfg, nil)
@@ -51,38 +74,28 @@ func Recover(cfg Config) (*DB, error) {
 		name := ckptNames[i]
 		var begin uint64
 		if _, err := fmt.Sscanf(name, "ckpt-%016x", &begin); err != nil {
-			return nil, fmt.Errorf("core: bad checkpoint name %q", name)
+			return nil, nil, 0, fmt.Errorf("core: bad checkpoint name %q", name)
 		}
 		buf, err := readCheckpointBlob(st, name)
 		if err != nil {
 			continue
 		}
 		if err := db.loadCheckpoint(buf); err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		ckptBegin = begin
 		break
 	}
 
-	// Pass 2: roll forward from the checkpoint (or the log's start).
-	_, err = wal.Recover(st, func(b wal.Block) error {
-		if b.Type != wal.BlockCommit || b.LSN.Offset() <= ckptBegin {
-			return nil
-		}
-		return db.applyCommitBlock(st, pass1.Segments, b)
-	})
+	// Pass 2: roll forward from the checkpoint (or the log's start) through
+	// the same Applier a replica uses for streaming replay.
+	ap := db.NewApplier(st, pass1.Segments, ckptBegin)
+	_, err = wal.Recover(st, ap.Apply)
+	ap.Close()
 	if err != nil {
-		return nil, fmt.Errorf("core: replay: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: replay: %w", err)
 	}
-
-	// Resume the log at the recovered horizon and restart background work.
-	log, err := wal.Open(cfg.WAL, pass1)
-	if err != nil {
-		return nil, err
-	}
-	db.log = log
-	db.startGC()
-	return db, nil
+	return db, pass1, ckptBegin, nil
 }
 
 // readCheckpointBlob reads and verifies a checkpoint blob, returning its

@@ -59,6 +59,10 @@ func newSecondaryCatalog() *secondaryCatalog {
 // Creation is logged so recovery rebuilds the catalog; entries themselves
 // are rebuilt from the logged insert records.
 func (db *DB) CreateSecondaryIndex(t engine.Table, name string) *SecondaryIndex {
+	if db.replica.Load() {
+		// Catalog changes must come from the primary through the log.
+		return db.OpenSecondaryIndex(name)
+	}
 	tab := t.(*Table)
 	db.mu.Lock()
 	if si, ok := db.secondaries.byName[name]; ok {
@@ -76,7 +80,7 @@ func (db *DB) CreateSecondaryIndex(t engine.Table, name string) *SecondaryIndex 
 	db.mu.Unlock()
 
 	rec := encodeCreateIndex(si.id, tab.id, name)
-	res, err := db.log.Reserve(len(rec), wal.BlockCommit)
+	res, err := db.logMgr().Reserve(len(rec), wal.BlockCommit)
 	if err == nil {
 		res.Append(rec)
 		res.Commit()

@@ -72,7 +72,7 @@ func (db *DB) begin(worker int, readOnly bool) *Txn {
 		ws.slot = db.gcEpoch.Register()
 	}
 	ws.slot.Enter()
-	tid, err := db.tids.Allocate(db.log.CurrentOffset)
+	tid, err := db.tids.Allocate(db.beginStamp)
 	if err != nil {
 		// 64K slots with far fewer in-flight transactions: exhaustion means
 		// leaked transactions, a programming error.
@@ -612,7 +612,7 @@ func (t *Txn) perOpLog() error {
 	defer t.accLog(start)
 	t.db.logGate.RLock()
 	defer t.db.logGate.RUnlock()
-	res, err := t.db.log.Reserve(len(t.logBuf), wal.BlockOverflow)
+	res, err := t.db.logMgr().Reserve(len(t.logBuf), wal.BlockOverflow)
 	if err != nil {
 		return t.db.updateUnavailable(err)
 	}

@@ -43,6 +43,16 @@ var (
 	// retrying without healing the device cannot succeed, so IsRetryable
 	// reports false. Observe DB health and call Reattach instead.
 	ErrReadOnlyDegraded = errors.New("engine: database degraded to read-only")
+	// ErrReplicaReadOnly reports an update rejected because the engine is a
+	// replication replica: it continuously replays the primary's log and
+	// serves snapshot reads pinned at its replay watermark, but writes must
+	// go to the primary. Like ErrReadOnlyDegraded it is an availability
+	// error, not a conflict — retrying against the same replica cannot
+	// succeed until it is promoted, so IsRetryable reports false and
+	// Classify maps it to OutcomeUnavailable. Clients should redirect
+	// writes to the primary (or, after a primary failure, ask for
+	// promotion).
+	ErrReplicaReadOnly = errors.New("engine: replica is read-only")
 	// ErrConnLost reports a network operation whose connection died before a
 	// response arrived. For a commit the true outcome is indeterminate — the
 	// server may have committed before the connection broke. It is classified

@@ -13,12 +13,16 @@ import "fmt"
 //
 //	Healthy  --log device error-->  Degraded  --Reattach ok-->  Healthy
 //	Degraded --Reattach fails / log closed under us--> Failed
+//	Replica  --Promote--> Healthy (a replica is born Replica, never enters it)
 //	any      --Close--> Failed (terminal)
 //
 // Degraded guarantees: every commit acknowledged durable before the fault
 // remains durable; read-only transactions keep committing against the
 // in-memory state; update transactions fail fast with ErrReadOnlyDegraded.
-// Failed is terminal: the instance must be replaced via recovery.
+// Replica makes the same read-side promise — snapshot reads pinned at the
+// replay watermark keep committing — while writes fail fast with
+// ErrReplicaReadOnly until promotion. Failed is terminal: the instance must
+// be replaced via recovery.
 type HealthState int32
 
 const (
@@ -28,6 +32,10 @@ const (
 	Degraded
 	// Failed means the engine can no longer serve transactions.
 	Failed
+	// Replica means the engine is a replication replica: it replays the
+	// primary's log and serves read-only snapshot transactions; promotion
+	// moves it to Healthy.
+	Replica
 )
 
 func (s HealthState) String() string {
@@ -38,6 +46,8 @@ func (s HealthState) String() string {
 		return "degraded"
 	case Failed:
 		return "failed"
+	case Replica:
+		return "replica"
 	default:
 		return fmt.Sprintf("health(%d)", int32(s))
 	}

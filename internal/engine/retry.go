@@ -53,7 +53,8 @@ func Classify(err error) Outcome {
 		return OutcomeCommitted
 	case IsRetryable(err):
 		return OutcomeConflict
-	case errors.Is(err, ErrReadOnlyDegraded), errors.Is(err, ErrShutdown):
+	case errors.Is(err, ErrReadOnlyDegraded), errors.Is(err, ErrReplicaReadOnly),
+		errors.Is(err, ErrShutdown):
 		return OutcomeUnavailable
 	default:
 		return OutcomeFatal

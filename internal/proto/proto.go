@@ -59,6 +59,19 @@ const (
 	MsgHealth
 	MsgStats
 	MsgReattach
+	// MsgReplSubscribe opens a replication stream: the request carries the
+	// log offset to resume from, and after the normal response the server
+	// pushes MsgReplBatch|RespFlag frames with the same request id.
+	MsgReplSubscribe
+	// MsgReplBatch frames are server-pushed batches of raw log blocks; see
+	// ReplBatch. Only ever sent with RespFlag set.
+	MsgReplBatch
+	// MsgReplAck reports the replica's applied watermark back to the
+	// primary, which persists it per subscriber for stream resumption.
+	MsgReplAck
+	// MsgPromote asks a replica server to seal its stream, run the recovery
+	// tail over the mirrored log, and flip to a writable primary.
+	MsgPromote
 )
 
 // Begin request flag bits.
@@ -230,6 +243,18 @@ func (d *Dec) U8() byte {
 	v := d.b[0]
 	d.b = d.b[1:]
 	return v
+}
+
+// Rest consumes and returns the undecoded remainder of the payload
+// (aliasing the input). Used for messages that end in an opaque body with
+// its own framing, like the replication batch.
+func (d *Dec) Rest() []byte {
+	if d.bad {
+		return nil
+	}
+	p := d.b
+	d.b = nil
+	return p
 }
 
 // Err reports whether decoding ran past the payload.

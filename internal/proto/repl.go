@@ -1,0 +1,125 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication payloads. A replica subscribes with MsgReplSubscribe carrying
+// the log offset it wants the stream to resume from (its applied watermark);
+// the server answers the subscribe normally, then pushes MsgReplBatch
+// response frames — same request id, MsgReplBatch|RespFlag — for as long as
+// the subscription lives. The replica acknowledges progress with separate
+// MsgReplAck requests carrying its applied watermark, which the primary
+// tracks per subscriber so a later resubscribe resumes where the stream
+// left off.
+//
+// Every batch carries the raw log blocks (offset, padded size, type,
+// overflow back-link, payload) plus the metadata of the segments they live
+// in, so the replica can mirror the primary's segment files byte-for-byte —
+// the mirrored log, not the shipped frames, is what promotion recovers
+// from. On top of the frame CRC, the batch body carries its own CRC-32C
+// trailer: a torn or corrupted batch fails decode as a unit and the replica
+// resynchronizes from its watermark instead of applying a prefix of
+// garbage.
+
+// ReplSegment locates one log segment file: modulo number plus the offset
+// range encoded in its name.
+type ReplSegment struct {
+	Num   uint32
+	Start uint64
+	End   uint64
+}
+
+// ReplBlock is one shipped log block.
+type ReplBlock struct {
+	Off     uint64 // logical offset
+	Size    uint32 // padded on-disk size including header
+	Type    uint8
+	Prev    uint64 // previous overflow block offset, or 0
+	Payload []byte
+}
+
+// ReplBatch is the payload of one MsgReplBatch frame.
+type ReplBatch struct {
+	// Durable is the primary's durable horizon when the batch was cut; the
+	// replica's lag is Durable minus its applied watermark.
+	Durable  uint64
+	Segments []ReplSegment
+	Blocks   []ReplBlock
+}
+
+// replBatch decode bounds: a hostile or corrupted count field must fail
+// decode, not force a giant allocation. MaxPayload already caps the frame;
+// these just keep the per-item minimum sizes honest.
+const (
+	maxReplSegments = 4096
+	// a block encodes to at least 29 bytes (off+size+type+prev+payload len)
+	minReplBlockEnc = 8 + 4 + 1 + 8 + 1
+	minReplSegEnc   = 4 + 8 + 8
+)
+
+// AppendReplBatch appends b's encoding — body then CRC-32C trailer — to dst.
+func AppendReplBatch(dst []byte, b *ReplBatch) []byte {
+	start := len(dst)
+	dst = AppendU64(dst, b.Durable)
+	dst = AppendU32(dst, uint32(len(b.Segments)))
+	for _, s := range b.Segments {
+		dst = AppendU32(dst, s.Num)
+		dst = AppendU64(dst, s.Start)
+		dst = AppendU64(dst, s.End)
+	}
+	dst = AppendU32(dst, uint32(len(b.Blocks)))
+	for i := range b.Blocks {
+		blk := &b.Blocks[i]
+		dst = AppendU64(dst, blk.Off)
+		dst = AppendU32(dst, blk.Size)
+		dst = AppendU8(dst, blk.Type)
+		dst = AppendU64(dst, blk.Prev)
+		dst = AppendBytes(dst, blk.Payload)
+	}
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// DecodeReplBatch decodes and verifies one batch payload. Block payloads
+// alias p. Any structural violation — short body, bad counts, CRC mismatch —
+// returns ErrBadFrame: the batch must be rejected whole.
+func DecodeReplBatch(p []byte) (*ReplBatch, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: repl batch too short", ErrBadFrame)
+	}
+	body, trailer := p[:len(p)-4], p[len(p)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: repl batch crc mismatch", ErrBadFrame)
+	}
+	d := NewDec(body)
+	b := &ReplBatch{Durable: d.U64()}
+	nseg := d.U32()
+	if nseg > maxReplSegments || uint64(nseg)*minReplSegEnc > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: repl batch segment count %d", ErrBadFrame, nseg)
+	}
+	b.Segments = make([]ReplSegment, nseg)
+	for i := range b.Segments {
+		b.Segments[i] = ReplSegment{Num: d.U32(), Start: d.U64(), End: d.U64()}
+	}
+	nblk := d.U32()
+	if uint64(nblk)*minReplBlockEnc > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: repl batch block count %d", ErrBadFrame, nblk)
+	}
+	b.Blocks = make([]ReplBlock, nblk)
+	for i := range b.Blocks {
+		b.Blocks[i] = ReplBlock{
+			Off:  d.U64(),
+			Size: d.U32(),
+			Type: d.U8(),
+			Prev: d.U64(),
+		}
+		b.Blocks[i].Payload = d.Bytes()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

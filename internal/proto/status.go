@@ -41,6 +41,10 @@ const (
 	// StatusBadRequest reports a payload the server could parse as a frame
 	// but not as a message.
 	StatusBadRequest
+	// StatusReplicaReadOnly reports a write refused because the serving
+	// engine is a replication replica; writes must go to the primary (or
+	// wait for this replica's promotion).
+	StatusReplicaReadOnly
 	// StatusInternal carries any error outside the taxonomy as text.
 	//
 	//ermia:status special catch-all carrying arbitrary error text, not a fixed sentinel
@@ -69,6 +73,7 @@ var statusTable = []struct {
 	{StatusPhantom, engine.ErrPhantom},
 	{StatusAborted, engine.ErrAborted},
 	{StatusReadOnlyDegraded, engine.ErrReadOnlyDegraded},
+	{StatusReplicaReadOnly, engine.ErrReplicaReadOnly},
 	{StatusOverloaded, engine.ErrOverloaded},
 	{StatusShuttingDown, engine.ErrShutdown},
 	{StatusUnknownTxn, ErrUnknownTxn},

@@ -26,6 +26,7 @@ var sentinelValues = map[string]error{
 	"ErrPhantom":          engine.ErrPhantom,
 	"ErrAborted":          engine.ErrAborted,
 	"ErrReadOnlyDegraded": engine.ErrReadOnlyDegraded,
+	"ErrReplicaReadOnly":  engine.ErrReplicaReadOnly,
 	"ErrConnLost":         engine.ErrConnLost,
 	"ErrOverloaded":       engine.ErrOverloaded,
 	"ErrShutdown":         engine.ErrShutdown,

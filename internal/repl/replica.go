@@ -1,0 +1,465 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ermia/internal/core"
+	"ermia/internal/proto"
+	"ermia/internal/wal"
+)
+
+// ErrPromoted reports an operation on a replica that has already been
+// promoted to primary.
+var ErrPromoted = errors.New("repl: replica already promoted")
+
+// ErrStreamFatal wraps a primary-reported stream failure the replica cannot
+// recover from by reconnecting: the suffix it needs was truncated away, or
+// the primary found its own log corrupt. The replica must be re-seeded from
+// a fresh copy of the primary's log.
+var ErrStreamFatal = errors.New("repl: replication stream failed fatally")
+
+// Config configures a replica.
+type Config struct {
+	// PrimaryAddr is the primary server's host:port. Required.
+	PrimaryAddr string
+	// Core configures the replica engine. Core.WAL.Storage is the local
+	// mirror of the primary's log — existing contents are recovered before
+	// streaming resumes, and promotion opens the post-promotion log over
+	// it. Defaults to a fresh MemStorage (testing only: a real replica
+	// wants a durable directory).
+	Core core.Config
+	// DialTimeout bounds each connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// ReconnectDelay is the pause before redialing after a transport
+	// failure. Default 100ms.
+	ReconnectDelay time.Duration
+	// GCEveryBlocks runs a version-GC sweep from the applier goroutine
+	// after this many applied blocks (background GC would race the
+	// applier; see core.OpenReplica). Default 4096.
+	GCEveryBlocks int
+}
+
+// Stats is a snapshot of a replica's streaming progress.
+type Stats struct {
+	Watermark      uint64 // offset just past the last fully applied block
+	PrimaryDurable uint64 // primary durable horizon from the newest batch
+	Lag            uint64 // PrimaryDurable - Watermark (0 when caught up)
+	Batches        uint64 // batches applied
+	Blocks         uint64 // blocks applied
+	Bytes          uint64 // block bytes mirrored
+}
+
+// Replica is a running replica: a goroutine that streams the primary's log
+// into a local mirror and replays it into a read-only core.DB.
+type Replica struct {
+	cfg Config
+	db  *core.DB
+	ap  *core.Applier
+
+	segs  map[string]wal.SegmentMeta // mirrored segments by file name
+	files map[string]wal.File        // open mirror segment files
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	errMu  sync.Mutex
+	runErr error
+
+	promoted       atomic.Bool
+	primaryDurable atomic.Uint64
+	batches        atomic.Uint64
+	blocks         atomic.Uint64
+	bytes          atomic.Uint64
+	sinceGC        int
+}
+
+// Start recovers whatever the mirror already holds, then begins streaming
+// from the primary. The returned Replica's DB serves read-only snapshot
+// transactions immediately.
+func Start(cfg Config) (*Replica, error) {
+	if cfg.PrimaryAddr == "" {
+		return nil, fmt.Errorf("repl: Config.PrimaryAddr is required")
+	}
+	if cfg.Core.WAL.Storage == nil {
+		cfg.Core.WAL.Storage = wal.NewMemStorage()
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReconnectDelay <= 0 {
+		cfg.ReconnectDelay = 100 * time.Millisecond
+	}
+	if cfg.GCEveryBlocks <= 0 {
+		cfg.GCEveryBlocks = 4096
+	}
+	db, ap, pass1, err := core.OpenReplica(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:   cfg,
+		db:    db,
+		ap:    ap,
+		segs:  make(map[string]wal.SegmentMeta),
+		files: make(map[string]wal.File),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, sm := range pass1.Segments {
+		r.segs[sm.Name] = sm
+	}
+	go r.run()
+	return r, nil
+}
+
+// DB returns the replica engine. Reads work; writes fail with
+// engine.ErrReplicaReadOnly until promotion.
+func (r *Replica) DB() *core.DB { return r.db }
+
+// Watermark returns the replay watermark.
+func (r *Replica) Watermark() uint64 { return r.db.Watermark() }
+
+// Stats snapshots streaming progress.
+func (r *Replica) Stats() Stats {
+	s := Stats{
+		Watermark:      r.db.Watermark(),
+		PrimaryDurable: r.primaryDurable.Load(),
+		Batches:        r.batches.Load(),
+		Blocks:         r.blocks.Load(),
+		Bytes:          r.bytes.Load(),
+	}
+	if s.PrimaryDurable > s.Watermark {
+		s.Lag = s.PrimaryDurable - s.Watermark
+	}
+	return s
+}
+
+// Err returns the error that stopped the streaming loop, if any.
+func (r *Replica) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.runErr
+}
+
+func (r *Replica) setErr(err error) {
+	r.errMu.Lock()
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.errMu.Unlock()
+}
+
+func (r *Replica) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// seal stops the streaming loop and waits for it to exit.
+func (r *Replica) seal() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.closeConn()
+	<-r.done
+}
+
+func (r *Replica) setConn(c net.Conn) {
+	r.connMu.Lock()
+	r.conn = c
+	r.connMu.Unlock()
+}
+
+func (r *Replica) closeConn() {
+	r.connMu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	r.connMu.Unlock()
+}
+
+func (r *Replica) closeFiles() {
+	for name, f := range r.files {
+		f.Close()
+		delete(r.files, name)
+	}
+}
+
+// run is the streaming loop: one stream() per connection lifetime,
+// reconnecting on transport failures, stopping on seal or a fatal stream
+// error.
+func (r *Replica) run() {
+	defer close(r.done)
+	for {
+		if r.stopped() {
+			return
+		}
+		err := r.stream()
+		if r.stopped() {
+			return
+		}
+		if errors.Is(err, ErrStreamFatal) {
+			r.setErr(err)
+			return
+		}
+		// Transport failure (dial refused, conn reset, torn batch): back
+		// off and resubscribe from the watermark.
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(r.cfg.ReconnectDelay):
+		}
+	}
+}
+
+// stream runs one connection: subscribe from the watermark, then mirror,
+// apply, and ack batches until the connection dies or the replica is
+// sealed.
+func (r *Replica) stream() error {
+	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	r.setConn(conn)
+	defer r.closeConn()
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+
+	const subID = 1
+	nextID := uint64(subID + 1)
+	if err := proto.WriteFrame(bw, proto.MsgReplSubscribe, subID, proto.AppendU64(nil, r.db.Watermark())); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	subscribed := false
+	for {
+		typ, _, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case proto.MsgReplSubscribe | proto.RespFlag:
+			d := proto.NewDec(payload)
+			st := d.Status()
+			detail := string(d.Bytes())
+			if d.Err() != nil {
+				return proto.ErrBadFrame
+			}
+			if st != proto.StatusOK {
+				// The peer is not a primary (a replica, or a server without
+				// a log): reconnecting to the same address cannot help.
+				return fmt.Errorf("%w: subscribe refused: %v", ErrStreamFatal, st.Err(detail))
+			}
+			subscribed = true
+		case proto.MsgReplBatch | proto.RespFlag:
+			if !subscribed {
+				return proto.ErrBadFrame
+			}
+			d := proto.NewDec(payload)
+			st := d.Status()
+			detail := string(d.Bytes())
+			if d.Err() != nil {
+				return proto.ErrBadFrame
+			}
+			if st != proto.StatusOK {
+				// The primary's tail failed: our suffix was truncated away
+				// or its log is corrupt. Either way this replica cannot
+				// continue from its watermark.
+				return fmt.Errorf("%w: %v", ErrStreamFatal, st.Err(detail))
+			}
+			batch, err := proto.DecodeReplBatch(d.Rest())
+			if err != nil {
+				return err // torn batch: drop the connection and resync
+			}
+			if err := r.applyBatch(batch); err != nil {
+				return fmt.Errorf("%w: %v", ErrStreamFatal, err)
+			}
+			if err := proto.WriteFrame(bw, proto.MsgReplAck, nextID, proto.AppendU64(nil, r.db.Watermark())); err != nil {
+				return err
+			}
+			nextID++
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case proto.MsgReplAck | proto.RespFlag:
+			// Progress acknowledgments need no reply handling.
+		default:
+			return proto.ErrBadFrame
+		}
+	}
+}
+
+// mirrorFile returns the open mirror file for a segment, opening an
+// existing file or creating a fresh one.
+func (r *Replica) mirrorFile(sm wal.SegmentMeta) (wal.File, error) {
+	if f, ok := r.files[sm.Name]; ok {
+		return f, nil
+	}
+	st := r.cfg.Core.WAL.Storage
+	f, err := st.Open(sm.Name)
+	if err != nil {
+		if f, err = st.Create(sm.Name); err != nil {
+			return nil, fmt.Errorf("repl: mirror segment %s: %w", sm.Name, err)
+		}
+	}
+	r.files[sm.Name] = f
+	return f, nil
+}
+
+// applyBatch is the whole-batch pipeline: extend the segment map, mirror
+// every block to the local segment files, sync them, then replay the
+// blocks in order, advancing the watermark past each block only after it
+// is fully applied. The batch was already validated as a unit (frame CRC
+// plus batch CRC), so nothing here can tear mid-batch short of a crash —
+// and a crash re-runs recovery over the mirror, which re-derives exactly
+// the applied state.
+func (r *Replica) applyBatch(b *proto.ReplBatch) error {
+	for _, s := range b.Segments {
+		sm := wal.SegmentMeta{
+			Num:   int(s.Num),
+			Start: s.Start,
+			End:   s.End,
+			Name:  wal.SegmentFileName(int(s.Num), s.Start, s.End),
+		}
+		if _, ok := r.segs[sm.Name]; !ok {
+			r.segs[sm.Name] = sm
+			r.ap.AddSegment(sm)
+		}
+	}
+
+	// Mirror: header+payload at the block's offset reproduces the
+	// primary's segment bytes (padding stays unwritten, as the primary's
+	// flusher may leave it).
+	touched := make(map[string]wal.File, 1)
+	var hdr []byte
+	for i := range b.Blocks {
+		blk := &b.Blocks[i]
+		sm, ok := r.segmentFor(blk.Off)
+		if !ok {
+			return fmt.Errorf("repl: block at %#x maps to no shipped segment", blk.Off)
+		}
+		if blk.Off+uint64(blk.Size) > sm.End {
+			return fmt.Errorf("repl: block at %#x overruns segment %s", blk.Off, sm.Name)
+		}
+		f, err := r.mirrorFile(sm)
+		if err != nil {
+			return err
+		}
+		hdr = wal.AppendBlockHeader(hdr[:0], blk.Type, blk.Off, uint64(blk.Size), blk.Prev, blk.Payload)
+		hdr = append(hdr, blk.Payload...)
+		if _, err := f.WriteAt(hdr, int64(blk.Off-sm.Start)); err != nil {
+			return fmt.Errorf("repl: mirror write %s: %w", sm.Name, err)
+		}
+		touched[sm.Name] = f
+	}
+	for name, f := range touched {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("repl: mirror sync %s: %w", name, err)
+		}
+	}
+
+	// Replay. Overflow chains resolve through the mirror (shipped in order
+	// before their commit block), so the applier needs nothing beyond the
+	// local files.
+	for i := range b.Blocks {
+		blk := &b.Blocks[i]
+		sm, _ := r.segmentFor(blk.Off)
+		err := r.ap.Apply(wal.Block{
+			LSN:     wal.MakeLSN(blk.Off, sm.Num),
+			Type:    blk.Type,
+			Prev:    blk.Prev,
+			Payload: blk.Payload,
+		})
+		if err != nil {
+			return err
+		}
+		r.db.PublishWatermark(blk.Off + uint64(blk.Size))
+		r.blocks.Add(1)
+		r.bytes.Add(uint64(blk.Size))
+		if r.sinceGC++; r.sinceGC >= r.cfg.GCEveryBlocks {
+			// GC runs only here, on the applier goroutine, so a sweep can
+			// never race an install (see core.Applier).
+			r.db.RunGC()
+			r.sinceGC = 0
+		}
+	}
+	r.primaryDurable.Store(b.Durable)
+	r.batches.Add(1)
+	return nil
+}
+
+func (r *Replica) segmentFor(off uint64) (wal.SegmentMeta, bool) {
+	for _, sm := range r.segs {
+		if off >= sm.Start && off < sm.End {
+			return sm, true
+		}
+	}
+	return wal.SegmentMeta{}, false
+}
+
+// Promote turns the replica into a primary: seal the stream, drain the
+// applier, replay the mirror's tail (idempotent — apply-if-newer
+// deduplicates), open a real log manager over the mirror, and flip the
+// engine to Healthy. After Promote returns the DB accepts writes and the
+// mirror is its live log.
+func (r *Replica) Promote() error {
+	if !r.promoted.CompareAndSwap(false, true) {
+		return ErrPromoted
+	}
+	r.seal()
+	r.ap.Close()
+	r.closeFiles()
+
+	// Recovery tail: everything mirrored but not yet applied (nothing
+	// in-process — batches apply atomically — but a mirror inherited from
+	// a previous process may be ahead of this run's watermark).
+	segs := make([]wal.SegmentMeta, 0, len(r.segs))
+	for _, sm := range r.segs {
+		segs = append(segs, sm)
+	}
+	var skipTo uint64
+	if w := r.db.Watermark(); w > 0 {
+		skipTo = w - 1
+	}
+	ap := r.db.NewApplier(r.cfg.Core.WAL.Storage, segs, skipTo)
+	pass, err := wal.Recover(r.cfg.Core.WAL.Storage, ap.Apply)
+	ap.Close()
+	if err != nil {
+		return fmt.Errorf("repl: promote replay: %w", err)
+	}
+	log, err := wal.Open(r.cfg.Core.WAL, pass)
+	if err != nil {
+		return fmt.Errorf("repl: promote log open: %w", err)
+	}
+	if err := r.db.Promote(log); err != nil {
+		log.Close()
+		return err
+	}
+	r.db.PublishWatermark(pass.NextOffset)
+	return nil
+}
+
+// Close stops streaming and shuts the engine down. After a successful
+// Promote, Close only closes the (now primary) engine.
+func (r *Replica) Close() error {
+	r.seal()
+	if !r.promoted.Load() {
+		r.ap.Close()
+	}
+	r.closeFiles()
+	return r.db.Close()
+}

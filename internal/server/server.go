@@ -89,6 +89,10 @@ type Config struct {
 	// engine's log device and return a human-readable report (wire it to
 	// DB.Reattach). Nil refuses the frame.
 	ReattachFn func() (string, error)
+	// PromoteFn, when set, serves the admin Promote frame: promote a
+	// replica engine to primary and return a human-readable report (wire
+	// it to repl.Replica.Promote). Nil refuses the frame.
+	PromoteFn func() (string, error)
 }
 
 // StatsSnapshot is the server-level counter set served by the Stats frame.
@@ -99,7 +103,14 @@ type StatsSnapshot struct {
 	Aborts        uint64 // aborts, including conflict-failed commits
 	GroupBatches  uint64 // group-commit wakeups
 	GroupCommits  uint64 // commits acknowledged by those wakeups
-	DurableOffset uint64 // engine log durable horizon (0 if unavailable)
+	DurableOffset uint64 // engine durability horizon (0 if unavailable)
+
+	// Replication (primary side: shipping; replica side these stay 0 and
+	// the replica's own progress is reported by its process).
+	ReplSubscribers   uint32 // live replication subscriptions
+	ReplBatches       uint64 // batches shipped across all subscribers
+	ReplShippedOffset uint64 // highest offset shipped to any subscriber
+	ReplAckedOffset   uint64 // highest watermark acknowledged by any subscriber
 }
 
 // Server serves one engine over TCP.
@@ -129,6 +140,11 @@ type Server struct {
 	openTxns atomic.Int32
 	commits  atomic.Uint64
 	aborts   atomic.Uint64
+
+	replSubscribers atomic.Int32
+	replBatches     atomic.Uint64
+	replShipped     atomic.Uint64
+	replAcked       atomic.Uint64
 
 	shutOnce sync.Once
 	shutErr  error
@@ -181,8 +197,32 @@ func (s *Server) resolveDurability() {
 	if p, ok := s.db.(interface{ SyncCommit() error }); ok {
 		s.syncCommit = p.SyncCommit
 	}
-	if lp, ok := s.db.(interface{ Log() *wal.Manager }); ok {
+	if dp, ok := s.db.(interface{ DurableOffset() uint64 }); ok {
+		// Works in replica mode too, where Log() is nil: the replay
+		// watermark stands in for the durable horizon.
+		s.logOf = dp.DurableOffset
+	} else if lp, ok := s.db.(interface{ Log() *wal.Manager }); ok {
 		s.logOf = func() uint64 { return lp.Log().DurableOffset() }
+	}
+}
+
+// shipLog returns the live log manager to ship from, or nil when the
+// engine has none (a replica, or an engine without a WAL).
+func (s *Server) shipLog() *wal.Manager {
+	lp, ok := s.db.(interface{ Log() *wal.Manager })
+	if !ok {
+		return nil
+	}
+	return lp.Log()
+}
+
+// storeMax advances a high-watermark counter monotonically.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -269,6 +309,11 @@ func (s *Server) Stats() StatsSnapshot {
 		GroupBatches:  s.gc.batches.Load(),
 		GroupCommits:  s.gc.commits.Load(),
 		DurableOffset: s.logOf(),
+
+		ReplSubscribers:   uint32(s.replSubscribers.Load()),
+		ReplBatches:       s.replBatches.Load(),
+		ReplShippedOffset: s.replShipped.Load(),
+		ReplAckedOffset:   s.replAcked.Load(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"ermia/internal/engine"
 	"ermia/internal/proto"
+	"ermia/internal/repl"
 )
 
 // pipelineWindow bounds decoded-but-unprocessed requests per session; a
@@ -49,6 +50,11 @@ type session struct {
 	txns     map[uint64]openTxn
 	openTxns atomic.Int32 // mirror of len(txns) readable off-thread
 	tables   map[string]engine.Table
+
+	// replStop, once a replication subscription starts, stops its shipper
+	// goroutine. Owned by the handler goroutine (created in
+	// handleReplSubscribe, closed in teardown).
+	replStop chan struct{}
 
 	writerDone chan struct{}
 }
@@ -167,6 +173,9 @@ func (s *session) teardown() {
 	}
 	for range s.reqs { // reap queued requests so the reader can exit
 	}
+	if s.replStop != nil {
+		close(s.replStop) // the shipper is tracked in wg; stop it first
+	}
 	s.wg.Wait() // async commit acks land before the channel closes
 	close(s.out)
 	<-s.writerDone // writer has flushed everything it will ever flush
@@ -202,6 +211,12 @@ func (s *session) dispatch(req request) {
 		s.handleStats(req)
 	case proto.MsgReattach:
 		s.handleReattach(req)
+	case proto.MsgReplSubscribe:
+		s.handleReplSubscribe(req, d)
+	case proto.MsgReplAck:
+		s.handleReplAck(req, d)
+	case proto.MsgPromote:
+		s.handlePromote(req)
 	default:
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
 	}
@@ -415,6 +430,12 @@ func (s *session) handleTable(req request, d *proto.Dec) {
 	}
 	if req.typ == proto.MsgCreateTable {
 		t := s.srv.db.CreateTable(string(name))
+		if t == nil {
+			// A replica engine refuses catalog changes; the table must be
+			// created on the primary and arrive through the shipped log.
+			s.respond(req.typ, req.id, respPayload(proto.StatusReplicaReadOnly, "", nil))
+			return
+		}
 		s.tables[string(name)] = t
 		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
 		return
@@ -449,6 +470,10 @@ func (s *session) handleStats(req request) {
 	body = proto.AppendU64(body, st.GroupBatches)
 	body = proto.AppendU64(body, st.GroupCommits)
 	body = proto.AppendU64(body, st.DurableOffset)
+	body = proto.AppendU32(body, st.ReplSubscribers)
+	body = proto.AppendU64(body, st.ReplBatches)
+	body = proto.AppendU64(body, st.ReplShippedOffset)
+	body = proto.AppendU64(body, st.ReplAckedOffset)
 	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 
@@ -464,4 +489,75 @@ func (s *session) handleReattach(req request) {
 		body = proto.AppendBytes(nil, []byte(report))
 	}
 	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}
+
+// handlePromote serves the admin promotion frame: flip a replica engine to
+// primary through the wiring the operator supplied.
+func (s *session) handlePromote(req request) {
+	if s.srv.cfg.PromoteFn == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusInternal, "promote unsupported on this server", nil))
+		return
+	}
+	report, err := s.srv.cfg.PromoteFn()
+	st, detail := proto.StatusOf(err)
+	var body []byte
+	if st == proto.StatusOK {
+		body = proto.AppendBytes(nil, []byte(report))
+	}
+	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}
+
+// handleReplSubscribe starts streaming the primary's log to this session.
+// The subscribe response goes out first; batch frames then ride the same
+// request id with MsgReplBatch|RespFlag until the session ends. The
+// shipper goroutine registers in s.wg like an async commit responder, and
+// teardown closes replStop before waiting on wg, so the drain order stays
+// deadlock-free.
+func (s *session) handleReplSubscribe(req request, d *proto.Dec) {
+	from := d.U64()
+	if d.Err() != nil || s.replStop != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	log := s.srv.shipLog()
+	if log == nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusInternal,
+			"replication unavailable: server engine has no live log (replica or logless)", nil))
+		return
+	}
+	s.replStop = make(chan struct{})
+	s.srv.replSubscribers.Add(1)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+	s.wg.Add(1)
+	go func(reqID, from uint64, stop chan struct{}) {
+		defer s.wg.Done()
+		defer s.srv.replSubscribers.Add(-1)
+		sh := &repl.Shipper{Log: log}
+		err := sh.Run(from, stop, func(b *proto.ReplBatch) error {
+			if n := len(b.Blocks); n > 0 {
+				last := &b.Blocks[n-1]
+				storeMax(&s.srv.replShipped, last.Off+uint64(last.Size))
+			}
+			s.srv.replBatches.Add(1)
+			s.respond(proto.MsgReplBatch, reqID, respPayload(proto.StatusOK, "", proto.AppendReplBatch(nil, b)))
+			return nil
+		})
+		if err != nil {
+			// Tail failure: tell the subscriber why the stream died (its
+			// suffix was truncated away, or the log is corrupt).
+			st, detail := proto.StatusOf(err)
+			s.respond(proto.MsgReplBatch, reqID, respPayload(st, detail, nil))
+		}
+	}(req.id, from, s.replStop)
+}
+
+// handleReplAck records a subscriber's applied watermark.
+func (s *session) handleReplAck(req request, d *proto.Dec) {
+	wm := d.U64()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	storeMax(&s.srv.replAcked, wm)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
 }

@@ -1,0 +1,169 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file is the primary-side half of log shipping: a Tail is a cursor
+// over the committed, durable prefix of a live Manager's log. The log is the
+// authoritative copy of the database — every committed version is one record
+// in a contiguous, LSN-ordered stream — so replication is exactly "read the
+// log below the durable horizon and send the bytes". A Tail never observes
+// in-flight reservations (it stops at the durable horizon) and never blocks
+// writers (it reads segment files, not the ring buffer).
+//
+// The LSN space is not contiguous: dead zones between segments map to no
+// disk location, and skip records close segments and absorb aborts. A Tail
+// skips dead zones silently but DOES yield skip records, because a replica
+// mirroring the log byte-for-byte needs the segment-closing skips for its
+// own recovery scan to see closed segments rather than holes.
+
+// ErrTailTruncated reports a Tail positioned below the oldest live segment:
+// a checkpoint truncated the records away, so the stream cannot resume from
+// here and the subscriber must re-seed from a full copy.
+//
+//ermia:classify fatal the requested log suffix no longer exists; retrying the same position cannot succeed, the replica must re-seed
+var ErrTailTruncated = errors.New("wal: tail position truncated from log")
+
+// TailBlock is one log block yielded by a Tail, carrying everything needed
+// to reconstruct the on-disk block byte-for-byte at the same offset.
+type TailBlock struct {
+	Off     uint64 // logical offset (the block's LSN offset)
+	Size    uint64 // padded total size including header
+	Type    uint8
+	Prev    uint64 // previous overflow block offset, or 0
+	Payload []byte // plen bytes; aliases the Tail's scratch buffer
+}
+
+// Tail is a committed-block cursor over a live Manager. It is
+// single-goroutine; one shipper goroutine owns each Tail.
+type Tail struct {
+	m   *Manager
+	pos uint64
+	buf []byte
+}
+
+// TailFrom returns a Tail positioned at logical offset off. Positions inside
+// dead zones are legal: Next skips forward to the next segment.
+func (m *Manager) TailFrom(off uint64) *Tail {
+	return &Tail{m: m, pos: off}
+}
+
+// Pos returns the cursor: the offset the next yielded block starts at (or
+// past, if dead zones intervene).
+func (t *Tail) Pos() uint64 { return t.pos }
+
+// firstSegmentStart returns the start offset of the oldest live segment, or
+// 0 when no segments exist.
+func (m *Manager) firstSegmentStart() uint64 {
+	m.segMu.Lock()
+	defer m.segMu.Unlock()
+	if len(m.segs) == 0 {
+		return 0
+	}
+	return m.segs[0].start
+}
+
+// Next reads blocks at the cursor until the durable horizon, maxBytes of
+// block space, or the flushed tail is reached, returning the blocks and the
+// metadata of every segment they live in. An empty batch means the cursor
+// has caught up; callers poll or wait for durability progress. Payloads
+// alias the Tail's scratch buffer and are valid until the next call.
+func (t *Tail) Next(maxBytes int) ([]TailBlock, []SegmentMeta, error) {
+	durable := t.m.durable.Load()
+	var blocks []TailBlock
+	var segs []SegmentMeta
+	hdr := make([]byte, headerSize)
+	t.buf = t.buf[:0]
+	used := 0
+	for t.pos < durable && (used == 0 || used < maxBytes) {
+		seg := t.m.lookupSegment(t.pos)
+		if seg == nil {
+			if first := t.m.firstSegmentStart(); first == 0 || (t.pos < first && first > Grain) {
+				// Below the oldest live segment. A fresh log's first segment
+				// starts at Grain (offset 0 is invalid, nothing was ever
+				// there); anything later means a checkpoint truncated the
+				// requested suffix away.
+				return blocks, segs, fmt.Errorf("%w: offset %#x below oldest segment %#x",
+					ErrTailTruncated, t.pos, first)
+			}
+			// Dead zone between segments: skip to the next segment start.
+			next := t.m.nextSegmentStart(t.pos)
+			if next == 0 || next <= t.pos {
+				break // the next segment is not open yet
+			}
+			t.pos = next
+			continue
+		}
+		if _, err := seg.file.ReadAt(hdr, int64(t.pos-seg.start)); err != nil {
+			if t.m.lookupSegment(t.pos) != seg {
+				continue // the segment was truncated under us; re-resolve
+			}
+			return blocks, segs, fmt.Errorf("wal: tail read %s: %w", seg.name, err)
+		}
+		if binary.LittleEndian.Uint16(hdr[0:]) != headerMagic {
+			break // durable horizon raced ahead of the file write; retry later
+		}
+		typ := hdr[2]
+		size := uint64(binary.LittleEndian.Uint32(hdr[4:]))
+		blockOff := binary.LittleEndian.Uint64(hdr[8:])
+		prev := binary.LittleEndian.Uint64(hdr[16:])
+		plen := binary.LittleEndian.Uint32(hdr[24:])
+		sum := binary.LittleEndian.Uint32(hdr[28:])
+		if blockOff != t.pos || size == 0 || size%Grain != 0 || t.pos+size > seg.end ||
+			uint64(plen) > size-headerSize {
+			return blocks, segs, fmt.Errorf("wal: tail found corrupt block header at %#x in %s", t.pos, seg.name)
+		}
+		if t.pos+size > durable {
+			break // block not fully durable yet
+		}
+		start := len(t.buf)
+		if plen > 0 {
+			t.buf = append(t.buf, make([]byte, plen)...)
+			if _, err := seg.file.ReadAt(t.buf[start:], int64(t.pos-seg.start+headerSize)); err != nil {
+				return blocks, segs, fmt.Errorf("wal: tail read payload %s: %w", seg.name, err)
+			}
+		}
+		p := t.buf[start:len(t.buf):len(t.buf)]
+		if fnvAdd(fnvInit, p) != sum {
+			return blocks, segs, fmt.Errorf("wal: tail found corrupt block payload at %#x in %s", t.pos, seg.name)
+		}
+		if len(segs) == 0 || segs[len(segs)-1].Name != seg.name {
+			segs = append(segs, SegmentMeta{Num: seg.num, Start: seg.start, End: seg.end, Name: seg.name})
+		}
+		blocks = append(blocks, TailBlock{Off: t.pos, Size: size, Type: typ, Prev: prev, Payload: p})
+		t.pos += size
+		used += int(size)
+	}
+	return blocks, segs, nil
+}
+
+// SegmentFileName returns the file name the Manager uses for a segment with
+// the given modulo number and offset range, so a replica can mirror the
+// primary's segment files under identical names.
+func SegmentFileName(num int, start, end uint64) string {
+	return segmentName(num, start, end)
+}
+
+// AppendBlockHeader appends the 32-byte on-disk header for a block with the
+// given parameters, recomputing the payload checksum. A replica writing a
+// shipped block as header+payload at the block's offset reproduces the
+// primary's segment bytes (padding is left unwritten, exactly as the
+// primary's flusher may leave it past the payload).
+func AppendBlockHeader(dst []byte, typ uint8, off, size, prev uint64, payload []byte) []byte {
+	var h [headerSize]byte
+	binary.LittleEndian.PutUint16(h[0:], headerMagic)
+	h[2] = typ
+	binary.LittleEndian.PutUint32(h[4:], uint32(size))
+	binary.LittleEndian.PutUint64(h[8:], off)
+	binary.LittleEndian.PutUint64(h[16:], prev)
+	binary.LittleEndian.PutUint32(h[24:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[28:], fnvAdd(fnvInit, payload))
+	return append(dst, h[:]...)
+}
+
+// BlockHeaderSize is the fixed on-disk block header size, exported for the
+// replication layer's size accounting.
+const BlockHeaderSize = headerSize

@@ -26,8 +26,11 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, wal, epoch, engine, server, client; -short) =="
+echo "== go test -race (core, wal, epoch, engine, server, client, repl; -short) =="
 go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
-	./internal/engine/ ./internal/server/ ./internal/client/
+	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/
+
+echo "== replication soak (30s, -race) =="
+ERMIA_REPL_SOAK=30s go test -race -count=1 -run TestReplicationSoak ./internal/repl/
 
 echo "ok: all checks passed"
