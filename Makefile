@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test ./internal/wal/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/silo/ -run=^$$ -fuzz=^FuzzRecover$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/ -run=^$$ -fuzz=^FuzzCheckpointBlob$$ -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 		workers      = flag.Int("workers", 128, "worker-slot pool size (bounds in-flight transactions)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before force-close")
 		replicaOf    = flag.String("replica-of", "", "primary ermia-server address; run as a read-only log-shipping replica")
+		ckptEvery    = flag.Duration("checkpoint-interval", 0, "take a checkpoint and truncate the log this often (0: only on demand via the admin Checkpoint frame)")
 	)
 	flag.Parse()
 
@@ -81,6 +83,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "ermia-server: replication stream:", err)
 			}
 		}()
+		// The loop is armed even in replica mode: checkpoints are refused
+		// until promotion, then start covering the new primary.
+		stopCkpt := startCheckpointLoop(db, *ckptEvery)
+		defer stopCkpt()
 		srv := newServer(db, mode, *maxConns, *workers, rep)
 		runServer(srv, *addr, mode, *workers, *drainTimeout)
 		return
@@ -97,8 +103,48 @@ func main() {
 		}
 	}
 	defer db.Close()
+	stopCkpt := startCheckpointLoop(db, *ckptEvery)
+	defer stopCkpt()
 	srv := newServer(db, mode, *maxConns, *workers, nil)
 	runServer(srv, *addr, mode, *workers, *drainTimeout)
+}
+
+// startCheckpointLoop periodically publishes a checkpoint and truncates the
+// sealed log segments below it, bounding both recovery time and disk usage.
+// Failures are reported and retried at the next tick (a replica refuses
+// checkpoints until promotion; that refusal is expected and stays quiet).
+// The returned func stops the loop.
+func startCheckpointLoop(db *ermia.DB, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			if err := db.Checkpoint(); err != nil {
+				if !errors.Is(err, ermia.ErrReplicaReadOnly) {
+					fmt.Fprintln(os.Stderr, "ermia-server: checkpoint:", err)
+				}
+				continue
+			}
+			removed, err := db.TruncateLog()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ermia-server: truncate:", err)
+				continue
+			}
+			if ci, ok := db.LastCheckpoint(); ok {
+				fmt.Printf("checkpoint g%d at %#x (%d log segments freed)\n", ci.Gen, ci.Begin, len(removed))
+			}
+		}
+	}()
+	return func() { close(stop) }
 }
 
 // newServer wires the admin hooks: Reattach always, Promote only when the

@@ -10,6 +10,7 @@ package client
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -285,6 +286,8 @@ type ServerStats struct {
 	ReplBatches       uint64
 	ReplShippedOffset uint64
 	ReplAckedOffset   uint64
+
+	Checkpoints uint64
 }
 
 // Stats fetches the server's counters.
@@ -312,6 +315,7 @@ func (c *Client) Stats() (ServerStats, error) {
 	out.ReplBatches = d.U64()
 	out.ReplShippedOffset = d.U64()
 	out.ReplAckedOffset = d.U64()
+	out.Checkpoints = d.U64()
 	return out, d.Err()
 }
 
@@ -349,6 +353,85 @@ func (c *Client) Promote() (string, error) {
 	}
 	report := string(d.Bytes())
 	return report, d.Err()
+}
+
+// Checkpoint asks the server to publish a consistent checkpoint now (admin
+// operation). With truncate set the server also frees sealed log segments
+// below the checkpoint. It returns the checkpoint-begin offset and how many
+// segments truncation removed.
+func (c *Client) Checkpoint(truncate bool) (begin uint64, freed uint32, err error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	var flags byte
+	if truncate {
+		flags |= proto.CkptTruncate
+	}
+	st, detail, d, err := cn.call(proto.MsgCheckpoint, proto.AppendU8(nil, flags))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := st.Err(detail); err != nil {
+		return 0, 0, err
+	}
+	begin = d.U64()
+	freed = d.U32()
+	return begin, freed, d.Err()
+}
+
+// FetchCheckpoint downloads the server's newest checkpoint image chunk by
+// chunk, returning the raw image bytes (verifiable exactly as recovery
+// verifies the on-disk blob) plus its metadata. If the server publishes a
+// newer checkpoint mid-transfer the fetch restarts against it. A server
+// with no checkpoint yet returns engine.ErrNoCheckpoint.
+func (c *Client) FetchCheckpoint() (engine.CheckpointChunk, []byte, error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return engine.CheckpointChunk{}, nil, err
+	}
+	var meta engine.CheckpointChunk
+	var image []byte
+restart:
+	for {
+		ck, err := fetchChunk(cn, uint64(len(image)))
+		if err != nil {
+			return engine.CheckpointChunk{}, nil, err
+		}
+		if meta.Name != "" && ck.Name != meta.Name {
+			// A newer checkpoint replaced the one being fetched; start over.
+			meta = engine.CheckpointChunk{}
+			image = image[:0]
+			continue restart
+		}
+		meta = ck
+		image = append(image, ck.Data...)
+		if uint64(len(image)) >= ck.Total {
+			meta.Data = nil
+			return meta, image, nil
+		}
+		if len(ck.Data) == 0 {
+			return engine.CheckpointChunk{}, nil, fmt.Errorf("client: checkpoint fetch stalled at %d/%d bytes", len(image), ck.Total)
+		}
+	}
+}
+
+// fetchChunk issues one CkptFetch frame.
+func fetchChunk(cn *conn, off uint64) (engine.CheckpointChunk, error) {
+	st, detail, d, err := cn.call(proto.MsgCkptFetch, proto.AppendU64(nil, off))
+	if err != nil {
+		return engine.CheckpointChunk{}, err
+	}
+	if err := st.Err(detail); err != nil {
+		return engine.CheckpointChunk{}, err
+	}
+	ck := engine.CheckpointChunk{Name: string(d.Bytes())}
+	ck.Gen = d.U64()
+	ck.Begin = d.U64()
+	ck.Start = d.U64()
+	ck.Total = d.U64()
+	ck.Data = d.Bytes()
+	return ck, d.Err()
 }
 
 var _ engine.DB = (*Client)(nil)

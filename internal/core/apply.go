@@ -41,6 +41,15 @@ func (db *DB) NewApplier(st wal.Storage, segs []wal.SegmentMeta, ckptBegin uint6
 	}
 }
 
+// SetCheckpoint raises the skip horizon after a mid-stream checkpoint seed:
+// blocks at or below begin are covered by the loaded image. Called from the
+// applier's own goroutine (the single-goroutine contract covers it).
+func (a *Applier) SetCheckpoint(begin uint64) {
+	if begin > a.ckptBegin {
+		a.ckptBegin = begin
+	}
+}
+
 // AddSegment extends the segment map as the shipped log grows (deduplicated
 // by file name; a re-shipped segment with a later End replaces its entry).
 func (a *Applier) AddSegment(sm wal.SegmentMeta) {

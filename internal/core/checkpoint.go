@@ -3,52 +3,150 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
+	"runtime"
+	"strings"
 
 	"ermia/internal/engine"
 	"ermia/internal/mvcc"
+	"ermia/internal/txnid"
 	"ermia/internal/wal"
 )
 
-// Checkpoint takes a fuzzy snapshot of the OID arrays (§3.7): it logs a
-// checkpoint-begin record, dumps every table's live (key, OID, newest
-// committed version) to a checkpoint blob in the log's storage, and logs a
-// checkpoint-end record naming the blob once it is durable. Recovery
-// restores the snapshot and rolls forward from the begin offset; entries
-// copied non-atomically after the begin record are deduplicated by the
-// replay's apply-if-newer rule.
+// This file implements the consistent checkpointer (§3.7): a fuzzy-looking
+// scan that is nevertheless transactionally consistent, because it reuses the
+// engine's own visibility machinery inside a pinned SI snapshot instead of
+// skipping in-flight versions.
 //
-// The blob name encodes the begin offset, playing the role of the paper's
-// checkpoint marker file. The blob carries an FNV-1a trailer (the block
-// headers' checksum scheme) so recovery can detect a torn or bit-flipped
-// snapshot and fall back to the previous checkpoint.
+// Protocol:
+//
+//  1. Pin the GC horizon by allocating a TID whose begin stamp is the current
+//     log offset: MinActiveBegin now holds the horizon at or below the
+//     snapshot for the whole scan, so Prune can never unlink the newest
+//     version below the cut while the scan walks a chain.
+//  2. Log the checkpoint-begin record under the exclusive side of logGate.
+//     Every commit window (Reserve → SetCommitting → Commit) runs under the
+//     read side, so when the write lock is granted every transaction whose
+//     commit offset precedes the begin record has already published its
+//     Committing status. That closes the reserved-but-still-Active race and
+//     makes the begin offset a clean cut: the blob holds exactly the
+//     committed state below it, replay covers everything above it.
+//  3. Scan every table through ckptVisible — Txn.visible with the begin
+//     offset as the snapshot — waiting out owners still in pre-commit below
+//     the cut, and resolving TID stamps whose owners committed below the cut
+//     to their real commit stamps.
+//  4. Publish atomically: write the blob to name+".tmp", sync, then rename.
+//     A crash anywhere in the window leaves either no blob or a complete
+//     one, never a torn file under a live name.
+//  5. Log the checkpoint-end record naming the blob. The blob header also
+//     makes it self-describing, so recovery can adopt a published blob even
+//     when the crash ate the end record.
+//
+// Writers never stall for the scan: the write lock is held only for the
+// zero-payload begin reservation (microseconds), and the scan itself runs
+// concurrently with commits.
+
+// checkpointMagic opens a v2 checkpoint blob. A v1 blob starts with its
+// table count, which can never reach this value in practice.
+var checkpointMagic = [4]byte{'E', 'C', 'K', 'P'}
+
+const (
+	checkpointVersion    = 2
+	checkpointHeaderSize = 4 + 2 + 2 + 8 + 8 // magic, version, reserved, gen, begin
+	// checkpointKeep is how many published blobs survive cleanup: the newest
+	// plus one predecessor, so recovery can fall back if the newest suffers
+	// bit damage after publication.
+	checkpointKeep = 2
+)
+
+// checkpointName formats a blob name so that lexicographic order equals
+// begin-offset order, with the generation as a tie-free audit trail.
+func checkpointName(begin, gen uint64) string {
+	return fmt.Sprintf("ckpt-%016x-g%04x", begin, gen)
+}
+
+// parseCheckpointName recovers (begin, gen) from a blob name, accepting the
+// pre-generation format ckpt-%016x from earlier logs (gen 0). The name must
+// round-trip exactly, so a trailing ".tmp" never parses.
+func parseCheckpointName(name string) (begin, gen uint64, ok bool) {
+	if _, err := fmt.Sscanf(name, "ckpt-%016x-g%04x", &begin, &gen); err == nil &&
+		checkpointName(begin, gen) == name {
+		return begin, gen, true
+	}
+	if _, err := fmt.Sscanf(name, "ckpt-%016x", &begin); err == nil &&
+		fmt.Sprintf("ckpt-%016x", begin) == name {
+		return begin, 0, true
+	}
+	return 0, 0, false
+}
+
+// CheckpointInfo identifies a published checkpoint.
+type CheckpointInfo struct {
+	Name  string
+	Gen   uint64
+	Begin uint64 // begin-record offset; the blob holds all commits below it
+}
+
+// LastCheckpoint returns the newest published checkpoint (from this run or
+// recovered from storage), or ok=false when none exists.
+func (db *DB) LastCheckpoint() (CheckpointInfo, bool) {
+	p := db.lastCkpt.Load()
+	if p == nil {
+		return CheckpointInfo{}, false
+	}
+	return *p, true
+}
+
+func (db *DB) setLastCheckpoint(ci CheckpointInfo) {
+	db.lastCkpt.Store(&ci)
+}
+
+// Checkpoint takes a consistent snapshot of every table and secondary index
+// and publishes it as a checkpoint blob in the log's storage. It runs
+// concurrently with writers; see the protocol comment above.
 func (db *DB) Checkpoint() error {
 	if db.replica.Load() {
 		// A replica checkpoints nothing: its durable state is the primary's
 		// log, mirrored by the replication stream.
 		return engine.ErrReplicaReadOnly
 	}
-	// Begin record.
-	db.logGate.RLock()
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	// Step 1: pin the GC horizon below the (upcoming) snapshot.
+	pin, err := db.tids.Allocate(db.beginStamp)
+	if err != nil {
+		return err
+	}
+	defer db.tids.Release(pin)
+
+	// Step 2: begin record under the exclusive gate — the commit-status
+	// barrier that makes the cut clean.
+	db.logGate.Lock()
 	res, err := db.logMgr().Reserve(0, wal.BlockCheckpointBegin)
 	if err != nil {
-		db.logGate.RUnlock()
+		db.logGate.Unlock()
 		return db.noteLogErr(err)
 	}
 	res.Commit()
-	db.logGate.RUnlock()
-	beginOff := res.Offset()
-	name := fmt.Sprintf("ckpt-%016x", beginOff)
+	db.logGate.Unlock()
+	begin := res.Offset()
+	gen := db.lastCkptGen() + 1
+	name := checkpointName(begin, gen)
 
-	// A blob I/O failure is a clean checkpoint failure, not a degrade
-	// trigger: unlike log-manager errors it is not sticky, the engine keeps
-	// running, and a later checkpoint can succeed.
-	buf := db.encodeCheckpoint(nil)
+	// Step 3: the consistent scan. A blob I/O failure is a clean checkpoint
+	// failure, not a degrade trigger: unlike log-manager errors it is not
+	// sticky, the engine keeps running, and a later checkpoint can succeed.
+	buf := appendCheckpointHeader(nil, gen, begin)
+	buf, entries := db.encodeCheckpoint(buf, begin)
 	buf = binary.LittleEndian.AppendUint32(buf, wal.Checksum(buf))
+
+	// Step 4: atomic publication.
 	if err := db.writeCheckpointBlob(name, buf); err != nil {
 		return err
 	}
 
-	// End record locates the durable snapshot.
+	// Step 5: end record locates the durable snapshot.
 	db.logGate.RLock()
 	end, err := db.logMgr().Reserve(len(name), wal.BlockCheckpointEnd)
 	if err != nil {
@@ -58,26 +156,197 @@ func (db *DB) Checkpoint() error {
 	end.Append([]byte(name))
 	end.Commit()
 	db.logGate.RUnlock()
-	db.lastCkptBegin.Store(beginOff)
+
+	db.setLastCheckpoint(CheckpointInfo{Name: name, Gen: gen, Begin: begin})
+	db.stats.Checkpoints.Add(1)
+	db.stats.CkptEntries.Store(entries)
+	db.stats.CkptBytes.Store(uint64(len(buf)))
+	db.cleanupCheckpoints(name)
 	return nil
 }
 
-// writeCheckpointBlob persists a checkpoint blob (content plus trailer).
+// lastCkptGen returns the generation of the newest checkpoint, 0 if none.
+func (db *DB) lastCkptGen() uint64 {
+	if ci, ok := db.LastCheckpoint(); ok {
+		return ci.Gen
+	}
+	return 0
+}
+
+// appendCheckpointHeader appends the v2 blob header.
+func appendCheckpointHeader(buf []byte, gen, begin uint64) []byte {
+	buf = append(buf, checkpointMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, checkpointVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // reserved
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, begin)
+	return buf
+}
+
+// parseCheckpointHeader splits a verified blob body into its metadata and
+// v1-format payload. A body that does not open with the magic is a v1 blob:
+// headerless, its begin offset known only from its name.
+func parseCheckpointHeader(body []byte) (gen, begin uint64, payload []byte, v2 bool, err error) {
+	if len(body) < 4 || string(body[:4]) != string(checkpointMagic[:]) {
+		return 0, 0, body, false, nil
+	}
+	if len(body) < checkpointHeaderSize {
+		return 0, 0, nil, false, fmt.Errorf("core: checkpoint header truncated")
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != checkpointVersion {
+		return 0, 0, nil, false, fmt.Errorf("core: checkpoint version %d not supported", v)
+	}
+	gen = binary.LittleEndian.Uint64(body[8:])
+	begin = binary.LittleEndian.Uint64(body[16:])
+	return gen, begin, body[checkpointHeaderSize:], true, nil
+}
+
+// writeCheckpointBlob persists a checkpoint blob (content plus trailer)
+// atomically: temp file → sync → rename. Under a crash the live name either
+// does not exist yet or refers to the complete, synced image.
 func (db *DB) writeCheckpointBlob(name string, buf []byte) error {
-	f, err := db.cfg.WAL.Storage.Create(name)
+	st := db.cfg.WAL.Storage
+	tmp := name + ".tmp"
+	f, err := st.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: create checkpoint: %w", err)
 	}
 	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
+		f.Close()
 		return fmt.Errorf("core: sync checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("core: close checkpoint: %w", err)
 	}
+	if err := st.Rename(tmp, name); err != nil {
+		return fmt.Errorf("core: publish checkpoint: %w", err)
+	}
 	return nil
+}
+
+// cleanupCheckpoints removes stale temp files and published blobs older than
+// the retention window. Best-effort: a failure leaves garbage, never damage.
+func (db *DB) cleanupCheckpoints(newest string) {
+	st := db.cfg.WAL.Storage
+	names, err := st.List()
+	if err != nil {
+		return
+	}
+	var published []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") && strings.HasPrefix(n, "ckpt-") && n != newest+".tmp" {
+			st.Remove(n)
+			continue
+		}
+		if _, _, ok := parseCheckpointName(n); ok {
+			published = append(published, n)
+		}
+	}
+	// List is sorted and the name format orders by begin offset, except that
+	// legacy names (no -g suffix) sort before same-begin generational names —
+	// close enough for retention.
+	for len(published) > checkpointKeep {
+		if published[0] == newest {
+			break
+		}
+		st.Remove(published[0])
+		published = published[1:]
+	}
+}
+
+// ErrNoCheckpoint aliases the engine-level sentinel (where it lives so the
+// wire layer can map it to a status without importing this package).
+//
+//ermia:classify fatal an admin/bootstrap precondition, not a transaction outcome; the caller falls back to full-log replication
+var ErrNoCheckpoint = engine.ErrNoCheckpoint
+
+// CheckpointChunk is one slice of a checkpoint image plus the metadata a
+// replica needs to bootstrap from it. It aliases the engine-level type so
+// *DB satisfies engine.Checkpointer.
+type CheckpointChunk = engine.CheckpointChunk
+
+// CheckpointChunk serves up to max bytes of the newest checkpoint image
+// starting at byte offset off, for the CkptFetch wire frame. The image is
+// the raw published file — header, payload, and FNV trailer — so the fetcher
+// can store it byte-identical and verify it exactly as recovery would. The
+// metadata rides on every chunk: a fetcher that observes the name change
+// mid-transfer restarts against the newer image.
+func (db *DB) CheckpointChunk(off uint64, max int) (CheckpointChunk, error) {
+	ci, ok := db.LastCheckpoint()
+	if !ok {
+		return CheckpointChunk{}, ErrNoCheckpoint
+	}
+	log := db.logMgr()
+	if log == nil {
+		return CheckpointChunk{}, engine.ErrReplicaReadOnly
+	}
+	start := log.SegmentStartFor(ci.Begin)
+	if start == 0 {
+		// The segment holding the begin record is gone — possible only when
+		// the blob outlived truncation bookkeeping across runs. Treat as no
+		// usable checkpoint rather than handing out an unsubscribable seed.
+		return CheckpointChunk{}, ErrNoCheckpoint
+	}
+	f, err := db.cfg.WAL.Storage.Open(ci.Name)
+	if err != nil {
+		return CheckpointChunk{}, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return CheckpointChunk{}, err
+	}
+	ck := CheckpointChunk{Name: ci.Name, Gen: ci.Gen, Begin: ci.Begin, Start: start, Total: uint64(size)}
+	if off >= uint64(size) {
+		return ck, nil // past the end: metadata only, empty chunk
+	}
+	n := uint64(size) - off
+	if max > 0 && n > uint64(max) {
+		n = uint64(max)
+	}
+	ck.Data = make([]byte, n)
+	if _, err := f.ReadAt(ck.Data, int64(off)); err != nil && err != io.EOF {
+		return CheckpointChunk{}, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+// SeedCheckpoint loads a verified checkpoint image (raw file bytes, as
+// served by CheckpointChunk) into the engine, persists it into the local
+// storage under its canonical blob name — so a restart before catch-up
+// recovers from the seed instead of an empty mirror — and returns its begin
+// offset. The caller — the replica bootstrap path — must have quiesced the
+// applier: loading shares applyVersion's single-applier contract. Loading
+// over existing state is safe; see loadCheckpoint.
+func (db *DB) SeedCheckpoint(image []byte) (uint64, error) {
+	if len(image) < 4 {
+		return 0, fmt.Errorf("core: checkpoint image truncated")
+	}
+	body := image[:len(image)-4]
+	if got, want := wal.Checksum(body), binary.LittleEndian.Uint32(image[len(image)-4:]); got != want {
+		return 0, fmt.Errorf("core: checkpoint image checksum mismatch: %#x != %#x", got, want)
+	}
+	gen, begin, payload, v2, err := parseCheckpointHeader(body)
+	if err != nil {
+		return 0, err
+	}
+	if !v2 {
+		return 0, fmt.Errorf("core: checkpoint image has no header; cannot seed from a v1 blob")
+	}
+	name := checkpointName(begin, gen)
+	if err := db.writeCheckpointBlob(name, image); err != nil {
+		return 0, err
+	}
+	if err := db.loadCheckpoint(payload); err != nil {
+		return 0, err
+	}
+	db.setLastCheckpoint(CheckpointInfo{Name: name, Gen: gen, Begin: begin})
+	db.PublishWatermark(begin)
+	return begin, nil
 }
 
 // TruncateLog frees log segments the newest checkpoint made redundant:
@@ -87,22 +356,74 @@ func (db *DB) writeCheckpointBlob(name string, buf []byte) error {
 // the end record's flush would leave neither the checkpoint nor the log
 // prefix. Returns the removed segment file names.
 func (db *DB) TruncateLog() ([]string, error) {
-	begin := db.lastCkptBegin.Load()
-	if begin == 0 {
-		return nil, nil // no checkpoint this run
+	ci, ok := db.LastCheckpoint()
+	if !ok {
+		return nil, nil // no checkpoint yet
 	}
 	log := db.logMgr()
 	if err := log.Flush(); err != nil {
 		return nil, err
 	}
-	return log.Truncate(begin)
+	removed, err := log.Truncate(ci.Begin)
+	db.stats.SegmentsFreed.Add(uint64(len(removed)))
+	return removed, err
 }
 
-// encodeCheckpoint serializes the catalogs, every table's live records, and
-// every secondary index's bindings.
+// ckptVisible decides whether version v belongs to the checkpoint snapshot
+// cut at the begin offset. It is Txn.visible without the own-write case: a
+// TID-stamped version whose owner committed below the cut is included under
+// its real commit stamp (the owner is mid post-commit), and owners still in
+// pre-commit below the cut are waited out — the fix for the lost-commit race
+// where a fuzzy scan and the replay each assumed the other would capture a
+// transaction straddling the begin record.
+func (db *DB) ckptVisible(v *mvcc.Version, cut uint64) (bool, uint64) {
+	s := v.CLSN()
+	for {
+		if !mvcc.IsTID(s) {
+			return s < cut, s
+		}
+		owner := mvcc.AsTID(s)
+		status, cstamp, ok := db.tids.Inquire(owner)
+		if !ok {
+			// The owner released its TID. A committed owner rewrites every
+			// write's stamp during post-commit, strictly before releasing, so
+			// a stamp that still carries the TID can only belong to an aborted
+			// transaction's unlinked version: invisible.
+			s = v.CLSN()
+			if mvcc.IsTID(s) && mvcc.AsTID(s) == owner {
+				return false, 0
+			}
+			continue
+		}
+		switch status {
+		case txnid.StatusActive:
+			// The begin-record barrier guarantees its eventual commit stamp
+			// postdates the cut.
+			return false, 0
+		case txnid.StatusCommitting:
+			if cstamp >= cut {
+				return false, 0
+			}
+			// Entered pre-commit below the cut: wait for the outcome,
+			// otherwise the blob and the replay could both skip it.
+			runtime.Gosched()
+			s = v.CLSN()
+		case txnid.StatusCommitted:
+			return cstamp < cut, cstamp
+		case txnid.StatusAborted:
+			return false, 0
+		default:
+			s = v.CLSN()
+		}
+	}
+}
+
+// encodeCheckpoint serializes the catalogs, every table's records visible at
+// the cut, and every secondary index's bindings. Returns the extended buffer
+// and the number of main-table entries captured.
 //
-//ermia:guard-entry the fuzzy scan tolerates concurrent pruning: a version unlinked mid-walk stays reachable through the held pointer, and replay's apply-if-newer rule deduplicates whatever skew the scan captured
-func (db *DB) encodeCheckpoint(buf []byte) []byte {
+//ermia:guard-entry the scan holds a pinned TID whose begin stamp lower-bounds the GC horizon for its whole duration, so Prune can never unlink the newest version below the cut; versions unlinked above the cut stay reachable through held pointers
+func (db *DB) encodeCheckpoint(buf []byte, cut uint64) ([]byte, uint64) {
 	tables := db.allTables()
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
 	for _, t := range tables {
@@ -129,13 +450,19 @@ func (db *DB) encodeCheckpoint(buf []byte) []byte {
 	var nEntries uint64
 	for _, t := range tables {
 		t.idx.Scan(nil, nil, nil, func(key []byte, oid mvcc.OID) bool {
-			// Newest committed version: skip TID-stamped in-flight heads.
+			// Newest version visible at the cut.
 			v := t.arr.Head(oid)
-			for v != nil && mvcc.IsTID(v.CLSN()) {
+			var clsn uint64
+			for v != nil {
+				ok, cs := db.ckptVisible(v, cut)
+				if ok {
+					clsn = cs
+					break
+				}
 				v = v.Next()
 			}
 			if v == nil {
-				return true // dangling entry from an aborted insert
+				return true // created after the cut, or an aborted insert
 			}
 			flags := uint8(0)
 			if v.Tombstone {
@@ -144,7 +471,7 @@ func (db *DB) encodeCheckpoint(buf []byte) []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, t.id)
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(oid))
 			buf = append(buf, flags)
-			buf = binary.LittleEndian.AppendUint64(buf, v.CLSN())
+			buf = binary.LittleEndian.AppendUint64(buf, clsn)
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
 			buf = append(buf, key...)
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Data)))
@@ -164,10 +491,14 @@ func (db *DB) encodeCheckpoint(buf []byte) []byte {
 			return true
 		})
 	}
-	return buf
+	return buf, nEntries
 }
 
-// loadCheckpoint restores a checkpoint blob into an empty DB.
+// loadCheckpoint restores a checkpoint blob body (header already stripped by
+// the caller for v2 blobs) into a DB. Loading into a non-empty DB is legal:
+// applyVersion's apply-if-newer rule makes it idempotent, and tombstones are
+// first-class entries, so a replica re-seeding from a newer checkpoint
+// converges on the checkpoint state rather than resurrecting deleted keys.
 func (db *DB) loadCheckpoint(buf []byte) error {
 	if len(buf) < 4 {
 		return fmt.Errorf("core: checkpoint truncated")
@@ -235,6 +566,12 @@ func (db *DB) loadCheckpoint(buf []byte) error {
 		val := append([]byte(nil), buf[:vlen]...)
 		buf = buf[vlen:]
 
+		if !mvcc.ValidOID(oid) {
+			return fmt.Errorf("core: checkpoint entry with invalid OID %d", oid)
+		}
+		if mvcc.IsTID(clsn) {
+			return fmt.Errorf("core: checkpoint entry with TID stamp %#x", clsn)
+		}
 		t := db.tableByID(id)
 		if t == nil {
 			return fmt.Errorf("core: checkpoint entry for unknown table %d", id)
@@ -252,6 +589,9 @@ func (db *DB) loadCheckpoint(buf []byte) error {
 		buf = buf[16:]
 		if len(buf) < sklen {
 			return fmt.Errorf("core: checkpoint secondary key truncated")
+		}
+		if !mvcc.ValidOID(oid) {
+			return fmt.Errorf("core: checkpoint binding with invalid OID %d", oid)
 		}
 		si := db.secondaryByID(id)
 		if si == nil {

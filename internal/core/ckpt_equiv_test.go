@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+// The checkpoint equivalence property: a checkpoint is only a replay
+// shortcut, never a source of truth. For any committed history, recovering
+// from (checkpoint image + log suffix) must reconstruct byte-for-byte the
+// same state as replaying the full log with every checkpoint blob deleted —
+// same primary versions, same secondary bindings, same catalog. The test
+// drives ≥ 100 seeded random histories (upserts, deletes, aborts, a
+// checkpoint at a random position, truncation on half of them) through
+// both recovery paths and compares canonical state dumps.
+
+const equivHistories = 120
+
+func TestCheckpointEquivalenceProperty(t *testing.T) {
+	truncated, freed := 0, 0
+	for h := 0; h < equivHistories; h++ {
+		seed := uint64(0xEC41B<<8) + uint64(h)
+		tr, fr := runEquivHistory(t, seed)
+		if tr {
+			truncated++
+		}
+		freed += fr
+	}
+	// The truncation arm is only meaningful if some histories actually
+	// unlinked sealed segments; all-zero means the workloads were too small
+	// and the "recover from a truncated log" half of the property was never
+	// exercised.
+	if truncated == 0 || freed == 0 {
+		t.Fatalf("no history exercised truncation (%d truncated, %d segments freed)", truncated, freed)
+	}
+	t.Logf("%d histories: %d truncated, %d segments freed", equivHistories, truncated, freed)
+}
+
+// equivCfg mirrors the sweep's storage shape: small segments so random
+// histories seal several, synchronous flushing so the durable image is a
+// pure function of the committed history.
+func equivCfg(st wal.Storage) Config {
+	return Config{WAL: wal.Config{
+		SegmentSize: 8 << 10,
+		BufferSize:  4 << 10,
+		Storage:     st,
+		SyncFlush:   true,
+	}}
+}
+
+// runEquivHistory runs one seeded history and checks the property. It
+// reports whether the history truncated its log and how many segments that
+// freed, so the caller can assert the truncation arm was really exercised.
+func runEquivHistory(t *testing.T, seed uint64) (truncated bool, freed int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("seed %#x: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	st := wal.NewMemStorage()
+	db, err := Open(equivCfg(st))
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Close()
+	tbl := db.CreateTable("t")
+	si := db.CreateSecondaryIndex(tbl, "t-by-sk")
+
+	rng := xrand.New2(seed, 0xE9B1)
+	model := map[string]string{}
+	nTxns := 30 + rng.Intn(40)
+	ckptAt := 1 + rng.Intn(nTxns-1)
+	doTruncate := rng.Intn(2) == 0
+	for i := 0; i < nTxns; i++ {
+		txn := db.BeginTxn(0)
+		staged := map[string]string{}
+		for k, v := range model {
+			staged[k] = v
+		}
+		nOps := 1 + rng.Intn(3)
+		for j := 0; j < nOps; j++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(16))
+			val := fmt.Sprintf("s%x-t%03d-o%d-", seed&0xFF, i, j)
+			val += strings.Repeat("=", 120-len(val))
+			if _, exists := staged[key]; exists {
+				if rng.Intn(4) == 0 {
+					if err := txn.Delete(tbl, []byte(key)); err != nil {
+						fail("txn %d delete %s: %v", i, key, err)
+					}
+					delete(staged, key)
+				} else {
+					if err := txn.Update(tbl, []byte(key), []byte(val)); err != nil {
+						fail("txn %d update %s: %v", i, key, err)
+					}
+					staged[key] = val
+				}
+			} else {
+				err := txn.InsertWithSecondary(tbl, []byte(key), []byte(val),
+					[]SecondaryEntry{{Index: si, Key: skeyFor(key)}})
+				if err != nil {
+					fail("txn %d insert %s: %v", i, key, err)
+				}
+				staged[key] = val
+			}
+		}
+		if rng.Intn(8) == 0 {
+			txn.Abort()
+		} else if err := txn.Commit(); err != nil {
+			fail("txn %d commit: %v", i, err)
+		} else {
+			model = staged
+		}
+		if i == ckptAt {
+			if err := db.WaitDurable(); err != nil {
+				fail("wait durable before checkpoint: %v", err)
+			}
+			if err := db.Checkpoint(); err != nil {
+				fail("checkpoint: %v", err)
+			}
+		}
+	}
+	if err := db.WaitDurable(); err != nil {
+		fail("wait durable: %v", err)
+	}
+
+	// Snapshot the durable image while the full log still exists: imgCkpt
+	// recovers through the checkpoint, imgLog has every blob deleted and
+	// must fall back to full-log replay.
+	imgCkpt := st.Crash()
+	imgLog := st.Crash()
+	names, err := imgLog.List()
+	if err != nil {
+		fail("list: %v", err)
+	}
+	blobs := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "ckpt-") {
+			if err := imgLog.Remove(n); err != nil {
+				fail("remove %s: %v", n, err)
+			}
+			blobs++
+		}
+	}
+	if blobs == 0 {
+		fail("history published no checkpoint blob")
+	}
+
+	// The truncation arm: unlink the sealed prefix on the live engine and
+	// snapshot again. This image has no full log left at all — recovery
+	// MUST go through the checkpoint.
+	var imgTrunc *wal.MemStorage
+	if doTruncate {
+		removed, err := db.TruncateLog()
+		if err != nil {
+			fail("truncate: %v", err)
+		}
+		freed = len(removed)
+		truncated = true
+		imgTrunc = st.Crash()
+	}
+
+	want := dumpState(t, seed, "model", nil, model)
+	viaCkpt := recoverAndDump(t, seed, "ckpt+suffix", imgCkpt, true)
+	viaLog := recoverAndDump(t, seed, "full-log", imgLog, false)
+	if viaCkpt != viaLog {
+		fail("checkpoint recovery diverges from full-log replay:\n--- ckpt+suffix ---\n%s\n--- full-log ---\n%s", viaCkpt, viaLog)
+	}
+	if viaCkpt != want {
+		fail("recovered state diverges from committed model:\n--- recovered ---\n%s\n--- model ---\n%s", viaCkpt, want)
+	}
+	if imgTrunc != nil {
+		viaTrunc := recoverAndDump(t, seed, "truncated", imgTrunc, true)
+		if viaTrunc != want {
+			fail("post-truncation recovery diverges:\n--- recovered ---\n%s\n--- model ---\n%s", viaTrunc, want)
+		}
+	}
+	return truncated, freed
+}
+
+// recoverAndDump recovers a DB from the image and returns its canonical
+// state dump. wantCkpt asserts whether recovery must (or must not) have
+// adopted a checkpoint, so a silently vacuous run fails loudly.
+func recoverAndDump(t *testing.T, seed uint64, label string, img wal.Storage, wantCkpt bool) string {
+	t.Helper()
+	db, err := Recover(equivCfg(img))
+	if err != nil {
+		t.Fatalf("seed %#x: recover %s: %v", seed, label, err)
+	}
+	defer db.Close()
+	if _, ok := db.LastCheckpoint(); ok != wantCkpt {
+		t.Fatalf("seed %#x: recover %s: adopted checkpoint = %v, want %v", seed, label, ok, wantCkpt)
+	}
+	return dumpState(t, seed, label, db, nil)
+}
+
+// dumpState canonicalizes a database's logical state (or, with db == nil, a
+// model map) as one string: primary rows in key order, then each key's
+// secondary reachability. Byte-equal dumps mean equal states.
+func dumpState(t *testing.T, seed uint64, label string, db *DB, model map[string]string) string {
+	t.Helper()
+	rows := map[string]string{}
+	var sec map[string]string
+	if db != nil {
+		tbl := db.OpenTable("t")
+		si := db.OpenSecondaryIndex("t-by-sk")
+		if tbl == nil || si == nil {
+			t.Fatalf("seed %#x: %s: catalog not recovered (table %v, index %v)", seed, label, tbl != nil, si != nil)
+		}
+		txn := db.BeginTxn(0)
+		defer txn.Abort()
+		if err := txn.Scan(tbl, nil, nil, func(k, v []byte) bool {
+			rows[string(k)] = string(v)
+			return true
+		}); err != nil {
+			t.Fatalf("seed %#x: %s: scan: %v", seed, label, err)
+		}
+		sec = map[string]string{}
+		for k := 0; k < 16; k++ {
+			key := fmt.Sprintf("k%02d", k)
+			if v, err := txn.GetBySecondary(si, skeyFor(key)); err == nil {
+				sec[key] = string(v)
+			}
+		}
+	} else {
+		rows = model
+		sec = model // the model's secondary view is the model itself
+	}
+	var b strings.Builder
+	for k := 0; k < 16; k++ {
+		key := fmt.Sprintf("k%02d", k)
+		if v, ok := rows[key]; ok {
+			fmt.Fprintf(&b, "row %s=%s\n", key, v)
+		}
+		if v, ok := sec[key]; ok {
+			fmt.Fprintf(&b, "sec %s=%s\n", key, v)
+		}
+	}
+	if len(rows) > 16 {
+		t.Fatalf("seed %#x: %s: unexpected extra rows: %v", seed, label, rows)
+	}
+	return b.String()
+}

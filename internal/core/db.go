@@ -106,8 +106,14 @@ type DB struct {
 	// to live transaction contexts (parallel SSN).
 	workerTID [MaxWorkers]atomic.Uint64
 
-	workers       [MaxWorkers]workerState
-	lastCkptBegin atomic.Uint64 // begin offset of the newest checkpoint
+	workers [MaxWorkers]workerState
+
+	// Checkpointing (see checkpoint.go). lastCkpt identifies the newest
+	// published checkpoint; ckptMu serializes checkpointers so generation
+	// numbers stay monotone and blob cleanup never races a concurrent scan.
+	lastCkpt atomic.Pointer[CheckpointInfo]
+	ckptMu   sync.Mutex
+
 	gcStop        chan struct{}
 	gcDone        chan struct{}
 	closeOnce     sync.Once
@@ -153,6 +159,10 @@ type DBStats struct {
 	PhantomAborts  atomic.Uint64
 	VersionsPruned atomic.Uint64
 	GCRuns         atomic.Uint64
+	Checkpoints    atomic.Uint64 // completed checkpoints this run
+	CkptEntries    atomic.Uint64 // entries captured by the newest checkpoint
+	CkptBytes      atomic.Uint64 // blob size of the newest checkpoint
+	SegmentsFreed  atomic.Uint64 // log segment files removed by truncation
 }
 
 // Open creates a DB. Pass a wal.RecoverResult-driven flow via Recover to
@@ -256,8 +266,15 @@ func (db *DB) IsReplica() bool { return db.replica.Load() }
 func (db *DB) Watermark() uint64 { return db.watermark.Load() }
 
 // PublishWatermark advances the replay watermark after a block has been
-// fully applied. Called only by the replica applier goroutine.
-func (db *DB) PublishWatermark(off uint64) { db.watermark.Store(off) }
+// fully applied. Called only by the replica applier goroutine. It never
+// regresses: a replica seeded from a checkpoint starts its stream at the
+// containing segment's start, and the catch-up blocks below the checkpoint
+// begin offset must not drag the read horizon back below the seeded state.
+func (db *DB) PublishWatermark(off uint64) {
+	if off > db.watermark.Load() {
+		db.watermark.Store(off)
+	}
+}
 
 // Stats returns the engine counters.
 func (db *DB) Stats() *DBStats { return &db.stats }

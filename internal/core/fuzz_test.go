@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"io"
 	"testing"
@@ -169,6 +170,198 @@ func fuzzSeedSegment(f *testing.F) (string, []byte) {
 	}
 	f.Fatal("no segment file in seed image")
 	return "", nil
+}
+
+// fuzzCkptWorkload commits a small history with one mid-stream checkpoint
+// and returns the durable image, the published blob's name and bytes, and
+// the expected final state. Shared by FuzzCheckpointBlob's two entry points.
+func fuzzCkptWorkload(f *testing.F) (*wal.MemStorage, string, []byte, map[string]string) {
+	st := wal.NewMemStorage()
+	db, err := Open(sweepConfig(st))
+	if err != nil {
+		f.Fatal(err)
+	}
+	tbl := db.CreateTable("t")
+	si := db.CreateSecondaryIndex(tbl, "t-by-sk")
+	ins := func(k, v string) {
+		txn := db.BeginTxn(0)
+		err := txn.InsertWithSecondary(tbl, []byte(k), []byte(v),
+			[]SecondaryEntry{{Index: si, Key: skeyFor(k)}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	ins("a", "1")
+	ins("b", "2")
+	if err := db.Checkpoint(); err != nil {
+		f.Fatal(err)
+	}
+	ins("c", "3")
+	txn := db.Begin(0)
+	if err := txn.Delete(tbl, []byte("a")); err != nil {
+		f.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		f.Fatal(err)
+	}
+	if err := db.WaitDurable(); err != nil {
+		f.Fatal(err)
+	}
+	db.Close()
+
+	img := st.Crash()
+	names, err := img.List()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, n := range names {
+		if _, _, ok := parseCheckpointName(n); !ok {
+			continue
+		}
+		fl, err := img.Open(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		size, err := fl.Size()
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob := make([]byte, size)
+		if _, err := fl.ReadAt(blob, 0); err != nil && err != io.EOF {
+			f.Fatal(err)
+		}
+		fl.Close()
+		return img, n, blob, map[string]string{"b": "2", "c": "3"}
+	}
+	f.Fatal("no published checkpoint blob in seed image")
+	return nil, "", nil, nil
+}
+
+// blobChecksumOK reports whether an image would pass the FNV trailer check —
+// the same verification readCheckpointBlob and SeedCheckpoint apply.
+func blobChecksumOK(data []byte) bool {
+	if len(data) < 4 {
+		return false
+	}
+	return wal.Checksum(data[:len(data)-4]) == binary.LittleEndian.Uint32(data[len(data)-4:])
+}
+
+// FuzzCheckpointBlob throws mutated checkpoint images at both blob
+// consumers. Recovery: a blob failing its checksum must be skipped — with
+// the log intact, recovery then MUST succeed with the exact full-replay
+// state, never adopt corrupt bytes. A checksum-valid mutant may recover or
+// fail with a clean decode error, never panic. Replica seeding
+// (SeedCheckpoint): a checksum-invalid or headerless image must be
+// rejected; the pristine image must load the exact checkpoint state.
+func FuzzCheckpointBlob(f *testing.F) {
+	img, blobName, blob, want := fuzzCkptWorkload(f)
+
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])                  // truncated: checksum fails
+	f.Add(blob[:checkpointHeaderSize])         // header only, no trailer
+	flip := append([]byte(nil), blob...)       // body bit-flip: checksum fails
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip)
+	tail := append([]byte(nil), blob...) // trailer bit-flip: checksum fails
+	tail[len(tail)-1] ^= 0x01
+	f.Add(tail)
+	// Checksum-fixed mutants: verification passes, the decoder must cope.
+	fixed := append([]byte(nil), blob...)
+	fixed[checkpointHeaderSize+2] ^= 0x80 // damage the payload catalog
+	binary.LittleEndian.PutUint32(fixed[len(fixed)-4:], wal.Checksum(fixed[:len(fixed)-4]))
+	f.Add(fixed)
+	// Minimal well-checksummed body declaring an absurd entry count: the
+	// loader must hit its bounds check, not allocate for 2^64 entries.
+	huge := appendCheckpointHeader(nil, 1, 64)
+	huge = binary.LittleEndian.AppendUint32(huge, 0) // no tables
+	huge = binary.LittleEndian.AppendUint32(huge, 0) // no indexes
+	huge = binary.LittleEndian.AppendUint64(huge, ^uint64(0))
+	huge = binary.LittleEndian.AppendUint32(huge, wal.Checksum(huge))
+	f.Add(huge)
+	v1 := append([]byte(nil), blob[checkpointHeaderSize:len(blob)-4]...) // headerless v1 shape
+	v1 = binary.LittleEndian.AppendUint32(v1, wal.Checksum(v1))
+	f.Add(v1)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Recovery path: pristine log, mutated blob under the live name.
+		st := img.Crash()
+		if err := st.Remove(blobName); err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 0 {
+			fl, err := st.Create(blobName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fl.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			fl.Sync()
+			fl.Close()
+		}
+		db, err := Recover(sweepConfig(st))
+		if !blobChecksumOK(data) {
+			// The trailer check must route recovery around the bad blob and
+			// full-log replay must reconstruct the exact committed state.
+			if err != nil {
+				t.Fatalf("recovery failed instead of ignoring a checksum-invalid blob: %v", err)
+			}
+			checkFuzzState(t, db, want)
+		}
+		if err == nil {
+			db.Close()
+		}
+
+		// Seeding path: the image arrives over the wire into a fresh replica
+		// (whose read snapshot is the watermark the seed publishes).
+		db2, ap, _, err := OpenReplica(sweepConfig(wal.NewMemStorage()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, serr := db2.SeedCheckpoint(data)
+		if serr == nil && !blobChecksumOK(data) {
+			t.Fatal("SeedCheckpoint accepted a checksum-invalid image")
+		}
+		if serr == nil && bytes.Equal(data, blob) {
+			checkFuzzState(t, db2, map[string]string{"a": "1", "b": "2"})
+		}
+		ap.Close()
+		db2.Close()
+	})
+}
+
+// checkFuzzState asserts the database's table t holds exactly want, with
+// every live key reachable through its secondary binding.
+func checkFuzzState(t *testing.T, db *DB, want map[string]string) {
+	t.Helper()
+	tbl := db.OpenTable("t")
+	si := db.OpenSecondaryIndex("t-by-sk")
+	if tbl == nil || si == nil {
+		t.Fatal("catalog not recovered")
+	}
+	txn := db.BeginTxn(0)
+	defer txn.Abort()
+	got := map[string]string{}
+	if err := txn.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered state %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("recovered state %v, want %v", got, want)
+		}
+		if sv, err := txn.GetBySecondary(si, skeyFor(k)); err != nil || string(sv) != v {
+			t.Fatalf("secondary lookup %s: %q, %v (want %q)", k, sv, err, v)
+		}
+	}
 }
 
 // FuzzRecover feeds mutated log images to full database recovery: torn and

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"ermia/internal/mvcc"
@@ -18,7 +19,7 @@ import (
 // first hole without losing committed work, because it contains only
 // committed state.
 func Recover(cfg Config) (*DB, error) {
-	db, pass1, _, err := recoverState(cfg)
+	db, pass1, _, err := recoverState(cfg, false)
 	if err != nil {
 		return nil, err
 	}
@@ -36,8 +37,10 @@ func Recover(cfg Config) (*DB, error) {
 // scan the log in cfg.WAL.Storage, restore the newest verifiable
 // checkpoint, and roll forward through an Applier. It returns the rebuilt
 // DB (no log manager installed, no GC running), the scan result, and the
-// checkpoint-begin offset the replay skipped to.
-func recoverState(cfg Config) (*DB, *wal.RecoverResult, uint64, error) {
+// checkpoint-begin offset the replay skipped to. replica relaxes the
+// acknowledgment gate below: a seeded blob may legitimately reach past the
+// mirrored log suffix.
+func recoverState(cfg Config, replica bool) (*DB, *wal.RecoverResult, uint64, error) {
 	if cfg.WAL.Storage == nil {
 		return nil, nil, 0, fmt.Errorf("core: recovery requires explicit WAL storage")
 	}
@@ -64,26 +67,75 @@ func recoverState(cfg Config) (*DB, *wal.RecoverResult, uint64, error) {
 
 	db := newDB(cfg, nil)
 
-	// Restore the newest checkpoint whose blob verifies. A torn or
-	// bit-flipped blob (checksum trailer mismatch) or a missing file falls
-	// back to the previous checkpoint — recovery then replays a longer log
-	// suffix, trading time for correctness. A blob that verifies but fails
-	// to decode is a software bug, not device damage, and surfaces as an
-	// error.
-	for i := len(ckptNames) - 1; i >= 0; i-- {
-		name := ckptNames[i]
-		var begin uint64
-		if _, err := fmt.Sscanf(name, "ckpt-%016x", &begin); err != nil {
-			return nil, nil, 0, fmt.Errorf("core: bad checkpoint name %q", name)
+	// Restore the newest checkpoint whose blob verifies. Candidates come
+	// from two places: the storage listing (a published v2 blob is
+	// self-describing, so it counts even when the crash ate its
+	// checkpoint-end record — rename made it complete before the end record
+	// existed) and the end-record names from pass 1 (how pre-generation
+	// blobs are located). A torn or bit-flipped blob (checksum trailer
+	// mismatch) or a missing file falls back to the previous checkpoint —
+	// recovery then replays a longer log suffix, trading time for
+	// correctness. A blob that verifies but fails to decode is a software
+	// bug, not device damage, and surfaces as an error.
+	type ckptCand struct {
+		name       string
+		begin, gen uint64
+	}
+	seen := make(map[string]bool)
+	var cands []ckptCand
+	addCand := func(name string) {
+		if seen[name] {
+			return
 		}
-		buf, err := readCheckpointBlob(st, name)
-		if err != nil {
+		seen[name] = true
+		if begin, gen, ok := parseCheckpointName(name); ok {
+			cands = append(cands, ckptCand{name, begin, gen})
+		}
+	}
+	if names, lerr := st.List(); lerr == nil {
+		for _, n := range names {
+			addCand(n)
+		}
+	}
+	for _, n := range ckptNames {
+		addCand(n)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].begin != cands[j].begin {
+			return cands[i].begin < cands[j].begin
+		}
+		return cands[i].gen < cands[j].gen
+	})
+	for i := len(cands) - 1; i >= 0; i-- {
+		c := cands[i]
+		if !replica && c.begin > pass1.NextOffset {
+			// The blob's begin record is past the durable log: the crash ate
+			// log blocks the scan had already covered. Its extra commits were
+			// never acknowledged (their blocks were not durable), and adopting
+			// them would put versions above the resumed log clock — invisible
+			// to every reader and colliding with reissued offsets. Fall back.
+			// (On a replica the gate does not apply: a snapshot-seeded blob
+			// reaches past the mirrored suffix by design — its commits were
+			// acknowledged on the primary, the watermark becomes its begin
+			// offset, and the missing suffix is re-shipped by the stream.)
 			continue
 		}
-		if err := db.loadCheckpoint(buf); err != nil {
+		body, rerr := readCheckpointBlob(st, c.name)
+		if rerr != nil {
+			continue
+		}
+		gen, begin, payload, v2, herr := parseCheckpointHeader(body)
+		if herr != nil || (v2 && begin != c.begin) {
+			continue // damaged or future-format header: fall back
+		}
+		if !v2 {
+			gen, begin = c.gen, c.begin
+		}
+		if err := db.loadCheckpoint(payload); err != nil {
 			return nil, nil, 0, err
 		}
 		ckptBegin = begin
+		db.setLastCheckpoint(CheckpointInfo{Name: c.name, Gen: gen, Begin: begin})
 		break
 	}
 
@@ -175,6 +227,9 @@ func (db *DB) applyRecords(payload []byte, cstamp uint64) error {
 		t := db.tableByID(r.table)
 		if t == nil {
 			return fmt.Errorf("core: record for unknown table %d", r.table)
+		}
+		if !mvcc.ValidOID(oidOf(r)) {
+			return fmt.Errorf("core: record with invalid OID %d", r.oid)
 		}
 		switch r.kind {
 		case recInsert, recInsertSec:

@@ -31,12 +31,20 @@ func OpenReplica(cfg Config) (*DB, *Applier, *wal.RecoverResult, error) {
 	// cfg.GCInterval is deliberately not started here: background GC would
 	// race the applier's installs, so the streaming loop calls RunGC from
 	// the applier goroutine instead. Promote starts the background sweeper.
-	db, pass1, ckptBegin, err := recoverState(cfg)
+	db, pass1, ckptBegin, err := recoverState(cfg, true)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	db.replica.Store(true)
-	db.watermark.Store(pass1.NextOffset)
+	// The read horizon is the replayed log's end — or the checkpoint-begin
+	// offset when a seeded checkpoint reaches further than the mirrored
+	// suffix (a freshly bootstrapped replica restarting before catch-up):
+	// the blob already holds every commit below its begin offset.
+	wm := pass1.NextOffset
+	if ckptBegin > wm {
+		wm = ckptBegin
+	}
+	db.watermark.Store(wm)
 	db.health.Store(int32(engine.Replica))
 	return db, db.NewApplier(cfg.WAL.Storage, pass1.Segments, ckptBegin), pass1, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"ermia/internal/engine"
@@ -47,6 +48,14 @@ func sweepConfig(st wal.Storage) Config {
 }
 
 func skeyFor(key string) []byte { return []byte("sk-" + key) }
+
+// sweepVal pads a short tag out to 256 bytes so the 160-transaction
+// workload seals several 16KiB segments — without the weight, both
+// checkpoint cuts would land inside the first segment and truncation
+// would never unlink anything, leaving that crash window unswept.
+func sweepVal(tag string) string {
+	return tag + strings.Repeat(".", 256-len(tag))
+}
 
 // ackPoint marks a durability acknowledgement: after traceLen recorded
 // storage operations, the first `commits` transactions were acked durable.
@@ -94,7 +103,7 @@ func runSweepWorkload(t testing.TB, seed uint64, rec *faultfs.Recorder) ([]map[s
 		nOps := 1 + rng.Intn(3)
 		for j := 0; j < nOps; j++ {
 			key := fmt.Sprintf("k%02d", rng.Intn(24))
-			val := fmt.Sprintf("t%03d-o%d", i, j)
+			val := sweepVal(fmt.Sprintf("t%03d-o%d", i, j))
 			if _, exists := staged[key]; exists {
 				if rng.Intn(3) == 0 {
 					if err := txn.Delete(tbl, []byte(key)); err != nil {
@@ -244,6 +253,30 @@ func TestCrashPointSweep(t *testing.T) {
 	}
 	if len(states) != len(states2) {
 		t.Fatalf("workload commits not deterministic: %d vs %d", len(states), len(states2))
+	}
+
+	// Window coverage: Points puts a pure crash point at every operation
+	// boundary, so the sweep provably exercises a crash inside each
+	// checkpoint-publication and truncation window iff the trace records the
+	// operations that delimit them. Require all three: the temp-blob write
+	// (a torn blob must be ignored by recovery), the publishing rename (a
+	// crash between rename and the end record must still adopt the blob),
+	// and the segment unlink (a crash mid-truncation leaves a log with a
+	// removed prefix that recovery must accept).
+	var ckptTmpWrites, ckptRenames, segRemoves int
+	for _, op := range tr {
+		switch {
+		case op.Kind == faultfs.OpWrite && strings.HasPrefix(op.Name, "ckpt-") && strings.HasSuffix(op.Name, ".tmp"):
+			ckptTmpWrites++
+		case op.Kind == faultfs.OpRename && strings.HasPrefix(op.NewName, "ckpt-"):
+			ckptRenames++
+		case op.Kind == faultfs.OpRemove && strings.HasPrefix(op.Name, "log-"):
+			segRemoves++
+		}
+	}
+	if ckptTmpWrites == 0 || ckptRenames == 0 || segRemoves == 0 {
+		t.Fatalf("trace misses a crash window: %d ckpt tmp writes, %d ckpt renames, %d segment removes",
+			ckptTmpWrites, ckptRenames, segRemoves)
 	}
 
 	points := faultfs.Points(tr, seed, 0)

@@ -54,6 +54,8 @@ const (
 	OpSync
 	// OpRemove deletes a file.
 	OpRemove
+	// OpRename atomically moves Name to NewName.
+	OpRename
 )
 
 func (k OpKind) String() string {
@@ -66,6 +68,8 @@ func (k OpKind) String() string {
 		return "sync"
 	case OpRemove:
 		return "remove"
+	case OpRename:
+		return "rename"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -73,10 +77,11 @@ func (k OpKind) String() string {
 
 // Op is one recorded mutating operation.
 type Op struct {
-	Kind OpKind
-	Name string
-	Off  int64  // OpWrite only
-	Data []byte // OpWrite only; an owned copy
+	Kind    OpKind
+	Name    string
+	NewName string // OpRename only: the destination name
+	Off     int64  // OpWrite only
+	Data    []byte // OpWrite only; an owned copy
 }
 
 // Trace is an ordered record of every mutating operation a workload issued.
@@ -160,6 +165,15 @@ func (r *Recorder) Remove(name string) error {
 		return err
 	}
 	r.record(Op{Kind: OpRemove, Name: name})
+	return nil
+}
+
+// Rename implements wal.Storage.
+func (r *Recorder) Rename(oldName, newName string) error {
+	if err := r.inner.Rename(oldName, newName); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRename, Name: oldName, NewName: newName})
 	return nil
 }
 
@@ -347,6 +361,14 @@ func (i *Injector) Remove(name string) error {
 	return i.inner.Remove(name)
 }
 
+// Rename implements wal.Storage.
+func (i *Injector) Rename(oldName, newName string) error {
+	if err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.Rename(oldName, newName)
+}
+
 type injFile struct {
 	inner wal.File
 	inj   *Injector
@@ -431,6 +453,12 @@ func Replay(tr Trace, k int) (*wal.MemStorage, error) {
 		case OpRemove:
 			delete(files, op.Name)
 			err = st.Remove(op.Name)
+		case OpRename:
+			if f := files[op.Name]; f != nil {
+				files[op.NewName] = f
+			}
+			delete(files, op.Name)
+			err = st.Rename(op.Name, op.NewName)
 		default:
 			err = fmt.Errorf("faultfs: replay op %d: unknown kind %v", idx, op.Kind)
 		}

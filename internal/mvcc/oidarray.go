@@ -66,6 +66,12 @@ func (a *OIDArray) EnsureAllocated(oid OID) {
 // MaxOID returns the largest OID handed out so far (0 if none).
 func (a *OIDArray) MaxOID() OID { return OID(a.next.Load() - 1) }
 
+// ValidOID reports whether oid lies inside the addressable OID space.
+// Decoders of external images (checkpoint blobs, log records) must reject
+// invalid OIDs before touching an array: an out-of-range OID would index
+// past the chunk directory.
+func ValidOID(oid OID) bool { return oid != InvalidOID && uint64(oid) < maxOID }
+
 // chunkFor returns the chunk holding oid, creating it on demand.
 func (a *OIDArray) chunkFor(oid OID, create bool) *chunk {
 	ci := uint64(oid) >> chunkBits

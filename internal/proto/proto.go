@@ -72,11 +72,29 @@ const (
 	// MsgPromote asks a replica server to seal its stream, run the recovery
 	// tail over the mirrored log, and flip to a writable primary.
 	MsgPromote
+	// MsgCheckpoint asks the primary to take a consistent checkpoint now.
+	// Request: u8 flags (CkptTruncate). Response: u64 checkpoint-begin
+	// offset, u32 log segments freed by truncation.
+	MsgCheckpoint
+	// MsgCkptFetch reads a slice of the newest checkpoint image for
+	// snapshot-seeded replica bootstrap. Request: u64 byte offset.
+	// Response: name (bytes), u64 generation, u64 begin offset, u64
+	// subscribe offset, u64 total image size, chunk (bytes). The metadata
+	// rides on every chunk so a fetcher that sees the name change
+	// mid-transfer can restart against the newer image.
+	MsgCkptFetch
 )
 
 // Begin request flag bits.
 const (
 	BeginReadOnly byte = 1 << 0
+)
+
+// Checkpoint request flag bits.
+const (
+	// CkptTruncate asks the server to truncate sealed log segments below
+	// the new checkpoint's begin offset after publishing it.
+	CkptTruncate byte = 1 << 0
 )
 
 // Framing errors.

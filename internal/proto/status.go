@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ermia/internal/engine"
+	"ermia/internal/wal"
 )
 
 // Status is the 2-byte outcome code leading every response payload. The
@@ -49,6 +50,17 @@ const (
 	//
 	//ermia:status special catch-all carrying arbitrary error text, not a fixed sentinel
 	StatusInternal
+	// StatusTailTruncated reports a replication subscribe (or in-flight
+	// stream) whose position fell below the primary's truncation horizon:
+	// checkpointing freed the segments the replica would need. The typed
+	// code lets the replica re-seed from the latest checkpoint instead of
+	// treating the stream as broken. Appended after StatusInternal to keep
+	// existing wire values stable.
+	StatusTailTruncated
+	// StatusNoCheckpoint reports a checkpoint fetch against a primary that
+	// has never published one; the replica falls back to mirroring the log
+	// from its start.
+	StatusNoCheckpoint
 )
 
 // Server-side request errors with no engine sentinel. They are fatal to the
@@ -79,6 +91,12 @@ var statusTable = []struct {
 	{StatusUnknownTxn, ErrUnknownTxn},
 	{StatusUnknownTable, ErrUnknownTable},
 	{StatusBadRequest, ErrBadRequest},
+	// The replication stream's truncation signal is the WAL sentinel itself
+	// so the repl layer sees the same error whether the tail it outran is
+	// local (embedded replica) or remote (streamed): errors.Is works
+	// identically on both paths.
+	{StatusTailTruncated, wal.ErrTailTruncated},
+	{StatusNoCheckpoint, engine.ErrNoCheckpoint},
 }
 
 // StatusOf maps a server-side error to its wire status plus a detail string

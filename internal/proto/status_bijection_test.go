@@ -31,6 +31,7 @@ var sentinelValues = map[string]error{
 	"ErrOverloaded":       engine.ErrOverloaded,
 	"ErrShutdown":         engine.ErrShutdown,
 	"ErrRetriesExhausted": engine.ErrRetriesExhausted,
+	"ErrNoCheckpoint":     engine.ErrNoCheckpoint,
 }
 
 // engineSentinel is one parsed sentinel declaration.

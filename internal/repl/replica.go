@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ermia/internal/core"
+	"ermia/internal/engine"
 	"ermia/internal/proto"
 	"ermia/internal/wal"
 )
@@ -53,6 +54,9 @@ type Stats struct {
 	Batches        uint64 // batches applied
 	Blocks         uint64 // blocks applied
 	Bytes          uint64 // block bytes mirrored
+
+	Seeds     uint64 // checkpoint seeds performed (bootstrap + truncation re-seeds)
+	SeedBytes uint64 // checkpoint image bytes fetched across all seeds
 }
 
 // Replica is a running replica: a goroutine that streams the primary's log
@@ -80,7 +84,20 @@ type Replica struct {
 	batches        atomic.Uint64
 	blocks         atomic.Uint64
 	bytes          atomic.Uint64
+	seeds          atomic.Uint64
+	seedBytes      atomic.Uint64
 	sinceGC        int
+
+	// subPos is the log offset the next subscription resumes from: the end
+	// of the mirrored suffix. It is decoupled from the watermark, which a
+	// checkpoint seed can push far past the mirror — the stream still has
+	// to mirror the gap's segments (from the seed's segment-start offset)
+	// so the local log is byte-complete for promotion and restart.
+	// needSeed asks the run loop to bootstrap or re-seed from the primary's
+	// newest checkpoint before (re)subscribing. Both are owned by the run
+	// goroutine.
+	subPos   uint64
+	needSeed bool
 }
 
 // Start recovers whatever the mirror already holds, then begins streaming
@@ -118,6 +135,17 @@ func Start(cfg Config) (*Replica, error) {
 	for _, sm := range pass1.Segments {
 		r.segs[sm.Name] = sm
 	}
+	// An empty mirror tries a snapshot seed first: fetching the primary's
+	// newest checkpoint and subscribing from its begin segment reads far
+	// fewer bytes than mirroring the log from its start. A primary without
+	// a checkpoint falls back to mirroring from the start transparently. A
+	// restarting replica that already holds a seeded checkpoint (but maybe
+	// no segments yet) skips the download: if its position is stale the
+	// stream comes back with ErrTailTruncated and the re-seed fetches
+	// metadata only.
+	r.subPos = pass1.NextOffset
+	_, hasCkpt := db.LastCheckpoint()
+	r.needSeed = len(pass1.Segments) == 0 && !hasCkpt
 	go r.run()
 	return r, nil
 }
@@ -137,6 +165,8 @@ func (r *Replica) Stats() Stats {
 		Batches:        r.batches.Load(),
 		Blocks:         r.blocks.Load(),
 		Bytes:          r.bytes.Load(),
+		Seeds:          r.seeds.Load(),
+		SeedBytes:      r.seedBytes.Load(),
 	}
 	if s.PrimaryDurable > s.Watermark {
 		s.Lag = s.PrimaryDurable - s.Watermark
@@ -198,28 +228,176 @@ func (r *Replica) closeFiles() {
 }
 
 // run is the streaming loop: one stream() per connection lifetime,
-// reconnecting on transport failures, stopping on seal or a fatal stream
-// error.
+// reconnecting on transport failures, re-seeding from the primary's newest
+// checkpoint when its position falls below the truncation horizon, stopping
+// on seal or a fatal stream error.
 func (r *Replica) run() {
 	defer close(r.done)
 	for {
 		if r.stopped() {
 			return
 		}
+		if r.needSeed {
+			if err := r.seed(); err != nil {
+				if errors.Is(err, engine.ErrNoCheckpoint) {
+					// The primary has never checkpointed: mirror its log
+					// from the current position instead.
+					r.needSeed = false
+				} else if r.stopped() {
+					return
+				} else {
+					// Transport failure or torn image: back off, refetch.
+					select {
+					case <-r.stop:
+						return
+					case <-time.After(r.cfg.ReconnectDelay):
+					}
+					continue
+				}
+			}
+		}
 		err := r.stream()
 		if r.stopped() {
 			return
+		}
+		if errors.Is(err, wal.ErrTailTruncated) {
+			// The primary truncated the suffix this replica still needs —
+			// not fatal: re-seed from its newest checkpoint, which by the
+			// truncation invariant covers everything the freed segments
+			// held, and resubscribe above the horizon.
+			r.needSeed = true
+			continue
 		}
 		if errors.Is(err, ErrStreamFatal) {
 			r.setErr(err)
 			return
 		}
 		// Transport failure (dial refused, conn reset, torn batch): back
-		// off and resubscribe from the watermark.
+		// off and resubscribe from the mirrored position.
 		select {
 		case <-r.stop:
 			return
 		case <-time.After(r.cfg.ReconnectDelay):
+		}
+	}
+}
+
+// seed bootstraps (or re-seeds) the replica from the primary's newest
+// checkpoint: fetch the image, drop mirrored segments below the new
+// subscribe position, load and persist the image, and resume the stream
+// from the start of the live segment holding the checkpoint-begin record —
+// so every mirrored segment file is byte-complete from its first block.
+// Runs on the run goroutine between streams, which satisfies
+// SeedCheckpoint's quiesced-applier contract.
+func (r *Replica) seed() error {
+	var have string
+	if ci, ok := r.db.LastCheckpoint(); ok {
+		have = ci.Name
+	}
+	meta, image, err := r.fetchCheckpoint(have)
+	if err != nil {
+		return err
+	}
+	// Stale mirror below the new subscribe position: the primary no longer
+	// serves those bytes and the seeded image covers their state.
+	st := r.cfg.Core.WAL.Storage
+	for name, sm := range r.segs {
+		if sm.End <= meta.Start {
+			if f, ok := r.files[name]; ok {
+				f.Close()
+				delete(r.files, name)
+			}
+			st.Remove(name)
+			delete(r.segs, name)
+		}
+	}
+	if image != nil {
+		begin, err := r.db.SeedCheckpoint(image)
+		if err != nil {
+			return fmt.Errorf("repl: seed checkpoint %s: %w", meta.Name, err)
+		}
+		r.ap.SetCheckpoint(begin)
+		r.seedBytes.Add(uint64(len(image)))
+	} else {
+		// The primary still serves the checkpoint this replica already
+		// loaded (a restart before catch-up): only the stream position
+		// needs resetting.
+		r.ap.SetCheckpoint(meta.Begin)
+		r.db.PublishWatermark(meta.Begin)
+	}
+	r.subPos = meta.Start
+	r.needSeed = false
+	r.seeds.Add(1)
+	return nil
+}
+
+// fetchCheckpoint downloads the primary's newest checkpoint image chunk by
+// chunk on its own connection. If the primary's newest checkpoint is the
+// one named have, only the metadata is fetched and a nil image is returned.
+// A checkpoint replaced mid-transfer restarts the download against the
+// newer image.
+func (r *Replica) fetchCheckpoint(have string) (engine.CheckpointChunk, []byte, error) {
+	fail := func(err error) (engine.CheckpointChunk, []byte, error) {
+		return engine.CheckpointChunk{}, nil, err
+	}
+	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	if err != nil {
+		return fail(err)
+	}
+	r.setConn(conn)
+	defer r.closeConn()
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	var meta engine.CheckpointChunk
+	var image []byte
+	for reqID := uint64(1); ; reqID++ {
+		if err := proto.WriteFrame(bw, proto.MsgCkptFetch, reqID, proto.AppendU64(nil, uint64(len(image)))); err != nil {
+			return fail(err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fail(err)
+		}
+		typ, _, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			return fail(err)
+		}
+		if typ != proto.MsgCkptFetch|proto.RespFlag {
+			return fail(proto.ErrBadFrame)
+		}
+		d := proto.NewDec(payload)
+		st := d.Status()
+		detail := string(d.Bytes())
+		if d.Err() != nil {
+			return fail(proto.ErrBadFrame)
+		}
+		if st != proto.StatusOK {
+			return fail(st.Err(detail))
+		}
+		ck := engine.CheckpointChunk{Name: string(d.Bytes())}
+		ck.Gen = d.U64()
+		ck.Begin = d.U64()
+		ck.Start = d.U64()
+		ck.Total = d.U64()
+		ck.Data = d.Bytes()
+		if d.Err() != nil {
+			return fail(proto.ErrBadFrame)
+		}
+		if ck.Name == have {
+			ck.Data = nil
+			return ck, nil, nil
+		}
+		if meta.Name != "" && ck.Name != meta.Name {
+			meta, image = engine.CheckpointChunk{}, image[:0]
+			continue
+		}
+		meta = ck
+		image = append(image, ck.Data...)
+		if uint64(len(image)) >= ck.Total {
+			meta.Data = nil
+			return meta, image, nil
+		}
+		if len(ck.Data) == 0 {
+			return fail(fmt.Errorf("repl: checkpoint fetch stalled at %d/%d bytes", len(image), ck.Total))
 		}
 	}
 }
@@ -239,7 +417,7 @@ func (r *Replica) stream() error {
 
 	const subID = 1
 	nextID := uint64(subID + 1)
-	if err := proto.WriteFrame(bw, proto.MsgReplSubscribe, subID, proto.AppendU64(nil, r.db.Watermark())); err != nil {
+	if err := proto.WriteFrame(bw, proto.MsgReplSubscribe, subID, proto.AppendU64(nil, r.subPos)); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -260,6 +438,11 @@ func (r *Replica) stream() error {
 				return proto.ErrBadFrame
 			}
 			if st != proto.StatusOK {
+				if serr := st.Err(detail); errors.Is(serr, wal.ErrTailTruncated) {
+					// Our resume position fell below the primary's
+					// truncation horizon; re-seed, don't die.
+					return fmt.Errorf("repl: subscribe position truncated away: %w", serr)
+				}
 				// The peer is not a primary (a replica, or a server without
 				// a log): reconnecting to the same address cannot help.
 				return fmt.Errorf("%w: subscribe refused: %v", ErrStreamFatal, st.Err(detail))
@@ -276,9 +459,14 @@ func (r *Replica) stream() error {
 				return proto.ErrBadFrame
 			}
 			if st != proto.StatusOK {
-				// The primary's tail failed: our suffix was truncated away
-				// or its log is corrupt. Either way this replica cannot
-				// continue from its watermark.
+				if serr := st.Err(detail); errors.Is(serr, wal.ErrTailTruncated) {
+					// The primary truncated the suffix this stream was
+					// positioned in (a checkpoint raced our subscription);
+					// re-seed from that checkpoint instead of dying.
+					return fmt.Errorf("repl: stream position truncated away: %w", serr)
+				}
+				// The primary's tail failed otherwise — its log is corrupt;
+				// this replica cannot continue from its position.
 				return fmt.Errorf("%w: %v", ErrStreamFatal, st.Err(detail))
 			}
 			batch, err := proto.DecodeReplBatch(d.Rest())
@@ -387,6 +575,7 @@ func (r *Replica) applyBatch(b *proto.ReplBatch) error {
 		if err != nil {
 			return err
 		}
+		r.subPos = blk.Off + uint64(blk.Size)
 		r.db.PublishWatermark(blk.Off + uint64(blk.Size))
 		r.blocks.Add(1)
 		r.bytes.Add(uint64(blk.Size))

@@ -111,6 +111,9 @@ type StatsSnapshot struct {
 	ReplBatches       uint64 // batches shipped across all subscribers
 	ReplShippedOffset uint64 // highest offset shipped to any subscriber
 	ReplAckedOffset   uint64 // highest watermark acknowledged by any subscriber
+
+	// Checkpoints counts checkpoint frames served successfully.
+	Checkpoints uint64
 }
 
 // Server serves one engine over TCP.
@@ -145,6 +148,7 @@ type Server struct {
 	replBatches     atomic.Uint64
 	replShipped     atomic.Uint64
 	replAcked       atomic.Uint64
+	checkpoints     atomic.Uint64
 
 	shutOnce sync.Once
 	shutErr  error
@@ -314,6 +318,7 @@ func (s *Server) Stats() StatsSnapshot {
 		ReplBatches:       s.replBatches.Load(),
 		ReplShippedOffset: s.replShipped.Load(),
 		ReplAckedOffset:   s.replAcked.Load(),
+		Checkpoints:       s.checkpoints.Load(),
 	}
 }
 

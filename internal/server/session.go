@@ -217,6 +217,10 @@ func (s *session) dispatch(req request) {
 		s.handleReplAck(req, d)
 	case proto.MsgPromote:
 		s.handlePromote(req)
+	case proto.MsgCheckpoint:
+		s.handleCheckpoint(req, d)
+	case proto.MsgCkptFetch:
+		s.handleCkptFetch(req, d)
 	default:
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
 	}
@@ -474,6 +478,7 @@ func (s *session) handleStats(req request) {
 	body = proto.AppendU64(body, st.ReplBatches)
 	body = proto.AppendU64(body, st.ReplShippedOffset)
 	body = proto.AppendU64(body, st.ReplAckedOffset)
+	body = proto.AppendU64(body, st.Checkpoints)
 	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 
@@ -505,6 +510,78 @@ func (s *session) handlePromote(req request) {
 		body = proto.AppendBytes(nil, []byte(report))
 	}
 	s.respond(req.typ, req.id, respPayload(st, detail, body))
+}
+
+// ckptChunkSize bounds one CkptFetch response chunk, well under
+// proto.MaxPayload with room for the metadata fields.
+const ckptChunkSize = 1 << 20
+
+// handleCheckpoint serves the admin Checkpoint frame: take a consistent
+// checkpoint now and, when the truncate flag is set, free the sealed log
+// segments below it. Runs synchronously on the handler goroutine — the
+// engine-side scan does not block writers, only this session's pipeline.
+func (s *session) handleCheckpoint(req request, d *proto.Dec) {
+	flags := d.U8()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ck, ok := s.srv.db.(engine.Checkpointer)
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusInternal, "checkpoint unsupported by this engine", nil))
+		return
+	}
+	if err := ck.Checkpoint(); err != nil {
+		st, detail := proto.StatusOf(err)
+		s.respond(req.typ, req.id, respPayload(st, detail, nil))
+		return
+	}
+	var freed uint32
+	if flags&proto.CkptTruncate != 0 {
+		removed, err := ck.TruncateLog()
+		if err != nil {
+			st, detail := proto.StatusOf(err)
+			s.respond(req.typ, req.id, respPayload(st, detail, nil))
+			return
+		}
+		freed = uint32(len(removed))
+	}
+	var begin uint64
+	if c, err := ck.CheckpointChunk(0, 0); err == nil {
+		begin = c.Begin
+	}
+	s.srv.checkpoints.Add(1)
+	body := proto.AppendU64(nil, begin)
+	body = proto.AppendU32(body, freed)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
+}
+
+// handleCkptFetch serves one chunk of the newest checkpoint image for
+// snapshot-seeded replica bootstrap.
+func (s *session) handleCkptFetch(req request, d *proto.Dec) {
+	off := d.U64()
+	if d.Err() != nil {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	ck, ok := s.srv.db.(engine.Checkpointer)
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusNoCheckpoint, "", nil))
+		return
+	}
+	c, err := ck.CheckpointChunk(off, ckptChunkSize)
+	if err != nil {
+		st, detail := proto.StatusOf(err)
+		s.respond(req.typ, req.id, respPayload(st, detail, nil))
+		return
+	}
+	body := proto.AppendBytes(nil, []byte(c.Name))
+	body = proto.AppendU64(body, c.Gen)
+	body = proto.AppendU64(body, c.Begin)
+	body = proto.AppendU64(body, c.Start)
+	body = proto.AppendU64(body, c.Total)
+	body = proto.AppendBytes(body, c.Data)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 
 // handleReplSubscribe starts streaming the primary's log to this session.

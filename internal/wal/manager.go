@@ -787,6 +787,19 @@ func (m *Manager) Truncate(offset uint64) ([]string, error) {
 	return removed, nil
 }
 
+// SegmentStartFor returns the start offset of the live segment containing
+// off, or 0 when off falls in no live segment. A replica seeding from a
+// checkpoint subscribes from the start of the segment holding the
+// checkpoint-begin record — not the begin offset itself — so its mirrored
+// segment files are complete from their first byte and a later local
+// recovery scan can read them.
+func (m *Manager) SegmentStartFor(off uint64) uint64 {
+	if s := m.lookupSegment(off); s != nil {
+		return s.start
+	}
+	return 0
+}
+
 // Stats reports internal counters.
 type Stats struct {
 	Reservations uint64 // total Reserve calls

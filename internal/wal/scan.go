@@ -28,8 +28,13 @@ type Block struct {
 // RecoverResult summarizes a completed scan: pass it to Open to resume the
 // log, and use NextOffset as the recovery horizon.
 type RecoverResult struct {
-	// Segments are the live segments in start-offset order (at most one per
-	// modulo number; recycled generations are dropped).
+	// Segments are the live segments in start-offset order. A modulo number
+	// can appear more than once: rotation reuses the 16 numbers without
+	// deleting the files they leave behind (only truncation deletes), so a
+	// log that outgrows NumSegments segments has several generations per
+	// number, every one of them holding committed data. Their offset ranges
+	// are disjoint by construction — ranges come from the global monotonic
+	// offset — so start order is replay order.
 	Segments []SegmentMeta
 	// NextOffset is the offset just past the last valid block: the log is
 	// truncated at the first hole without losing committed work.
@@ -54,17 +59,12 @@ func Recover(st Storage, fn func(Block) error) (*RecoverResult, error) {
 		metas = append(metas, SegmentMeta{Num: num, Start: start, End: end, Name: n})
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i].Start < metas[j].Start })
-	// Keep only the latest generation per modulo number.
-	latest := map[int]int{}
-	for i, sm := range metas {
-		latest[sm.Num] = i
-	}
-	live := metas[:0]
-	for i, sm := range metas {
-		if latest[sm.Num] == i {
-			live = append(live, sm)
-		}
-	}
+	// Every generation of every modulo number is scanned: rotation reuses
+	// numbers without deleting the older files, so an earlier generation is
+	// committed log content, not garbage. (Recovery once kept only the
+	// newest generation per number, silently dropping the oldest segments'
+	// transactions as soon as an untruncated log outgrew NumSegments files.)
+	live := metas
 
 	res := &RecoverResult{}
 	if len(live) == 0 {

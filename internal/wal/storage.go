@@ -21,6 +21,11 @@ type Storage interface {
 	List() ([]string, error)
 	// Remove deletes a named file.
 	Remove(name string) error
+	// Rename atomically replaces newName with oldName's file (POSIX rename
+	// semantics: after a crash either the old name or the complete new name
+	// exists, never a half-written new file). The checkpointer publishes
+	// blobs through it.
+	Rename(oldName, newName string) error
 }
 
 // File is a random-access file within a Storage.
@@ -96,6 +101,21 @@ func (s *MemStorage) Remove(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.files, name)
+	return nil
+}
+
+// Rename implements Storage. Like the namespace operations Create and
+// Remove, the rename itself is atomic and durable (the directory metadata
+// survives Crash); the file's bytes keep their own synced/unsynced split.
+func (s *MemStorage) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: %w", oldName, os.ErrNotExist)
+	}
+	s.files[newName] = f
+	delete(s.files, oldName)
 	return nil
 }
 
@@ -250,6 +270,12 @@ func (s *DirStorage) List() ([]string, error) {
 // Remove implements Storage.
 func (s *DirStorage) Remove(name string) error {
 	return os.Remove(filepath.Join(s.dir, name))
+}
+
+// Rename implements Storage via os.Rename, which is atomic on POSIX
+// filesystems.
+func (s *DirStorage) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(s.dir, oldName), filepath.Join(s.dir, newName))
 }
 
 type osFile struct{ *os.File }

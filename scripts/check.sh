@@ -30,6 +30,12 @@ echo "== go test -race (core, wal, epoch, engine, server, client, repl; -short) 
 go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
 	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/
 
+echo "== fuzz smoke (FuzzCheckpointBlob, 10s) =="
+# The other fuzz targets' seed corpora already run inside `go test` above;
+# the checkpoint-blob target gets a short mutation run locally too because
+# its attack surface (replica seeding) accepts bytes straight off the wire.
+go test ./internal/core/ -run='^$' -fuzz='^FuzzCheckpointBlob$' -fuzztime=10s
+
 echo "== replication soak (30s, -race) =="
 ERMIA_REPL_SOAK=30s go test -race -count=1 -run TestReplicationSoak ./internal/repl/
 
