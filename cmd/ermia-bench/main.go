@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run (fig1..fig12, table1, all)")
+		experiment = flag.String("experiment", "", "experiment to run (fig1..fig12, table1, server, repl, ckpt, chaos, all)")
 		threads    = flag.Int("threads", 0, "worker goroutines (default: 4, or 24 with -full)")
 		duration   = flag.Duration("duration", 0, "measurement time per point (default 2s, 30s with -full)")
 		items      = flag.Int("items", 0, "TPC-C ITEM cardinality (default 2000, 100000 with -full)")

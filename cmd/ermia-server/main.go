@@ -23,7 +23,12 @@
 // and serves snapshot-consistent reads at its replay watermark; writes fail
 // with a typed replica-read-only status. After a primary failure, the admin
 // Promote frame (see Client.Promote) turns the replica into a full primary
-// over its mirrored log, in place, without a restart.
+// over its mirrored log, in place, without a restart. With -auto-promote
+// the failover is unsupervised: the replica watches the primary's
+// replication heartbeats (-repl-heartbeat on the primary) and promotes
+// itself after the configured silence, claiming the next primary epoch so
+// a healed old primary is fenced instead of split-brained. Pair with
+// -sync-repl on the primary for zero acked-commit loss across failover.
 package main
 
 import (
@@ -50,6 +55,14 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before force-close")
 		replicaOf    = flag.String("replica-of", "", "primary ermia-server address; run as a read-only log-shipping replica")
 		ckptEvery    = flag.Duration("checkpoint-interval", 0, "take a checkpoint and truncate the log this often (0: only on demand via the admin Checkpoint frame)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response write budget; a peer that stops reading is disconnected")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "disconnect a session silent for this long (0: never; live clients stay inside it with keepalives)")
+		syncRepl     = flag.Bool("sync-repl", false, "semi-synchronous replication: acknowledge a write commit only after a replica applied it (requires -durability group)")
+		syncReplWait = flag.Duration("sync-repl-wait", 5*time.Second, "cap on a deadline-less semi-sync commit's wait for the replica acknowledgment")
+		epoch        = flag.Uint64("epoch", 0, "primary epoch to serve under (failover fencing; a promoted replica adopts its own)")
+		replHB       = flag.Duration("repl-heartbeat", time.Second, "emit replication heartbeats this often while caught up (0: disable liveness signal)")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 0, "replica mode: declare the stream dead after this much silence and redial (0: block forever)")
+		autoPromote  = flag.Duration("auto-promote", 0, "replica mode: promote automatically after this much primary silence (0: promotion stays operator-driven)")
 	)
 	flag.Parse()
 
@@ -66,11 +79,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	base := ermia.ServerConfig{
+		MaxConns:      *maxConns,
+		Workers:       *workers,
+		Durability:    mode,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
+		SyncRepl:      *syncRepl,
+		SyncReplWait:  *syncReplWait,
+		Epoch:         *epoch,
+		ReplHeartbeat: *replHB,
+	}
+
 	opts := ermia.Options{Dir: *dir, Serializable: *serializable}
 	var db *ermia.DB
 	var err error
 	if *replicaOf != "" {
-		rep, err := ermia.StartReplica(*replicaOf, opts)
+		rep, err := ermia.StartReplicaWith(ermia.ReplicaConfig{
+			PrimaryAddr:      *replicaOf,
+			HeartbeatTimeout: *hbTimeout,
+		}, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ermia-server: replica:", err)
 			os.Exit(1)
@@ -87,7 +115,10 @@ func main() {
 		// until promotion, then start covering the new primary.
 		stopCkpt := startCheckpointLoop(db, *ckptEvery)
 		defer stopCkpt()
-		srv := newServer(db, mode, *maxConns, *workers, rep)
+		srv := newServer(db, base, rep)
+		if *autoPromote > 0 {
+			startSupervisor(rep, srv, *autoPromote)
+		}
 		runServer(srv, *addr, mode, *workers, *drainTimeout)
 		return
 	}
@@ -105,8 +136,34 @@ func main() {
 	defer db.Close()
 	stopCkpt := startCheckpointLoop(db, *ckptEvery)
 	defer stopCkpt()
-	srv := newServer(db, mode, *maxConns, *workers, nil)
+	srv := newServer(db, base, nil)
 	runServer(srv, *addr, mode, *workers, *drainTimeout)
+}
+
+// startSupervisor arms heartbeat-supervised automatic promotion: once the
+// primary has been silent past the timeout, the replica promotes itself,
+// claims the next epoch, and this server starts serving writes under it —
+// the already-running server picks the new epoch up via SetEpoch, so no
+// restart or operator action is involved. The epoch fence keeps a healed
+// old primary from ever splitting the brain (see DESIGN.md).
+func startSupervisor(rep *ermia.LogReplica, srv *ermia.Server, silence time.Duration) {
+	sup := &ermia.ReplicaSupervisor{
+		R:              rep,
+		SilenceTimeout: silence,
+		OnPromote: func(err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ermia-server: auto-promote:", err)
+				return
+			}
+			srv.SetEpoch(rep.Epoch())
+			fmt.Printf("auto-promoted to primary at offset %#x (epoch %d)\n", rep.Watermark(), rep.Epoch())
+		},
+	}
+	go func() {
+		if err := sup.Run(make(chan struct{})); err != nil {
+			fmt.Fprintln(os.Stderr, "ermia-server: supervisor:", err)
+		}
+	}()
 }
 
 // startCheckpointLoop periodically publishes a checkpoint and truncates the
@@ -147,22 +204,17 @@ func startCheckpointLoop(db *ermia.DB, every time.Duration) func() {
 	return func() { close(stop) }
 }
 
-// newServer wires the admin hooks: Reattach always, Promote only when the
-// engine is a replica.
-func newServer(db *ermia.DB, mode ermia.Durability, maxConns, workers int, rep *ermia.LogReplica) *ermia.Server {
-	cfg := ermia.ServerConfig{
-		DB:         db,
-		MaxConns:   maxConns,
-		Workers:    workers,
-		Durability: mode,
-		ReattachFn: func() (string, error) {
-			r, err := db.Reattach(nil)
-			if err != nil {
-				return "", err
-			}
-			return fmt.Sprintf("reattached: replayed=%dB holes=%d lost=%dB",
-				r.Replayed, r.HolesFilled, r.Lost), nil
-		},
+// newServer wires the admin hooks onto the flag-built config: Reattach
+// always, Promote only when the engine is a replica.
+func newServer(db *ermia.DB, cfg ermia.ServerConfig, rep *ermia.LogReplica) *ermia.Server {
+	cfg.DB = db
+	cfg.ReattachFn = func() (string, error) {
+		r, err := db.Reattach(nil)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("reattached: replayed=%dB holes=%d lost=%dB",
+			r.Replayed, r.HolesFilled, r.Lost), nil
 	}
 	if rep != nil {
 		cfg.PromoteFn = func() (string, error) {

@@ -334,6 +334,16 @@ var (
 	ErrShutdown   = engine.ErrShutdown
 )
 
+// Deadline and fencing errors. ErrDeadlineExceeded is retryable — the
+// request's budget ran out before the server finished (for a commit the
+// outcome is indeterminate, exactly like ErrConnLost). ErrStaleEpoch
+// classifies as OutcomeUnavailable: this server was deposed by a failover
+// and the client should be (and, with FallbackAddrs, is) routed elsewhere.
+var (
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	ErrStaleEpoch       = engine.ErrStaleEpoch
+)
+
 // LogReplica is a running log-shipping replica (internal/repl.Replica
 // re-exported): a goroutine streaming the primary's committed log over the
 // wire protocol into a byte-identical local mirror, replaying it into a
@@ -367,4 +377,28 @@ func StartReplica(primaryAddr string, opts Options) (*LogReplica, error) {
 		return nil, err
 	}
 	return repl.Start(repl.Config{PrimaryAddr: primaryAddr, Core: cfg})
+}
+
+// ReplicaConfig configures replication beyond the primary address: dial
+// hooks, reconnect backoff, and the heartbeat-silence detector that feeds a
+// ReplicaSupervisor (internal/repl.Config re-exported).
+type ReplicaConfig = repl.Config
+
+// ReplicaSupervisor watches a replica's primary-liveness signal and
+// promotes it automatically once the primary has been silent for longer
+// than its SilenceTimeout. Promotion claims the next primary epoch, which
+// fences the old primary off clients and replicas alike; see the type's
+// documentation in internal/repl for the safety argument.
+type ReplicaSupervisor = repl.Supervisor
+
+// StartReplicaWith is StartReplica with full control over the replication
+// config (heartbeat timeout, reconnect policy, dial hook). The engine-side
+// mirror configuration still comes from opts; cfg.Core is overwritten.
+func StartReplicaWith(cfg ReplicaConfig, opts Options) (*LogReplica, error) {
+	core, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Core = core
+	return repl.Start(cfg)
 }

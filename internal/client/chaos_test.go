@@ -1,0 +1,193 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ermia/internal/client"
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/faultconn"
+	"ermia/internal/server"
+	"ermia/internal/xrand"
+)
+
+// chaosServe starts a server on the fault network under the given name and
+// returns a dialer-equipped client options template.
+func chaosServe(t *testing.T, n *faultconn.Network, name string, cfg server.Config) *server.Server {
+	t.Helper()
+	db, err := core.Open(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	cfg.DB = db
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := n.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func faultDialer(n *faultconn.Network, from string) func(string, time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return n.DialTimeout(from, addr, timeout)
+	}
+}
+
+// TestMidFrameCutSurfacesConnLost: a connection severed in the middle of a
+// request frame fails the in-flight operation with the retryable
+// engine.ErrConnLost, and the client transparently redials for the next
+// transaction.
+func TestMidFrameCutSurfacesConnLost(t *testing.T) {
+	n := faultconn.NewNetwork(1)
+	chaosServe(t, n, "server", server.Config{})
+	c, err := client.Dial(client.Options{
+		Addr: "server",
+		Dial: faultDialer(n, "client"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tbl := c.CreateTable("t")
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the outbound direction 3 bytes into the next frame: the commit
+	// request tears mid-header. Outcome indeterminate -> ErrConnLost.
+	n.CutAfter("client", "server", 3)
+	err = txn.Commit()
+	if !errors.Is(err, engine.ErrConnLost) {
+		t.Fatalf("mid-frame cut commit = %v, want ErrConnLost", err)
+	}
+	if !engine.IsRetryable(err) {
+		t.Fatalf("ErrConnLost must be retryable, got %v", err)
+	}
+
+	// The next transaction redials and works.
+	n.HealAll()
+	txn = c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k2"), []byte("v")); err != nil {
+		t.Fatalf("post-cut redial insert: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("post-cut redial commit: %v", err)
+	}
+}
+
+// TestRunWithRetryLosesNoAckedCommitUnderCuts: concurrent workers insert
+// unique keys through engine.RunWithRetry while a chaos goroutine keeps
+// severing connections mid-stream. Every insert whose retry loop returned
+// nil (acked) must be present afterwards — connection loss may cost
+// duplicates' retries, never acked data — and the cuts must actually have
+// forced retries for the test to prove anything.
+func TestRunWithRetryLosesNoAckedCommitUnderCuts(t *testing.T) {
+	n := faultconn.NewNetwork(42)
+	chaosServe(t, n, "server", server.Config{})
+	c, err := client.Dial(client.Options{
+		Addr:     "server",
+		PoolSize: 2,
+		Dial:     faultDialer(n, "client"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tbl := c.CreateTable("t")
+	// A little wire latency stretches each exchange so cuts land mid-flight
+	// often instead of between requests.
+	n.SetLatency("client", "server", 200*time.Microsecond, 200*time.Microsecond)
+	n.SetLatency("server", "client", 200*time.Microsecond, 200*time.Microsecond)
+
+	stopChaos := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		rng := xrand.New(7)
+		for i := 0; ; i++ {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(time.Duration(4000+rng.Intn(8000)) * time.Microsecond):
+			}
+			// Alternate directions; sever a few bytes into a future frame.
+			if i%2 == 0 {
+				n.CutAfter("client", "server", int64(1+rng.Intn(64)))
+			} else {
+				n.CutAfter("server", "client", int64(1+rng.Intn(64)))
+			}
+		}
+	}()
+
+	const workers, per = 4, 30
+	var attempts, acked [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			policy := engine.RetryPolicy{BaseDelay: 500 * time.Microsecond, MaxDelay: 5 * time.Millisecond, Jitter: 0.5, Seed: uint64(id + 1)}
+			for i := 0; i < per; i++ {
+				key := []byte(fmt.Sprintf("w%d-%04d", id, i))
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				err := policy.Run(ctx, c, id, func(txn engine.Txn) error {
+					attempts[id]++
+					// Blind write: overwriting our own earlier indeterminate
+					// attempt is idempotent.
+					if _, gerr := txn.Get(tbl, key); gerr == nil {
+						return txn.Update(tbl, key, []byte("v"))
+					}
+					return txn.Insert(tbl, key, []byte("v"))
+				})
+				cancel()
+				if err != nil {
+					t.Errorf("worker %d key %s: %v", id, key, err)
+					return
+				}
+				acked[id]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopChaos)
+	chaos.Wait()
+	n.HealAll()
+
+	totalAttempts, totalAcked := 0, 0
+	for w := 0; w < workers; w++ {
+		totalAttempts += attempts[w]
+		totalAcked += acked[w]
+	}
+	if totalAttempts <= totalAcked {
+		t.Fatalf("no retries happened (%d attempts for %d acked); chaos proved nothing", totalAttempts, totalAcked)
+	}
+	t.Logf("chaos: %d acked commits over %d attempts", totalAcked, totalAttempts)
+
+	// Every acked key is present.
+	ro := c.BeginReadOnly(0)
+	defer ro.Abort()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < acked[w]; i++ {
+			key := []byte(fmt.Sprintf("w%d-%04d", w, i))
+			if _, err := ro.Get(tbl, key); err != nil {
+				t.Fatalf("acked commit %s lost under connection cuts: %v", key, err)
+			}
+		}
+	}
+}

@@ -11,7 +11,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ermia/internal/engine"
@@ -39,6 +41,24 @@ type Options struct {
 	PoolSize int
 	// DialTimeout bounds each dial. Default 5s.
 	DialTimeout time.Duration
+	// Dial, when set, replaces net.DialTimeout — the seam through which the
+	// fault-injecting transport (internal/faultconn) is threaded in tests
+	// and the nemesis harness. Nil uses TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// RequestTimeout, when positive, bounds every request: the budget rides
+	// the frame header so the server aborts overdue work server-side, and
+	// the client gives up waiting at twice the budget (covering the reply's
+	// flight) — failing the connection, since a pipeline with a hole in it
+	// cannot be trusted. Expiry surfaces as the retryable
+	// engine.ErrDeadlineExceeded; for a commit the outcome is indeterminate,
+	// exactly like engine.ErrConnLost. Zero means no deadline.
+	RequestTimeout time.Duration
+	// KeepaliveInterval, when positive, sends a Ping on each pool connection
+	// this often. Keepalives hold idle connections inside the server's
+	// IdleTimeout, refresh the client's view of the primary epoch, and tear
+	// down connections to a deposed (stale-epoch) server so the next use
+	// fails over. Zero disables.
+	KeepaliveInterval time.Duration
 }
 
 // Client is a remote engine.DB. All methods are safe for concurrent use.
@@ -55,6 +75,11 @@ type Client struct {
 	// FallbackAddrs[i-1]. All pool connections follow the same index so the
 	// client talks to one server at a time.
 	addrIdx int
+
+	// epochMax is the highest primary epoch any response has carried. A
+	// server reporting (or refusing with) a lower epoch is a deposed primary
+	// that healed back into view; the client drops it and rotates.
+	epochMax atomic.Uint64
 
 	tmu    sync.Mutex
 	tables map[string]*clientTable // handle identity: same name, same handle
@@ -99,17 +124,96 @@ func (c *Client) conn(i int) (*conn, error) {
 	addrs := 1 + len(c.opts.FallbackAddrs)
 	var firstErr error
 	for attempt := 0; attempt < addrs; attempt++ {
-		cn, err := dialConn(c.addr(), c.opts.DialTimeout)
+		cn, err := dialConn(c.addr(), c.opts)
 		if err == nil {
-			c.conns[idx] = cn
-			return cn, nil
+			// Ping handshake: learn the server's epoch before trusting it.
+			// A deposed primary that healed back into view reports an epoch
+			// below our high-water mark and is skipped like a failed dial.
+			if ep, _, perr := cn.ping(); perr != nil {
+				cn.close()
+				err = perr
+			} else if ep < c.epochMax.Load() {
+				cn.close()
+				err = fmt.Errorf("%w: server epoch %d < observed %d at %s",
+					engine.ErrStaleEpoch, ep, c.epochMax.Load(), c.addr())
+			} else {
+				c.noteEpoch(ep)
+				c.conns[idx] = cn
+				if c.opts.KeepaliveInterval > 0 {
+					go c.keepalive(cn)
+				}
+				return cn, nil
+			}
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
 		c.addrIdx = (c.addrIdx + 1) % addrs
 	}
+	if errors.Is(firstErr, engine.ErrStaleEpoch) {
+		return nil, firstErr
+	}
 	return nil, connLost(firstErr)
+}
+
+// noteEpoch raises the client's primary-epoch high-water mark.
+func (c *Client) noteEpoch(e uint64) {
+	for {
+		cur := c.epochMax.Load()
+		if e <= cur || c.epochMax.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest primary epoch the client has observed.
+func (c *Client) Epoch() uint64 { return c.epochMax.Load() }
+
+// rotate drops a connection to a server the client no longer trusts (lost,
+// deposed, …) and advances the address rotation so the next dial tries the
+// next server.
+func (c *Client) rotate(cn *conn, cause error) {
+	cn.fail(cause)
+	c.mu.Lock()
+	c.addrIdx = (c.addrIdx + 1) % (1 + len(c.opts.FallbackAddrs))
+	c.mu.Unlock()
+}
+
+// keepalive pings cn every KeepaliveInterval until it breaks, refreshing the
+// epoch high-water mark and dropping the connection if the server turns out
+// to be a deposed primary.
+func (c *Client) keepalive(cn *conn) {
+	t := time.NewTicker(c.opts.KeepaliveInterval)
+	defer t.Stop()
+	for range t.C {
+		if cn.isBroken() {
+			return
+		}
+		ep, _, err := cn.ping()
+		if err != nil {
+			return
+		}
+		if ep < c.epochMax.Load() {
+			c.rotate(cn, fmt.Errorf("%w: keepalive saw epoch %d < observed %d",
+				engine.ErrStaleEpoch, ep, c.epochMax.Load()))
+			return
+		}
+		c.noteEpoch(ep)
+	}
+}
+
+// Ping round-trips a liveness probe on pool connection 0, returning the
+// server's primary epoch and engine health.
+func (c *Client) Ping() (epoch uint64, health engine.HealthState, err error) {
+	cn, err := c.conn(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	epoch, health, err = cn.ping()
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return epoch, health, err
 }
 
 // addr returns the address the pool currently points at. Caller holds c.mu.
@@ -239,11 +343,18 @@ func (c *Client) begin(worker int, flags byte) engine.Txn {
 	if err != nil {
 		return &clientTxn{err: err}
 	}
-	st, detail, d, err := cn.call(proto.MsgBegin, proto.AppendU8(nil, flags))
+	// Begin carries the client's observed epoch: a deposed primary (lower
+	// epoch) must refuse rather than accept writes it can never replicate.
+	p := proto.AppendU8(nil, flags)
+	p = proto.AppendU64(p, c.epochMax.Load())
+	st, detail, d, err := cn.call(proto.MsgBegin, p)
 	if err != nil {
 		return &clientTxn{err: err}
 	}
 	if err := st.Err(detail); err != nil {
+		if errors.Is(err, engine.ErrStaleEpoch) {
+			c.rotate(cn, err)
+		}
 		return &clientTxn{err: err}
 	}
 	id := d.U64()

@@ -2,9 +2,11 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ermia/internal/engine"
@@ -19,6 +21,10 @@ import (
 type conn struct {
 	nc net.Conn
 
+	// reqTimeout is Options.RequestTimeout: stamped into each frame header
+	// as the server-side budget, and doubled for the client-side wait.
+	reqTimeout time.Duration
+
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
 
@@ -27,6 +33,11 @@ type conn struct {
 	pending map[uint64]chan response
 	broken  bool
 	cause   error
+
+	// lateCommits counts consecutive commits on this connection that died
+	// of engine.ErrDeadlineExceeded; see clientTxn.Commit for why repeated
+	// commit deadlines trigger a rotation probe.
+	lateCommits atomic.Int32
 }
 
 type response struct {
@@ -35,8 +46,18 @@ type response struct {
 	err     error
 }
 
-func dialConn(addr string, timeout time.Duration) (*conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+// errRequestTimeout is the cause recorded when the client gives up waiting
+// for a response; call maps it onto engine.ErrDeadlineExceeded.
+var errRequestTimeout = errors.New("client: request timed out awaiting response")
+
+func dialConn(addr string, opts Options) (*conn, error) {
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -44,9 +65,10 @@ func dialConn(addr string, timeout time.Duration) (*conn, error) {
 		tc.SetNoDelay(true) // pipelined small frames must not wait on Nagle
 	}
 	c := &conn{
-		nc:      nc,
-		bw:      bufio.NewWriterSize(nc, 64<<10),
-		pending: make(map[uint64]chan response),
+		nc:         nc,
+		reqTimeout: opts.RequestTimeout,
+		bw:         bufio.NewWriterSize(nc, 64<<10),
+		pending:    make(map[uint64]chan response),
 	}
 	go c.readLoop()
 	return c, nil
@@ -111,8 +133,16 @@ func (c *conn) call(typ byte, payload []byte) (proto.Status, string, *proto.Dec,
 	c.pending[id] = ch
 	c.pmu.Unlock()
 
+	var dlMillis uint32
+	if c.reqTimeout > 0 {
+		if dl := c.reqTimeout / time.Millisecond; dl > 0 {
+			dlMillis = uint32(dl)
+		} else {
+			dlMillis = 1
+		}
+	}
 	c.wmu.Lock()
-	err := proto.WriteFrame(c.bw, typ, id, payload)
+	err := proto.WriteFrameD(c.bw, typ, id, dlMillis, payload)
 	if err == nil {
 		err = c.bw.Flush()
 	}
@@ -125,8 +155,28 @@ func (c *conn) call(typ byte, payload []byte) (proto.Status, string, *proto.Dec,
 		return 0, "", nil, connLost(err)
 	}
 
-	r := <-ch
+	var r response
+	if c.reqTimeout > 0 {
+		// Wait twice the budget: the server enforces the deadline at
+		// dispatch, so a live connection answers (possibly with the typed
+		// deadline status) well inside 2x. Silence past that means the
+		// network ate the exchange; a pipeline with a hole in it cannot be
+		// trusted, so the whole connection fails.
+		timer := time.NewTimer(2 * c.reqTimeout)
+		select {
+		case r = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			c.fail(errRequestTimeout)
+			r = <-ch // fail delivered the cause (or the response raced in)
+		}
+	} else {
+		r = <-ch
+	}
 	if r.err != nil {
+		if errors.Is(r.err, errRequestTimeout) {
+			return 0, "", nil, fmt.Errorf("%w: %v", engine.ErrDeadlineExceeded, r.err)
+		}
 		return 0, "", nil, connLost(r.err)
 	}
 	if r.typ != typ|proto.RespFlag {
@@ -142,6 +192,21 @@ func (c *conn) call(typ byte, payload []byte) (proto.Status, string, *proto.Dec,
 		return 0, "", nil, connLost(d.Err())
 	}
 	return st, detail, d, nil
+}
+
+// ping round-trips a MsgPing, returning the server's primary epoch and
+// engine health state.
+func (c *conn) ping() (epoch uint64, health engine.HealthState, err error) {
+	st, detail, d, err := c.call(proto.MsgPing, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := st.Err(detail); err != nil {
+		return 0, 0, err
+	}
+	epoch = d.U64()
+	health = engine.HealthState(d.U8())
+	return epoch, health, d.Err()
 }
 
 func connLost(cause error) error {

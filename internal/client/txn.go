@@ -175,9 +175,22 @@ func (t *clientTxn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []b
 	}
 }
 
+// lateCommitLimit is how many consecutive deadline-expired commits one
+// connection tolerates before the client rotates off it.
+const lateCommitLimit = 2
+
 // Commit implements engine.Txn. A positive response means the server's
 // durability policy was satisfied; a lost connection means the outcome is
 // indeterminate and surfaces as the retryable engine.ErrConnLost.
+//
+// A commit that dies of engine.ErrDeadlineExceeded is special-cased for
+// failover: under semi-sync replication it is the one failure where the
+// server is perfectly reachable yet cannot make progress (its replica is
+// gone — possibly promoted elsewhere). Retrying against the same server
+// would spin forever, so after lateCommitLimit consecutive occurrences the
+// connection is failed and the address rotation advances, probing the
+// fallback addresses; if none is healthier the rotation lands back here at
+// the cost of one redial.
 func (t *clientTxn) Commit() error {
 	if t.err != nil {
 		return t.err
@@ -190,7 +203,16 @@ func (t *clientTxn) Commit() error {
 	if err != nil {
 		return err
 	}
-	return st.Err(detail)
+	err = st.Err(detail)
+	switch {
+	case err == nil:
+		t.cn.lateCommits.Store(0)
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		if t.cn.lateCommits.Add(1) >= lateCommitLimit {
+			t.c.rotate(t.cn, err)
+		}
+	}
+	return err
 }
 
 // Abort implements engine.Txn. Best-effort over the wire: if the

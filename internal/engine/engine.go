@@ -69,6 +69,22 @@ var (
 	// conflict: this server instance will not accept the work, so the retry
 	// loop returns immediately instead of spinning through the drain.
 	ErrShutdown = errors.New("engine: server shutting down")
+	// ErrDeadlineExceeded reports a request whose caller-supplied deadline
+	// expired before the server finished it: the server aborts the
+	// transaction and answers with this typed status instead of holding the
+	// pipeline. For a commit the true outcome is indeterminate exactly as
+	// with ErrConnLost — the deadline may have fired after the commit was
+	// applied but before its durability acknowledgment — so it is classified
+	// retryable under the same idempotent-body contract RunWithRetry already
+	// imposes.
+	ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
+	// ErrStaleEpoch reports a request fenced by the primary-epoch check: the
+	// server's epoch is lower than an epoch the requester has already
+	// observed, which means the server is a deposed primary that has not yet
+	// learned of its replacement (a healed partition survivor). It is an
+	// availability error, not a conflict — retrying against the same stale
+	// server cannot succeed; clients rotate to the current primary instead.
+	ErrStaleEpoch = errors.New("engine: stale primary epoch (fenced)")
 )
 
 // IsRetryable reports whether err is a concurrency conflict the application
@@ -79,6 +95,7 @@ func IsRetryable(err error) bool {
 		errors.Is(err, ErrSerialization) ||
 		errors.Is(err, ErrPhantom) ||
 		errors.Is(err, ErrConnLost) ||
+		errors.Is(err, ErrDeadlineExceeded) ||
 		errors.Is(err, ErrOverloaded)
 }
 

@@ -54,7 +54,7 @@ func Classify(err error) Outcome {
 	case IsRetryable(err):
 		return OutcomeConflict
 	case errors.Is(err, ErrReadOnlyDegraded), errors.Is(err, ErrReplicaReadOnly),
-		errors.Is(err, ErrShutdown):
+		errors.Is(err, ErrShutdown), errors.Is(err, ErrStaleEpoch):
 		return OutcomeUnavailable
 	default:
 		return OutcomeFatal
@@ -102,6 +102,34 @@ var DefaultRetryPolicy = RetryPolicy{
 	Jitter:    0.5,
 }
 
+// Backoff returns the sleep before retry attempt n (1-based, i.e. the sleep
+// after the n-th failure): BaseDelay doubled per attempt, capped at MaxDelay,
+// with the policy's multiplicative jitter drawn from rng (nil skips jitter).
+// It is the single backoff computation shared by Run and by reconnect loops
+// (e.g. a replica redialing its primary) that want the same shape without
+// the transaction harness.
+func (p RetryPolicy) Backoff(attempt int, rng *xrand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = 100 * p.BaseDelay
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		lo := float64(d) * (1 - p.Jitter)
+		d = time.Duration(lo + rng.Float64()*(float64(d)-lo))
+	}
+	return d
+}
+
 // RunWithRetry executes fn in transactions on worker's slot under the
 // default policy until one commits, fn fails with a non-conflict error, or
 // ctx is done. It is the single retry loop the public API, the benchmark
@@ -117,15 +145,11 @@ func RunWithRetry(ctx context.Context, db DB, worker int, fn func(Txn) error) er
 // returned wrapping the last conflict, so callers can distinguish "gave up"
 // from "never conflicted".
 func (p RetryPolicy) Run(ctx context.Context, db DB, worker int, fn func(Txn) error) error {
-	if p.MaxDelay == 0 && p.BaseDelay > 0 {
-		p.MaxDelay = 100 * p.BaseDelay
-	}
 	seed := p.Seed
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
 	rng := xrand.New2(seed, uint64(worker))
-	delay := p.BaseDelay
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: retry loop cancelled: %w", err)
@@ -142,21 +166,13 @@ func (p RetryPolicy) Run(ctx context.Context, db DB, worker int, fn func(Txn) er
 		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
 			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt, err)
 		}
-		if delay > 0 {
-			sleep := delay
-			if p.Jitter > 0 {
-				lo := float64(delay) * (1 - p.Jitter)
-				sleep = time.Duration(lo + rng.Float64()*(float64(delay)-lo))
-			}
+		if sleep := p.Backoff(attempt, rng); sleep > 0 {
 			t := time.NewTimer(sleep)
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return fmt.Errorf("engine: retry loop cancelled: %w (last conflict: %v)", ctx.Err(), err)
 			case <-t.C:
-			}
-			if delay *= 2; delay > p.MaxDelay {
-				delay = p.MaxDelay
 			}
 		}
 	}

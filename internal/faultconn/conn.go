@@ -1,0 +1,257 @@
+package faultconn
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// chunk is one contiguous write, delivered no earlier than at (latency
+// injection). Delivery stays FIFO — at is kept monotone per pipe — so
+// latency delays bytes without reordering them, like a slow link, not UDP.
+type chunk struct {
+	data []byte
+	at   time.Time
+}
+
+// pipe is one direction of a connection: a bounded byte queue guarded by the
+// network mutex. The writer consults faults on its directed link before
+// bytes enter the buffer; the reader only waits out delivery times.
+type pipe struct {
+	cond   *sync.Cond // on Network.mu
+	link   *link      // writer-side faults for this direction
+	buf    []chunk
+	size   int
+	cap    int
+	lastAt time.Time // monotone delivery floor
+	closed bool      // write side closed cleanly: EOF after drain
+	broken error     // hard cut: fails reads and writes immediately
+}
+
+func newPipe(mu *sync.Mutex, capacity int, l *link) *pipe {
+	return &pipe{cond: sync.NewCond(mu), link: l, cap: capacity}
+}
+
+// Conn is one endpoint of an in-memory fault-injectable connection.
+type Conn struct {
+	n      *Network
+	local  Addr
+	remote Addr
+	rd     *pipe // peer → us
+	wr     *pipe // us → peer
+	wlink  *link // faults on our outbound direction
+	peer   *Conn
+
+	rdeadline time.Time
+	wdeadline time.Time
+	closed    bool
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read delivers buffered bytes in FIFO order once their delivery time has
+// passed, honoring the read deadline and surfacing cuts immediately (a cut
+// is an RST: buffered data is gone).
+func (c *Conn) Read(b []byte) (int, error) {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	for {
+		if c.closed {
+			return 0, net.ErrClosed
+		}
+		if c.rd.broken != nil {
+			return 0, c.rd.broken
+		}
+		if !c.rdeadline.IsZero() && !time.Now().Before(c.rdeadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		if c.rd.size > 0 {
+			now := time.Now()
+			if first := &c.rd.buf[0]; !first.at.After(now) {
+				n := 0
+				for len(b[n:]) > 0 && len(c.rd.buf) > 0 && !c.rd.buf[0].at.After(now) {
+					ck := &c.rd.buf[0]
+					m := copy(b[n:], ck.data)
+					n += m
+					c.rd.size -= m
+					if m == len(ck.data) {
+						c.rd.buf = c.rd.buf[1:]
+					} else {
+						ck.data = ck.data[m:]
+					}
+				}
+				// Freed capacity: the peer's blocked writes can proceed.
+				c.rd.cond.Broadcast()
+				return n, nil
+			}
+			// Data exists but is still in flight: wait until it lands (or
+			// the deadline, whichever is sooner).
+			wake := c.rd.buf[0].at
+			if !c.rdeadline.IsZero() && c.rdeadline.Before(wake) {
+				wake = c.rdeadline
+			}
+			waitCondDeadline(wake, c.rd.cond)
+			continue
+		}
+		if c.rd.closed {
+			return 0, io.EOF
+		}
+		if !waitCondDeadline(c.rdeadline, c.rd.cond) {
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+}
+
+// Write queues bytes on the outbound pipe, blocking on a full buffer or a
+// stalled (partitioned) link until the write deadline. A blackholed link
+// accepts and discards; an armed CutAfter countdown severs the connection
+// exactly at its byte position, delivering the prefix.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if c.closed {
+			return total, net.ErrClosed
+		}
+		if c.wr.broken != nil {
+			return total, c.wr.broken
+		}
+		if c.wr.closed {
+			return total, io.ErrClosedPipe
+		}
+		if !c.wdeadline.IsZero() && !time.Now().Before(c.wdeadline) {
+			return total, os.ErrDeadlineExceeded
+		}
+		l := c.wlink
+		if l.stalled || (!l.drop && c.wr.size >= c.wr.cap) {
+			if !waitCondDeadline(c.wdeadline, c.wr.cond) {
+				return total, os.ErrDeadlineExceeded
+			}
+			continue
+		}
+		n := len(b)
+		if !l.drop {
+			if room := c.wr.cap - c.wr.size; n > room {
+				n = room
+			}
+		}
+		cut := false
+		if l.cutAfter >= 0 {
+			if int64(n) >= l.cutAfter {
+				n = int(l.cutAfter)
+				cut = true
+				l.cutAfter = -1
+			} else {
+				l.cutAfter -= int64(n)
+			}
+		}
+		if n > 0 && !l.drop {
+			data := append([]byte(nil), b[:n]...)
+			if l.corrupt > 0 {
+				for i := range data {
+					if l.rng.Float64() < l.corrupt {
+						data[i] ^= byte(1 + l.rng.Intn(255))
+					}
+				}
+			}
+			at := time.Now()
+			if l.latency > 0 || l.jitter > 0 {
+				d := l.latency
+				if l.jitter > 0 {
+					d += time.Duration(l.rng.Float64() * float64(l.jitter))
+				}
+				at = at.Add(d)
+			}
+			if at.Before(c.wr.lastAt) {
+				at = c.wr.lastAt
+			}
+			c.wr.lastAt = at
+			c.wr.buf = append(c.wr.buf, chunk{data: data, at: at})
+			c.wr.size += n
+			c.wr.cond.Broadcast()
+		}
+		total += n
+		b = b[n:]
+		if cut {
+			c.breakLocked(ErrCut)
+			c.n.broadcast()
+			return total, ErrCut
+		}
+	}
+	return total, nil
+}
+
+// breakLocked severs both directions of the connection pair with err.
+// Callers hold n.mu.
+func (c *Conn) breakLocked(err error) {
+	for _, p := range []*pipe{c.rd, c.wr} {
+		if p.broken == nil {
+			p.broken = err
+			p.buf, p.size = nil, 0
+			p.cond.Broadcast()
+		}
+	}
+}
+
+// Close tears down this endpoint: our write side drains to a clean EOF at
+// the peer, while the peer's writes toward us fail — the TCP close/RST
+// asymmetry the server's half-close teardown depends on.
+func (c *Conn) Close() error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.wr.closed = true
+	if c.rd.broken == nil {
+		c.rd.broken = io.ErrClosedPipe
+	}
+	delete(c.n.conns, c)
+	c.n.broadcast()
+	return nil
+}
+
+// CloseRead shuts the reading side down, failing the peer's future writes,
+// mirroring *net.TCPConn.CloseRead for the server's drain path.
+func (c *Conn) CloseRead() error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	if c.rd.broken == nil {
+		c.rd.broken = io.ErrClosedPipe
+	}
+	c.rd.cond.Broadcast()
+	c.peer.wr.cond.Broadcast()
+	return nil
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.local }
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	c.rdeadline, c.wdeadline = t, t
+	c.rd.cond.Broadcast()
+	c.wr.cond.Broadcast()
+	return nil
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	c.rdeadline = t
+	c.rd.cond.Broadcast()
+	return nil
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.n.mu.Lock()
+	defer c.n.mu.Unlock()
+	c.wdeadline = t
+	c.wr.cond.Broadcast()
+	return nil
+}

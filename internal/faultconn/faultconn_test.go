@@ -1,0 +1,284 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// dialPair returns a connected client/server conn pair between the named
+// endpoints, with the server end taken off the listener.
+func dialPair(t *testing.T, n *Network, from, to string) (client, server net.Conn) {
+	t.Helper()
+	ln, err := n.Listen(to)
+	if err != nil {
+		ln = nil // already listening from an earlier pair; reuse via dial only
+	}
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	var ch chan acc
+	if ln != nil {
+		ch = make(chan acc, 1)
+		go func() {
+			c, err := ln.Accept()
+			ch <- acc{c, err}
+		}()
+	} else {
+		t.Fatalf("endpoint %q already listening; dialPair wants a fresh one", to)
+	}
+	client, err = n.DialTimeout(from, to, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return client, a.c
+}
+
+func TestRoundTripAndEOF(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	msg := []byte("hello over the fault network")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("read %q err %v", got, err)
+	}
+	// Close drains to a clean EOF on the peer.
+	if _, err := s.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	rest, err := io.ReadAll(c)
+	if err != nil || string(rest) != "bye" {
+		t.Fatalf("after close: %q %v", rest, err)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	n := NewNetwork(1)
+	if _, err := n.DialTimeout("a", "nobody", 100*time.Millisecond); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to unlistened endpoint: %v", err)
+	}
+}
+
+func TestReadWriteDeadlines(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	_ = s
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read deadline: %v", err)
+	}
+	var nerr net.Error
+	_, err := c.Read(make([]byte, 1))
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("deadline error must satisfy net.Error Timeout: %v", err)
+	}
+	// A past deadline set while a read is pending must unblock it.
+	c.SetReadDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.SetReadDeadline(time.Unix(1, 0))
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("unblocked read: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("past deadline did not unblock pending read")
+	}
+}
+
+func TestPartitionStallsAndHeals(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	if _, err := c.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "b")
+	// Bytes written before the partition still drain.
+	got := make([]byte, 3)
+	if _, err := io.ReadFull(s, got); err != nil || string(got) != "pre" {
+		t.Fatalf("pre-partition bytes: %q %v", got, err)
+	}
+	// New writes block until heal.
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("post"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write during partition returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Dials stall too.
+	if _, err := n.DialTimeout("a", "b", 50*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("dial during partition: %v", err)
+	}
+	n.Heal("a", "b")
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	got4 := make([]byte, 4)
+	if _, err := io.ReadFull(s, got4); err != nil || string(got4) != "post" {
+		t.Fatalf("post-heal bytes: %q %v", got4, err)
+	}
+}
+
+func TestBlackholeDropsOneDirection(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	n.Blackhole("a", "b")
+	if _, err := c.Write([]byte("vanishes")); err != nil {
+		t.Fatalf("blackholed write must look successful: %v", err)
+	}
+	s.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := s.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed bytes arrived: %v", err)
+	}
+	// The reverse direction still works.
+	if _, err := s.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(c, got); err != nil || string(got) != "ok" {
+		t.Fatalf("reverse direction: %q %v", got, err)
+	}
+}
+
+func TestCutAfterMidStream(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	n.CutAfter("a", "b", 5)
+	nn, err := c.Write([]byte("0123456789"))
+	if nn != 5 || !errors.Is(err, ErrCut) {
+		t.Fatalf("cut write: n=%d err=%v", nn, err)
+	}
+	// A cut is an RST: the delivered prefix is gone, reads fail.
+	if _, err := s.Read(make([]byte, 10)); !errors.Is(err, ErrCut) {
+		t.Fatalf("read after cut: %v", err)
+	}
+	if _, err := s.Write([]byte("x")); !errors.Is(err, ErrCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+	// Redial works (the cut severed connections, not the link).
+	n.HealAll()
+	if _, err := n.DialTimeout("a", "b", time.Second); err != nil {
+		t.Fatalf("redial after cut: %v", err)
+	}
+}
+
+func TestCorruptionIsSeededAndDeterministic(t *testing.T) {
+	flip := func(seed uint64) []byte {
+		n := NewNetwork(seed)
+		c, s := dialPair(t, n, "a", "b")
+		n.Corrupt("a", "b", 0.2)
+		payload := bytes.Repeat([]byte{0x55}, 4096)
+		if _, err := c.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(s, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a1, a2, b1 := flip(7), flip(7), flip(8)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a1, b1) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+	if bytes.Equal(a1, bytes.Repeat([]byte{0x55}, 4096)) {
+		t.Fatal("corruption rate 0.2 flipped nothing over 4KiB")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "a", "b")
+	n.SetLatency("a", "b", 60*time.Millisecond, 0)
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= ~60ms", d)
+	}
+}
+
+// TestSlowReaderBackpressure proves the bounded pipe: a reader that stops
+// draining blocks the writer, and the writer's deadline fires — the exact
+// mechanism the server's WriteTimeout test relies on.
+func TestSlowReaderBackpressure(t *testing.T) {
+	n := NewNetwork(1)
+	n.BufSize = 1024
+	c, s := dialPair(t, n, "a", "b")
+	_ = s // never reads
+	c.SetWriteDeadline(time.Now().Add(80 * time.Millisecond))
+	var total int
+	var err error
+	for {
+		var nn int
+		nn, err = c.Write(make([]byte, 512))
+		total += nn
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write: %v", err)
+	}
+	if total < 1024 {
+		t.Fatalf("only %d bytes buffered before stall, want >= cap", total)
+	}
+}
+
+func TestIsolateCutsNodeOff(t *testing.T) {
+	n := NewNetwork(1)
+	c, s := dialPair(t, n, "client", "primary")
+	n.Isolate("primary")
+	if _, err := n.DialTimeout("client", "primary", 50*time.Millisecond); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("dial to isolated node: %v", err)
+	}
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write(bytes.Repeat([]byte{1}, 64))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write to isolated node returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.HealAll()
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	got := make([]byte, 64)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,672 @@
+// Package nemesis is a deterministic, seed-replayable chaos harness for the
+// full ERMIA network stack. One Run assembles a primary + replica cluster
+// wired entirely through internal/faultconn, points a retrying client
+// workload at it, and executes a randomized-but-reproducible schedule of
+// network partitions, mid-frame cuts, latency flutter, primary crashes, and
+// (via heartbeat silence) supervised automatic promotions. While the cluster
+// burns, the harness mechanically checks the client-facing invariants the
+// design claims (see DESIGN.md "Network fault model"):
+//
+//   - Acked durability: every commit whose retry loop returned nil is
+//     readable after the dust settles, no matter how many failovers and
+//     crashes happened in between. Semi-sync replication makes this hold
+//     across promotion: an ack implies the bytes were applied on the
+//     replica that would be promoted.
+//
+//   - Snapshot monotonicity: a reader never observes a per-worker counter
+//     below the acked frontier captured before its snapshot began, and —
+//     while the client's observed epoch is stable — never below what the
+//     same reader saw in its previous snapshot. Regressions are permitted
+//     only across an epoch change, and only for commits that were never
+//     acknowledged (semi-sync may discard those at failover).
+//
+//   - Single writer per epoch: the per-epoch write-commit audits of every
+//     primary incarnation and of the promoted replica are key-disjoint. A
+//     healed old primary may keep an engine alive, but it can never
+//     acknowledge a write under an epoch the new primary also acked.
+//
+// Everything random — the fault schedule, retry jitter — derives from
+// Config.Seed, so a failing seed replays the same schedule byte for byte.
+// The schedule is generated up front (Result.Schedule) rather than sampled
+// during execution, which makes it independent of scheduler timing.
+package nemesis
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ermia/internal/client"
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/faultconn"
+	"ermia/internal/repl"
+	"ermia/internal/server"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+// Endpoint names on the fault network. The client, the primary server, the
+// replica's streaming endpoint, and the post-promotion server each get one,
+// so every directed link can be failed independently.
+const (
+	epClient  = "client"
+	epPrimary = "primary"
+	epReplica = "replica"
+	epBackup  = "backup"
+)
+
+// Config parameterizes one nemesis run. The zero value of every field gets
+// a sensible default; only Seed is meaningfully distinct per run.
+type Config struct {
+	// Seed drives the fault schedule and all retry jitter. Same seed,
+	// same schedule.
+	Seed uint64
+	// Duration is the chaos window during which load and faults overlap.
+	// Verification happens after it, on a healed network. Default 2s.
+	Duration time.Duration
+	// Workers is the number of concurrent writer goroutines. Default 3.
+	Workers int
+	// Readers is the number of concurrent snapshot-reader goroutines
+	// checking monotonicity invariants. Default 2.
+	Readers int
+}
+
+// Result reports what one run did and every invariant violation it found.
+// A clean run has len(Violations) == 0; harness-level failures (setup,
+// verification reads impossible even after healing) surface as Run's error
+// instead.
+type Result struct {
+	Seed       uint64
+	Schedule   []string // the executed fault schedule, deterministic per seed
+	Acked      int      // commits positively acknowledged to a worker
+	Attempts   int      // transaction function invocations (retries included)
+	Reads      int      // reader snapshots that completed
+	Promotions int      // supervised promotions (0 or 1)
+	Crashes    int      // primary crash+restart cycles
+	FinalEpoch uint64   // highest epoch observed by the shared client
+	Violations []string
+}
+
+// ---- fault schedule ----
+
+type action int
+
+const (
+	actCut             action = iota // sever one directed link a few bytes into a frame
+	actPartitionClient               // client <-> primary partition, then heal
+	actPartitionRepl                 // primary <-> replica partition, then heal
+	actIsolatePrimary                // primary cut off from everyone (failover trigger)
+	actLatency                       // latency flutter on one directed link, then reset
+	actCrash                         // primary server crash + restart under its old epoch
+)
+
+type event struct {
+	gap    time.Duration // sleep before applying
+	act    action
+	dur    time.Duration // how long the fault holds before healing
+	from   string        // directed-link faults
+	to     string
+	nbytes int64 // actCut: bytes allowed through before the cut
+	lat    time.Duration
+	desc   string
+}
+
+// genSchedule derives the whole fault schedule from the seed. Durations of
+// the failover-inducing faults straddle the supervisor's silence timeout so
+// some runs promote and some merely flap.
+func genSchedule(seed uint64, total time.Duration) []event {
+	rng := xrand.New(seed ^ 0x6e656d65736973) // "nemesis"
+	links := [][2]string{
+		{epClient, epPrimary}, {epPrimary, epClient},
+		{epReplica, epPrimary}, {epPrimary, epReplica},
+		{epClient, epBackup}, {epBackup, epClient},
+	}
+	var evs []event
+	var elapsed time.Duration
+	for elapsed < total {
+		ev := event{gap: time.Duration(10+rng.Intn(50)) * time.Millisecond}
+		switch p := rng.Intn(100); {
+		case p < 30:
+			l := links[rng.Intn(len(links))]
+			ev.act, ev.from, ev.to = actCut, l[0], l[1]
+			ev.nbytes = int64(1 + rng.Intn(128))
+			ev.desc = fmt.Sprintf("cut %s->%s after %dB", ev.from, ev.to, ev.nbytes)
+		case p < 45:
+			ev.act = actPartitionClient
+			ev.dur = time.Duration(40+rng.Intn(160)) * time.Millisecond
+			ev.desc = fmt.Sprintf("partition client<->primary %v", ev.dur)
+		case p < 60:
+			ev.act = actPartitionRepl
+			ev.dur = time.Duration(80+rng.Intn(320)) * time.Millisecond
+			ev.desc = fmt.Sprintf("partition primary<->replica %v", ev.dur)
+		case p < 72:
+			ev.act = actIsolatePrimary
+			ev.dur = time.Duration(200+rng.Intn(300)) * time.Millisecond
+			ev.desc = fmt.Sprintf("isolate primary %v", ev.dur)
+		case p < 85:
+			l := links[rng.Intn(len(links))]
+			ev.act, ev.from, ev.to = actLatency, l[0], l[1]
+			ev.lat = time.Duration(200+rng.Intn(1800)) * time.Microsecond
+			ev.dur = time.Duration(30+rng.Intn(120)) * time.Millisecond
+			ev.desc = fmt.Sprintf("latency %s->%s %v for %v", ev.from, ev.to, ev.lat, ev.dur)
+		default:
+			ev.act = actCrash
+			ev.dur = time.Duration(40+rng.Intn(120)) * time.Millisecond
+			ev.desc = fmt.Sprintf("crash primary, down %v", ev.dur)
+		}
+		evs = append(evs, ev)
+		elapsed += ev.gap + ev.dur
+	}
+	return evs
+}
+
+// ---- harness ----
+
+type harness struct {
+	cfg Config
+	net *faultconn.Network
+	res *Result
+
+	priDB *core.DB
+	pri   *server.Server // current primary incarnation
+	priMu sync.Mutex
+
+	// audits accumulates the per-epoch write-commit maps of every primary
+	// incarnation (crash+restart keeps the same engine but a fresh server,
+	// so each server's audit is collected when it is retired).
+	audits []map[uint64]uint64
+
+	rep    *repl.Replica
+	backup *server.Server
+
+	cli *client.Client
+	tbl engine.Table
+
+	acked    []atomic.Uint64 // per-worker acked frontier (highest acked seq)
+	attempts atomic.Int64
+	reads    atomic.Int64
+
+	vioMu sync.Mutex
+	vios  []string
+}
+
+func (h *harness) violate(format string, args ...any) {
+	h.vioMu.Lock()
+	defer h.vioMu.Unlock()
+	h.vios = append(h.vios, fmt.Sprintf(format, args...))
+}
+
+func (h *harness) dialer(from string) func(string, time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return h.net.DialTimeout(from, addr, timeout)
+	}
+}
+
+func (h *harness) primaryConfig() server.Config {
+	return server.Config{
+		DB:            h.priDB,
+		SyncRepl:      true,
+		SyncReplWait:  400 * time.Millisecond,
+		Epoch:         1,
+		ReplHeartbeat: 10 * time.Millisecond,
+		WriteTimeout:  2 * time.Second,
+		IdleTimeout:   2 * time.Second,
+	}
+}
+
+func (h *harness) startPrimary() error {
+	srv, err := server.New(h.primaryConfig())
+	if err != nil {
+		return err
+	}
+	ln, err := h.net.Listen(epPrimary)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	go srv.Serve(ln)
+	h.priMu.Lock()
+	h.pri = srv
+	h.priMu.Unlock()
+	return nil
+}
+
+func (h *harness) crashPrimary() {
+	h.priMu.Lock()
+	srv := h.pri
+	h.pri = nil
+	h.priMu.Unlock()
+	if srv == nil {
+		return
+	}
+	srv.Close()
+	h.priMu.Lock()
+	h.audits = append(h.audits, srv.CommitEpochs())
+	h.priMu.Unlock()
+}
+
+// startBackup serves the promoted replica's engine under its new epoch.
+// Called from the supervisor's OnPromote hook.
+func (h *harness) startBackup() {
+	srv, err := server.New(server.Config{
+		DB:           h.rep.DB(),
+		Epoch:        h.rep.Epoch(),
+		WriteTimeout: 2 * time.Second,
+		IdleTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		h.violate("harness: promoted server: %v", err)
+		return
+	}
+	ln, err := h.net.Listen(epBackup)
+	if err != nil {
+		srv.Close()
+		h.violate("harness: promoted listener: %v", err)
+		return
+	}
+	go srv.Serve(ln)
+	h.priMu.Lock()
+	h.backup = srv
+	h.priMu.Unlock()
+}
+
+func ctrKey(w int) []byte { return []byte(fmt.Sprintf("ctr-w%d", w)) }
+func seqKey(w, i int) []byte {
+	return []byte(fmt.Sprintf("w%d-%06d", w, i))
+}
+func u64val(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// writer drives unique-key inserts plus a per-worker counter through
+// RunWithRetry until the deadline. Each sequence number is retried until it
+// acks; the acked frontier only advances on a nil return from the retry
+// loop, which is exactly the harness's definition of "acknowledged".
+func (h *harness) writer(w int, deadline time.Time) {
+	policy := engine.RetryPolicy{
+		BaseDelay: time.Millisecond,
+		MaxDelay:  25 * time.Millisecond,
+		Jitter:    0.5,
+		Seed:      h.cfg.Seed*1099511628211 + uint64(w) + 1,
+	}
+	seq := 0
+	for time.Now().Before(deadline) {
+		key := seqKey(w, seq)
+		val := u64val(uint64(seq + 1))
+		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(250*time.Millisecond))
+		err := policy.Run(ctx, h.cli, w, func(txn engine.Txn) error {
+			h.attempts.Add(1)
+			// Overwriting our own earlier indeterminate attempt is
+			// idempotent: the same value lands under the same keys.
+			if _, gerr := txn.Get(h.tbl, key); gerr == nil {
+				if uerr := txn.Update(h.tbl, key, val); uerr != nil {
+					return uerr
+				}
+			} else if ierr := txn.Insert(h.tbl, key, val); ierr != nil {
+				return ierr
+			}
+			if _, gerr := txn.Get(h.tbl, ctrKey(w)); gerr == nil {
+				return txn.Update(h.tbl, ctrKey(w), val)
+			}
+			return txn.Insert(h.tbl, ctrKey(w), val)
+		})
+		cancel()
+		if err == nil {
+			h.acked[w].Store(uint64(seq + 1))
+			seq++
+			continue
+		}
+		// Unavailable (drain, stale epoch) and expired-context errors are
+		// expected mid-chaos; the same sequence number is retried so an
+		// indeterminate earlier attempt can only be overwritten, never
+		// skipped. A tiny pause keeps a dead cluster from busy-spinning.
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// reader repeatedly takes a snapshot and checks two monotonicity claims:
+// the acked-frontier bound (values never below what was acked before the
+// snapshot began) and per-reader non-regression while the client's observed
+// epoch is stable.
+func (h *harness) reader(id int, deadline time.Time) {
+	nw := h.cfg.Workers
+	prev := make([]uint64, nw)
+	var prevEpoch uint64
+	havePrev := false
+	for time.Now().Before(deadline) {
+		frontier := make([]uint64, nw)
+		for w := range frontier {
+			frontier[w] = h.acked[w].Load()
+		}
+		epBefore := h.cli.Epoch()
+		vals, ok := h.readCounters()
+		epAfter := h.cli.Epoch()
+		if !ok {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		h.reads.Add(1)
+		for w := 0; w < nw; w++ {
+			if vals[w] < frontier[w] {
+				h.violate("reader %d: counter w%d=%d below acked frontier %d (stale read of an acked commit)",
+					id, w, vals[w], frontier[w])
+			}
+		}
+		if havePrev && epBefore == epAfter && epBefore == prevEpoch {
+			for w := 0; w < nw; w++ {
+				if vals[w] < prev[w] {
+					h.violate("reader %d: snapshot regression within epoch %d: counter w%d went %d -> %d",
+						id, epBefore, w, prev[w], vals[w])
+				}
+			}
+		}
+		copy(prev, vals)
+		prevEpoch = epAfter
+		havePrev = epBefore == epAfter
+		time.Sleep(time.Duration(1+id) * time.Millisecond)
+	}
+}
+
+// readCounters reads every per-worker counter in one snapshot. A missing
+// key reads as zero (the worker simply hasn't acked yet); any transport or
+// availability error voids the whole snapshot — no invariant can be judged
+// from a partial read.
+func (h *harness) readCounters() ([]uint64, bool) {
+	txn := h.cli.BeginReadOnly(h.cfg.Workers + h.cfg.Readers)
+	defer txn.Abort()
+	vals := make([]uint64, h.cfg.Workers)
+	for w := range vals {
+		v, err := txn.Get(h.tbl, ctrKey(w))
+		switch {
+		case err == nil:
+			if len(v) == 8 {
+				vals[w] = binary.LittleEndian.Uint64(v)
+			}
+		case errors.Is(err, engine.ErrNotFound):
+			vals[w] = 0
+		default:
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// execute replays the pre-generated schedule. Faults with a duration heal
+// inline, so at most one durable fault is active at a time; instantaneous
+// cuts overlap freely with the workload.
+func (h *harness) execute(evs []event) {
+	for _, ev := range evs {
+		time.Sleep(ev.gap)
+		switch ev.act {
+		case actCut:
+			h.net.CutAfter(ev.from, ev.to, ev.nbytes)
+		case actPartitionClient:
+			h.net.Partition(epClient, epPrimary)
+			time.Sleep(ev.dur)
+			h.net.Heal(epClient, epPrimary)
+		case actPartitionRepl:
+			h.net.Partition(epPrimary, epReplica)
+			time.Sleep(ev.dur)
+			h.net.Heal(epPrimary, epReplica)
+		case actIsolatePrimary:
+			h.net.Isolate(epPrimary)
+			time.Sleep(ev.dur)
+			h.net.Heal(epPrimary, epClient)
+			h.net.Heal(epPrimary, epReplica)
+			h.net.Heal(epPrimary, epBackup)
+		case actLatency:
+			h.net.SetLatency(ev.from, ev.to, ev.lat, ev.lat/2)
+			time.Sleep(ev.dur)
+			h.net.SetLatency(ev.from, ev.to, 0, 0)
+		case actCrash:
+			h.crashPrimary()
+			h.res.Crashes++
+			time.Sleep(ev.dur)
+			if err := h.startPrimary(); err != nil {
+				h.violate("harness: primary restart: %v", err)
+				return
+			}
+		}
+	}
+}
+
+// Run executes one nemesis schedule and returns what it found. The error
+// return is for harness failures (setup, unverifiable end state); invariant
+// violations land in Result.Violations.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 2
+	}
+	h := &harness{
+		cfg:   cfg,
+		net:   faultconn.NewNetwork(cfg.Seed),
+		res:   &Result{Seed: cfg.Seed},
+		acked: make([]atomic.Uint64, cfg.Workers),
+	}
+	evs := genSchedule(cfg.Seed, cfg.Duration)
+	for _, ev := range evs {
+		h.res.Schedule = append(h.res.Schedule, ev.desc)
+	}
+
+	// Primary over an in-memory WAL (group commit syncs into it before any
+	// ack, so "durable" is meaningful within the run).
+	db, err := core.Open(core.Config{WAL: wal.Config{Storage: wal.NewMemStorage()}})
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: primary engine: %w", err)
+	}
+	defer db.Close()
+	h.priDB = db
+	if err := h.startPrimary(); err != nil {
+		return nil, fmt.Errorf("nemesis: primary server: %w", err)
+	}
+	defer func() {
+		h.priMu.Lock()
+		pri, backup := h.pri, h.backup
+		h.priMu.Unlock()
+		if pri != nil {
+			pri.Close()
+		}
+		if backup != nil {
+			backup.Close()
+		}
+	}()
+
+	// Replica streaming through the fault network, supervised for
+	// automatic promotion on primary silence.
+	rep, err := repl.Start(repl.Config{
+		PrimaryAddr:      epPrimary,
+		Dial:             h.dialer(epReplica),
+		DialTimeout:      150 * time.Millisecond,
+		HeartbeatTimeout: 150 * time.Millisecond,
+		Retry: engine.RetryPolicy{
+			BaseDelay: 5 * time.Millisecond,
+			MaxDelay:  50 * time.Millisecond,
+			Jitter:    0.5,
+			Seed:      cfg.Seed + 7,
+		},
+		Core: core.Config{WAL: wal.Config{
+			SegmentSize: 4 << 20,
+			BufferSize:  1 << 20,
+			Storage:     wal.NewMemStorage(),
+		}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: replica: %w", err)
+	}
+	defer rep.Close()
+	h.rep = rep
+
+	sup := &repl.Supervisor{
+		R:              rep,
+		SilenceTimeout: 250 * time.Millisecond,
+		OnPromote: func(perr error) {
+			if perr != nil {
+				h.violate("harness: promotion failed: %v", perr)
+				return
+			}
+			h.res.Promotions++
+			h.startBackup()
+		},
+	}
+	stopSup := make(chan struct{})
+	supDone := make(chan struct{})
+	go func() { defer close(supDone); sup.Run(stopSup) }()
+
+	// One shared client for workers, readers, and verification: its
+	// observed-epoch high-water mark is what fences every Begin off a
+	// deposed primary, and sharing it is what makes the acked-frontier
+	// read check sound (the ack and the subsequent snapshot flow through
+	// the same epoch state).
+	cli, err := client.Dial(client.Options{
+		Addr:              epPrimary,
+		FallbackAddrs:     []string{epBackup},
+		Dial:              h.dialer(epClient),
+		DialTimeout:       150 * time.Millisecond,
+		RequestTimeout:    250 * time.Millisecond,
+		KeepaliveInterval: 50 * time.Millisecond,
+		PoolSize:          2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: client: %w", err)
+	}
+	defer cli.Close()
+	h.cli = cli
+	if h.tbl = cli.CreateTable("nemesis"); h.tbl == nil {
+		return nil, fmt.Errorf("nemesis: create table failed")
+	}
+
+	// Chaos window: load, readers, and the fault schedule overlap.
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) { defer wg.Done(); h.writer(w, deadline) }(w)
+	}
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) { defer wg.Done(); h.reader(r, deadline) }(r)
+	}
+	h.execute(evs)
+	wg.Wait()
+
+	// Settle: heal everything, stop the failover supervisor, verify.
+	h.net.HealAll()
+	close(stopSup)
+	<-supDone
+
+	h.verify()
+
+	h.res.Acked = 0
+	for w := range h.acked {
+		h.res.Acked += int(h.acked[w].Load())
+	}
+	h.res.Attempts = int(h.attempts.Load())
+	h.res.Reads = int(h.reads.Load())
+	h.res.FinalEpoch = cli.Epoch()
+	h.vioMu.Lock()
+	h.res.Violations = append([]string(nil), h.vios...)
+	h.vioMu.Unlock()
+	return h.res, nil
+}
+
+// verify checks the end-state invariants on the healed network: every acked
+// commit is readable (durability across failover), final counters are at or
+// past the acked frontier, and the per-epoch write audits of old and new
+// primaries are disjoint (single writer per epoch).
+func (h *harness) verify() {
+	// Reads go through the shared client so epoch fencing routes them to
+	// the authoritative server. Retried briefly: the cluster just healed.
+	verifyDeadline := time.Now().Add(10 * time.Second)
+	for w := 0; w < h.cfg.Workers; w++ {
+		acked := int(h.acked[w].Load())
+		missing := h.verifyWorker(w, acked, verifyDeadline)
+		for _, i := range missing {
+			h.violate("acked commit w%d seq %d lost (acked frontier %d)", w, i, acked)
+		}
+	}
+
+	// Single-writer audit: per-epoch write-commit keys of every primary
+	// incarnation vs the promoted server's.
+	h.priMu.Lock()
+	audits := append([]map[uint64]uint64(nil), h.audits...)
+	if h.pri != nil {
+		audits = append(audits, h.pri.CommitEpochs())
+	}
+	var backupAudit map[uint64]uint64
+	if h.backup != nil {
+		backupAudit = h.backup.CommitEpochs()
+	}
+	h.priMu.Unlock()
+	oldEpochs := map[uint64]uint64{}
+	for _, a := range audits {
+		for e, n := range a {
+			oldEpochs[e] += n
+		}
+	}
+	for e, n := range backupAudit {
+		if n > 0 && oldEpochs[e] > 0 {
+			h.violate("dual primary: epoch %d acked %d write commits on the old primary and %d on the promoted replica",
+				e, oldEpochs[e], n)
+		}
+	}
+}
+
+// verifyWorker reads this worker's acked keys and counter with retries
+// until the deadline; it returns the sequence numbers that stayed missing.
+func (h *harness) verifyWorker(w, acked int, deadline time.Time) []int {
+	for {
+		missing, err := h.tryVerifyWorker(w, acked)
+		if err == nil {
+			return missing
+		}
+		if time.Now().After(deadline) {
+			h.violate("harness: verification reads for w%d never succeeded: %v", w, err)
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (h *harness) tryVerifyWorker(w, acked int) ([]int, error) {
+	txn := h.cli.BeginReadOnly(h.cfg.Workers + h.cfg.Readers + 1)
+	defer txn.Abort()
+	var missing []int
+	for i := 0; i < acked; i++ {
+		v, err := txn.Get(h.tbl, seqKey(w, i))
+		if errors.Is(err, engine.ErrNotFound) {
+			missing = append(missing, i)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != 8 || binary.LittleEndian.Uint64(v) != uint64(i+1) {
+			missing = append(missing, i)
+		}
+	}
+	if acked > 0 {
+		v, err := txn.Get(h.tbl, ctrKey(w))
+		if errors.Is(err, engine.ErrNotFound) {
+			h.violate("acked counter w%d missing entirely (frontier %d)", w, acked)
+		} else if err != nil {
+			return nil, err
+		} else if len(v) != 8 || binary.LittleEndian.Uint64(v) < uint64(acked) {
+			h.violate("final counter w%d = %v below acked frontier %d", w, v, acked)
+		}
+	}
+	return missing, nil
+}

@@ -12,16 +12,17 @@ import (
 func FuzzReadFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, MsgBegin, 1, []byte{BeginReadOnly}))
 	f.Add(AppendFrame(nil, MsgCommit|RespFlag, 9, AppendStatus(nil, StatusWriteConflict)))
+	f.Add(AppendFrameD(nil, MsgCommit, 5, 1500, nil))
 	f.Add(AppendFrame(nil, MsgScan, 1<<40, bytes.Repeat([]byte("kv"), 500)))
-	f.Add([]byte{0x7A, 0xE2, 1, 1})
+	f.Add([]byte{0x7A, 0xE2, 2, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		typ, id, payload, err := ReadFrame(bytes.NewReader(data))
+		typ, id, dl, payload, err := ReadFrameD(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		re := AppendFrame(nil, typ, id, payload)
-		typ2, id2, payload2, err := ReadFrame(bytes.NewReader(re))
-		if err != nil || typ2 != typ || id2 != id || !bytes.Equal(payload2, payload) {
+		re := AppendFrameD(nil, typ, id, dl, payload)
+		typ2, id2, dl2, payload2, err := ReadFrameD(bytes.NewReader(re))
+		if err != nil || typ2 != typ || id2 != id || dl2 != dl || !bytes.Equal(payload2, payload) {
 			t.Fatalf("re-encode mismatch: %v", err)
 		}
 	})

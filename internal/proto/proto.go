@@ -6,12 +6,19 @@
 //
 //	offset  size  field
 //	0       2     magic 0xE27A
-//	2       1     protocol version (1)
+//	2       1     protocol version (2)
 //	3       1     message type (high bit set on responses)
 //	4       8     request id (echoed verbatim in the response)
-//	12      4     payload length N
-//	16      N     payload
-//	16+N    4     CRC-32C over bytes [0, 16+N)
+//	12      4     deadline budget in milliseconds (0 = none)
+//	16      4     payload length N
+//	20      N     payload
+//	20+N    4     CRC-32C over bytes [0, 20+N)
+//
+// The deadline field is a *relative* budget, not an absolute timestamp, so
+// it needs no clock synchronization: the server starts the countdown when it
+// reads the frame. A request still queued past its budget is answered with
+// StatusDeadlineExceeded instead of occupying the pipeline; 0 means the
+// request waits forever (the version-1 behaviour). Responses carry 0.
 //
 // Responses to a request of type T carry type T|RespFlag and a payload that
 // begins with a 2-byte status code; the rest of the payload is
@@ -34,8 +41,8 @@ import (
 // Framing constants.
 const (
 	Magic      = 0xE27A
-	Version    = 1
-	HeaderSize = 16
+	Version    = 2
+	HeaderSize = 20
 	// MaxPayload bounds a single frame's payload; larger messages (scans)
 	// must page. It also caps the allocation a hostile peer can force.
 	MaxPayload = 8 << 20
@@ -83,6 +90,19 @@ const (
 	// rides on every chunk so a fetcher that sees the name change
 	// mid-transfer can restart against the newer image.
 	MsgCkptFetch
+	// MsgPing is a liveness probe doubling as the connection handshake.
+	// Request: empty. Response: u64 primary epoch, u8 health state. Clients
+	// send it at dial time (learning the server's epoch before issuing
+	// work) and periodically as a keepalive so half-open connections are
+	// detected instead of hanging; servers answer it without consuming a
+	// worker slot.
+	MsgPing
+	// MsgReplHeartbeat is pushed by the primary on an idle replication
+	// stream (only ever with RespFlag set, like MsgReplBatch): payload u64
+	// primary epoch, u64 durable offset. It proves primary liveness to the
+	// replica's failure detector and elicits a MsgReplAck reply, keeping
+	// both directions of the subscription inside their idle timeouts.
+	MsgReplHeartbeat
 )
 
 // Begin request flag bits.
@@ -114,48 +134,61 @@ var (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// AppendFrame appends a complete frame to dst and returns the extended
-// slice.
-func AppendFrame(dst []byte, typ byte, reqID uint64, payload []byte) []byte {
+// AppendFrameD appends a complete frame to dst with a relative deadline
+// budget (0 = none) and returns the extended slice.
+func AppendFrameD(dst []byte, typ byte, reqID uint64, deadlineMillis uint32, payload []byte) []byte {
 	start := len(dst)
 	var h [HeaderSize]byte
 	binary.LittleEndian.PutUint16(h[0:], Magic)
 	h[2] = Version
 	h[3] = typ
 	binary.LittleEndian.PutUint64(h[4:], reqID)
-	binary.LittleEndian.PutUint32(h[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[12:], deadlineMillis)
+	binary.LittleEndian.PutUint32(h[16:], uint32(len(payload)))
 	dst = append(dst, h[:]...)
 	dst = append(dst, payload...)
 	sum := crc32.Checksum(dst[start:], castagnoli)
 	return binary.LittleEndian.AppendUint32(dst, sum)
 }
 
-// WriteFrame writes one frame to w (callers typically pass a bufio.Writer
-// and flush when the pipeline empties).
-func WriteFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
+// AppendFrame appends a complete frame with no deadline budget.
+func AppendFrame(dst []byte, typ byte, reqID uint64, payload []byte) []byte {
+	return AppendFrameD(dst, typ, reqID, 0, payload)
+}
+
+// WriteFrameD writes one frame with a relative deadline budget to w (callers
+// typically pass a bufio.Writer and flush when the pipeline empties).
+func WriteFrameD(w io.Writer, typ byte, reqID uint64, deadlineMillis uint32, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrFrameTooLarge
 	}
-	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)+4), typ, reqID, payload)
+	buf := AppendFrameD(make([]byte, 0, HeaderSize+len(payload)+4), typ, reqID, deadlineMillis, payload)
 	_, err := w.Write(buf)
 	return err
 }
 
-// ReadFrame reads one complete frame from r, verifying magic, version, size
-// bound, and CRC. The returned payload is freshly allocated.
-func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) {
+// WriteFrame writes one frame with no deadline budget.
+func WriteFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
+	return WriteFrameD(w, typ, reqID, 0, payload)
+}
+
+// ReadFrameD reads one complete frame from r, verifying magic, version, size
+// bound, and CRC, and returns the sender's relative deadline budget in
+// milliseconds (0 = none). The returned payload is freshly allocated.
+func ReadFrameD(r io.Reader) (typ byte, reqID uint64, deadlineMillis uint32, payload []byte, err error) {
 	var h [HeaderSize]byte
 	if _, err = io.ReadFull(r, h[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	if binary.LittleEndian.Uint16(h[0:]) != Magic || h[2] != Version {
-		return 0, 0, nil, ErrBadFrame
+		return 0, 0, 0, nil, ErrBadFrame
 	}
 	typ = h[3]
 	reqID = binary.LittleEndian.Uint64(h[4:])
-	plen := binary.LittleEndian.Uint32(h[12:])
+	deadlineMillis = binary.LittleEndian.Uint32(h[12:])
+	plen := binary.LittleEndian.Uint32(h[16:])
 	if plen > MaxPayload {
-		return 0, 0, nil, ErrFrameTooLarge
+		return 0, 0, 0, nil, ErrFrameTooLarge
 	}
 	rest := make([]byte, int(plen)+4)
 	if _, err = io.ReadFull(r, rest); err != nil {
@@ -163,14 +196,20 @@ func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) 
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	sum := crc32.Checksum(h[:], castagnoli)
 	sum = crc32.Update(sum, castagnoli, rest[:plen])
 	if sum != binary.LittleEndian.Uint32(rest[plen:]) {
-		return 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+		return 0, 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrBadFrame)
 	}
-	return typ, reqID, rest[:plen:plen], nil
+	return typ, reqID, deadlineMillis, rest[:plen:plen], nil
+}
+
+// ReadFrame reads one complete frame, discarding the deadline field.
+func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) {
+	typ, reqID, _, payload, err = ReadFrameD(r)
+	return typ, reqID, payload, err
 }
 
 // ---- Payload encoding helpers ----

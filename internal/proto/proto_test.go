@@ -63,13 +63,34 @@ func TestFrameTruncation(t *testing.T) {
 func TestFrameTooLarge(t *testing.T) {
 	var h [HeaderSize]byte
 	copy(h[:], AppendFrame(nil, MsgGet, 1, nil)[:HeaderSize])
-	h[12], h[13], h[14], h[15] = 0xFF, 0xFF, 0xFF, 0x7F
+	h[16], h[17], h[18], h[19] = 0xFF, 0xFF, 0xFF, 0x7F
 	_, _, _, err := ReadFrame(bytes.NewReader(h[:]))
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized frame: %v", err)
 	}
 	if err := WriteFrame(io.Discard, MsgGet, 1, make([]byte, MaxPayload+1)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+// TestFrameDeadlineRoundTrip pins the deadline header field: WriteFrameD's
+// budget comes back from ReadFrameD exactly, and the legacy no-deadline
+// wrappers read/write 0.
+func TestFrameDeadlineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameD(&buf, MsgCommit, 11, 2500, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgGet, 12, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, dl, p, err := ReadFrameD(&buf)
+	if err != nil || typ != MsgCommit || id != 11 || dl != 2500 || string(p) != "p" {
+		t.Fatalf("frame 1: typ=%d id=%d dl=%d err=%v", typ, id, dl, err)
+	}
+	_, _, dl, _, err = ReadFrameD(&buf)
+	if err != nil || dl != 0 {
+		t.Fatalf("frame 2: dl=%d err=%v, want 0 deadline", dl, err)
 	}
 }
 
@@ -104,7 +125,8 @@ func TestStatusBijection(t *testing.T) {
 		engine.ErrNotFound, engine.ErrDuplicate, engine.ErrWriteConflict,
 		engine.ErrReadValidation, engine.ErrSerialization, engine.ErrPhantom,
 		engine.ErrAborted, engine.ErrReadOnlyDegraded, engine.ErrOverloaded,
-		engine.ErrShutdown, ErrUnknownTxn, ErrUnknownTable, ErrBadRequest,
+		engine.ErrShutdown, engine.ErrDeadlineExceeded, engine.ErrStaleEpoch,
+		ErrUnknownTxn, ErrUnknownTable, ErrBadRequest,
 	}
 	for _, sent := range sentinels {
 		st, detail := StatusOf(fmt.Errorf("wrapped: %w", sent))

@@ -43,6 +43,11 @@ type ReplBlock struct {
 
 // ReplBatch is the payload of one MsgReplBatch frame.
 type ReplBatch struct {
+	// Epoch is the shipping primary's epoch number, stamped into every batch
+	// so a replica that has seen a higher epoch (a promotion happened while
+	// it was partitioned with the old primary) rejects the stale stream
+	// instead of mirroring a deposed primary's divergent suffix.
+	Epoch uint64
 	// Durable is the primary's durable horizon when the batch was cut; the
 	// replica's lag is Durable minus its applied watermark.
 	Durable  uint64
@@ -63,6 +68,7 @@ const (
 // AppendReplBatch appends b's encoding — body then CRC-32C trailer — to dst.
 func AppendReplBatch(dst []byte, b *ReplBatch) []byte {
 	start := len(dst)
+	dst = AppendU64(dst, b.Epoch)
 	dst = AppendU64(dst, b.Durable)
 	dst = AppendU32(dst, uint32(len(b.Segments)))
 	for _, s := range b.Segments {
@@ -95,7 +101,7 @@ func DecodeReplBatch(p []byte) (*ReplBatch, error) {
 		return nil, fmt.Errorf("%w: repl batch crc mismatch", ErrBadFrame)
 	}
 	d := NewDec(body)
-	b := &ReplBatch{Durable: d.U64()}
+	b := &ReplBatch{Epoch: d.U64(), Durable: d.U64()}
 	nseg := d.U32()
 	if nseg > maxReplSegments || uint64(nseg)*minReplSegEnc > uint64(len(body)) {
 		return nil, fmt.Errorf("%w: repl batch segment count %d", ErrBadFrame, nseg)

@@ -8,6 +8,7 @@ import (
 
 func sampleBatch() *ReplBatch {
 	return &ReplBatch{
+		Epoch:   3,
 		Durable: 0x12340,
 		Segments: []ReplSegment{
 			{Num: 0, Start: 64, End: 8192},
@@ -27,6 +28,9 @@ func TestReplBatchRoundTrip(t *testing.T) {
 	out, err := DecodeReplBatch(enc)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if out.Epoch != in.Epoch {
+		t.Errorf("Epoch = %d, want %d", out.Epoch, in.Epoch)
 	}
 	if out.Durable != in.Durable {
 		t.Errorf("Durable = %#x, want %#x", out.Durable, in.Durable)

@@ -61,6 +61,16 @@ const (
 	// has never published one; the replica falls back to mirroring the log
 	// from its start.
 	StatusNoCheckpoint
+	// StatusDeadlineExceeded reports a request whose frame-header deadline
+	// budget expired before the server finished it; the transaction it named
+	// has been aborted. Appended after StatusNoCheckpoint to keep existing
+	// wire values stable.
+	StatusDeadlineExceeded
+	// StatusStaleEpoch reports a request fenced because the server's primary
+	// epoch is lower than the epoch the client has already observed: the
+	// server is a deposed primary (e.g. a healed partition survivor) and
+	// must not accept work.
+	StatusStaleEpoch
 )
 
 // Server-side request errors with no engine sentinel. They are fatal to the
@@ -97,6 +107,8 @@ var statusTable = []struct {
 	// identically on both paths.
 	{StatusTailTruncated, wal.ErrTailTruncated},
 	{StatusNoCheckpoint, engine.ErrNoCheckpoint},
+	{StatusDeadlineExceeded, engine.ErrDeadlineExceeded},
+	{StatusStaleEpoch, engine.ErrStaleEpoch},
 }
 
 // StatusOf maps a server-side error to its wire status plus a detail string

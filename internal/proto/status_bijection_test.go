@@ -32,6 +32,8 @@ var sentinelValues = map[string]error{
 	"ErrShutdown":         engine.ErrShutdown,
 	"ErrRetriesExhausted": engine.ErrRetriesExhausted,
 	"ErrNoCheckpoint":     engine.ErrNoCheckpoint,
+	"ErrDeadlineExceeded": engine.ErrDeadlineExceeded,
+	"ErrStaleEpoch":       engine.ErrStaleEpoch,
 }
 
 // engineSentinel is one parsed sentinel declaration.

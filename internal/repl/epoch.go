@@ -1,0 +1,49 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ermia/internal/wal"
+)
+
+// epochFileName is the mirror-storage file holding the replica's persisted
+// primary-epoch high-water mark. The name parses as no segment, so log
+// recovery skips it like a checkpoint blob.
+const epochFileName = "EPOCH"
+
+// LoadEpoch reads the persisted primary epoch from st, returning 0 when the
+// file does not exist (a replica that has never observed an epoch).
+func LoadEpoch(st wal.Storage) (uint64, error) {
+	f, err := st.Open(epochFileName)
+	if err != nil {
+		return 0, nil // never persisted
+	}
+	defer f.Close()
+	var buf [8]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return 0, fmt.Errorf("repl: read epoch file: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// SaveEpoch durably records the primary epoch in st. The epoch is the fence
+// against a healed deposed primary: once a replica has persisted epoch e it
+// refuses any stream stamped below e, across restarts.
+func SaveEpoch(st wal.Storage, e uint64) error {
+	f, err := st.Create(epochFileName)
+	if err != nil {
+		return fmt.Errorf("repl: create epoch file: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], e)
+	if _, err := f.WriteAt(buf[:], 0); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: write epoch file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: sync epoch file: %w", err)
+	}
+	return f.Close()
+}

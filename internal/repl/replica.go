@@ -13,6 +13,7 @@ import (
 	"ermia/internal/engine"
 	"ermia/internal/proto"
 	"ermia/internal/wal"
+	"ermia/internal/xrand"
 )
 
 // ErrPromoted reports an operation on a replica that has already been
@@ -37,9 +38,24 @@ type Config struct {
 	Core core.Config
 	// DialTimeout bounds each connection attempt. Default 5s.
 	DialTimeout time.Duration
-	// ReconnectDelay is the pause before redialing after a transport
-	// failure. Default 100ms.
+	// Dial, when set, replaces net.DialTimeout for both the stream and
+	// checkpoint-fetch connections — the seam for the fault-injecting
+	// transport. Nil uses TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// ReconnectDelay is the base pause before redialing after a transport
+	// failure. Default 100ms. Consecutive failures back off exponentially
+	// with jitter under Retry (a successful subscribe resets the streak).
 	ReconnectDelay time.Duration
+	// Retry shapes the reconnect backoff. A zero policy is derived from
+	// ReconnectDelay: base = ReconnectDelay, cap = 20x, jitter 0.5. Set
+	// Retry.Seed for deterministic backoff in tests.
+	Retry engine.RetryPolicy
+	// HeartbeatTimeout, when positive, bounds the silence the replica
+	// tolerates on an established stream before declaring the connection
+	// dead and redialing. Pair it with the primary's ReplHeartbeat (set the
+	// timeout to several heartbeat intervals) so a quiet-but-alive primary
+	// is never mistaken for a dead one. Zero waits forever.
+	HeartbeatTimeout time.Duration
 	// GCEveryBlocks runs a version-GC sweep from the applier goroutine
 	// after this many applied blocks (background GC would race the
 	// applier; see core.OpenReplica). Default 4096.
@@ -81,12 +97,24 @@ type Replica struct {
 
 	promoted       atomic.Bool
 	primaryDurable atomic.Uint64
-	batches        atomic.Uint64
-	blocks         atomic.Uint64
-	bytes          atomic.Uint64
-	seeds          atomic.Uint64
-	seedBytes      atomic.Uint64
-	sinceGC        int
+	// epoch is the highest primary epoch this replica has observed, loaded
+	// from and persisted to the mirror storage. A stream stamped below it
+	// comes from a deposed primary and is refused — the fence that keeps a
+	// healed old primary from feeding a promoted replica stale bytes.
+	epoch atomic.Uint64
+	// lastHeard is the wall-clock nanos of the last frame received from the
+	// primary (any frame: batch, heartbeat, subscribe ack). The liveness
+	// supervisor promotes on prolonged silence.
+	lastHeard atomic.Int64
+	// streamedOK notes that the current connection subscribed successfully,
+	// resetting the reconnect backoff streak.
+	streamedOK atomic.Bool
+	batches    atomic.Uint64
+	blocks     atomic.Uint64
+	bytes      atomic.Uint64
+	seeds      atomic.Uint64
+	seedBytes  atomic.Uint64
+	sinceGC    int
 
 	// subPos is the log offset the next subscription resumes from: the end
 	// of the mirrored suffix. It is decoupled from the watermark, which a
@@ -119,6 +147,11 @@ func Start(cfg Config) (*Replica, error) {
 	if cfg.GCEveryBlocks <= 0 {
 		cfg.GCEveryBlocks = 4096
 	}
+	if cfg.Retry.BaseDelay <= 0 {
+		cfg.Retry.BaseDelay = cfg.ReconnectDelay
+		cfg.Retry.MaxDelay = 20 * cfg.ReconnectDelay
+		cfg.Retry.Jitter = 0.5
+	}
 	db, ap, pass1, err := core.OpenReplica(cfg.Core)
 	if err != nil {
 		return nil, err
@@ -135,6 +168,13 @@ func Start(cfg Config) (*Replica, error) {
 	for _, sm := range pass1.Segments {
 		r.segs[sm.Name] = sm
 	}
+	ep, err := LoadEpoch(cfg.Core.WAL.Storage)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	r.epoch.Store(ep)
+	r.lastHeard.Store(time.Now().UnixNano())
 	// An empty mirror tries a snapshot seed first: fetching the primary's
 	// newest checkpoint and subscribing from its begin segment reads far
 	// fewer bytes than mirroring the log from its start. A primary without
@@ -172,6 +212,43 @@ func (r *Replica) Stats() Stats {
 		s.Lag = s.PrimaryDurable - s.Watermark
 	}
 	return s
+}
+
+// Epoch returns the highest primary epoch this replica has observed.
+func (r *Replica) Epoch() uint64 { return r.epoch.Load() }
+
+// LastHeard returns how long ago the last frame arrived from the primary.
+func (r *Replica) LastHeard() time.Duration {
+	return time.Since(time.Unix(0, r.lastHeard.Load()))
+}
+
+// heard stamps primary liveness; called on every received frame.
+func (r *Replica) heard() { r.lastHeard.Store(time.Now().UnixNano()) }
+
+// noteEpoch folds a stream-carried epoch into the replica's view. A higher
+// epoch is persisted before it is adopted (the fence must survive restart);
+// a lower one reports the stream as coming from a deposed primary.
+func (r *Replica) noteEpoch(e uint64) error {
+	cur := r.epoch.Load()
+	if e < cur {
+		return fmt.Errorf("%w: stream epoch %d below replica epoch %d (deposed primary)",
+			ErrStreamFatal, e, cur)
+	}
+	if e > cur {
+		if err := SaveEpoch(r.cfg.Core.WAL.Storage, e); err != nil {
+			return fmt.Errorf("%w: %v", ErrStreamFatal, err)
+		}
+		r.epoch.Store(e)
+	}
+	return nil
+}
+
+// dial opens a connection to the primary through the configured transport.
+func (r *Replica) dial() (net.Conn, error) {
+	if r.cfg.Dial != nil {
+		return r.cfg.Dial(r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	}
+	return net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
 }
 
 // Err returns the error that stopped the streaming loop, if any.
@@ -233,6 +310,25 @@ func (r *Replica) closeFiles() {
 // on seal or a fatal stream error.
 func (r *Replica) run() {
 	defer close(r.done)
+	// Reconnect backoff: consecutive transport failures sleep under the
+	// retry policy (exponential + jitter); a successful subscribe resets
+	// the streak. The jitter stream is seeded from the policy so chaos
+	// tests replay identically.
+	seed := r.cfg.Retry.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	rng := xrand.New(seed)
+	fails := 0
+	backoff := func() bool {
+		fails++
+		select {
+		case <-r.stop:
+			return false
+		case <-time.After(r.cfg.Retry.Backoff(fails, rng)):
+			return true
+		}
+	}
 	for {
 		if r.stopped() {
 			return
@@ -247,16 +343,18 @@ func (r *Replica) run() {
 					return
 				} else {
 					// Transport failure or torn image: back off, refetch.
-					select {
-					case <-r.stop:
+					if !backoff() {
 						return
-					case <-time.After(r.cfg.ReconnectDelay):
 					}
 					continue
 				}
 			}
 		}
+		r.streamedOK.Store(false)
 		err := r.stream()
+		if r.streamedOK.Load() {
+			fails = 0
+		}
 		if r.stopped() {
 			return
 		}
@@ -274,10 +372,8 @@ func (r *Replica) run() {
 		}
 		// Transport failure (dial refused, conn reset, torn batch): back
 		// off and resubscribe from the mirrored position.
-		select {
-		case <-r.stop:
+		if !backoff() {
 			return
-		case <-time.After(r.cfg.ReconnectDelay):
 		}
 	}
 }
@@ -340,7 +436,7 @@ func (r *Replica) fetchCheckpoint(have string) (engine.CheckpointChunk, []byte, 
 	fail := func(err error) (engine.CheckpointChunk, []byte, error) {
 		return engine.CheckpointChunk{}, nil, err
 	}
-	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	conn, err := r.dial()
 	if err != nil {
 		return fail(err)
 	}
@@ -406,7 +502,7 @@ func (r *Replica) fetchCheckpoint(have string) (engine.CheckpointChunk, []byte, 
 // apply, and ack batches until the connection dies or the replica is
 // sealed.
 func (r *Replica) stream() error {
-	conn, err := net.DialTimeout("tcp", r.cfg.PrimaryAddr, r.cfg.DialTimeout)
+	conn, err := r.dial()
 	if err != nil {
 		return err
 	}
@@ -423,12 +519,27 @@ func (r *Replica) stream() error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+	// ack sends a progress/liveness acknowledgment carrying the watermark.
+	ack := func() error {
+		if err := proto.WriteFrame(bw, proto.MsgReplAck, nextID, proto.AppendU64(nil, r.db.Watermark())); err != nil {
+			return err
+		}
+		nextID++
+		return bw.Flush()
+	}
 	subscribed := false
 	for {
+		// Failure detection by silence: a healthy primary sends batches or
+		// heartbeats; a read deadline passing with neither means the
+		// primary (or the path to it) is gone, and the conn is redialed.
+		if r.cfg.HeartbeatTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(r.cfg.HeartbeatTimeout))
+		}
 		typ, _, payload, err := proto.ReadFrame(br)
 		if err != nil {
 			return err
 		}
+		r.heard()
 		switch typ {
 		case proto.MsgReplSubscribe | proto.RespFlag:
 			d := proto.NewDec(payload)
@@ -448,6 +559,7 @@ func (r *Replica) stream() error {
 				return fmt.Errorf("%w: subscribe refused: %v", ErrStreamFatal, st.Err(detail))
 			}
 			subscribed = true
+			r.streamedOK.Store(true)
 		case proto.MsgReplBatch | proto.RespFlag:
 			if !subscribed {
 				return proto.ErrBadFrame
@@ -473,14 +585,33 @@ func (r *Replica) stream() error {
 			if err != nil {
 				return err // torn batch: drop the connection and resync
 			}
+			if err := r.noteEpoch(batch.Epoch); err != nil {
+				return err
+			}
 			if err := r.applyBatch(batch); err != nil {
 				return fmt.Errorf("%w: %v", ErrStreamFatal, err)
 			}
-			if err := proto.WriteFrame(bw, proto.MsgReplAck, nextID, proto.AppendU64(nil, r.db.Watermark())); err != nil {
+			if err := ack(); err != nil {
 				return err
 			}
-			nextID++
-			if err := bw.Flush(); err != nil {
+		case proto.MsgReplHeartbeat | proto.RespFlag:
+			if !subscribed {
+				return proto.ErrBadFrame
+			}
+			d := proto.NewDec(payload)
+			st := d.Status()
+			d.Bytes() // detail, unused
+			ep := d.U64()
+			durable := d.U64()
+			if d.Err() != nil || st != proto.StatusOK {
+				return proto.ErrBadFrame
+			}
+			if err := r.noteEpoch(ep); err != nil {
+				return err
+			}
+			r.primaryDurable.Store(durable)
+			// Answer with an ack so the primary's idle reaper sees us live.
+			if err := ack(); err != nil {
 				return err
 			}
 		case proto.MsgReplAck | proto.RespFlag:
@@ -639,6 +770,16 @@ func (r *Replica) Promote() error {
 		return err
 	}
 	r.db.PublishWatermark(pass.NextOffset)
+	// Claim the next primary epoch and persist it before serving: anything
+	// the deposed primary later streams or acks under the old epoch is
+	// provably stale. Serve the promoted DB under Epoch() (server.Config.
+	// Epoch), so clients and replicas that saw the new epoch fence the old
+	// primary out.
+	next := r.epoch.Load() + 1
+	if err := SaveEpoch(r.cfg.Core.WAL.Storage, next); err != nil {
+		return fmt.Errorf("repl: promote epoch persist: %w", err)
+	}
+	r.epoch.Store(next)
 	return nil
 }
 

@@ -49,6 +49,14 @@ type Shipper struct {
 	// Poll is the sleep between tail reads when the stream has caught up to
 	// the durable horizon. Default 2ms.
 	Poll time.Duration
+	// Heartbeat, when positive, rate-limits OnIdle callbacks while the
+	// stream is caught up, letting the session advertise liveness (and its
+	// epoch) to a subscriber that would otherwise hear nothing on a quiet
+	// primary.
+	Heartbeat time.Duration
+	// OnIdle is invoked at most once per Heartbeat interval while caught
+	// up. An error ends the stream silently, like an emit error.
+	OnIdle func() error
 }
 
 // Run streams batches from logical offset `from` until stop closes or the
@@ -71,6 +79,7 @@ func (sh *Shipper) Run(from uint64, stop <-chan struct{}, emit func(*proto.ReplB
 	timer := time.NewTimer(poll)
 	defer timer.Stop()
 	batch := &proto.ReplBatch{}
+	var lastBeat time.Time
 	for {
 		select {
 		case <-stop:
@@ -82,7 +91,13 @@ func (sh *Shipper) Run(from uint64, stop <-chan struct{}, emit func(*proto.ReplB
 			return err
 		}
 		if len(blocks) == 0 {
-			// Caught up: wait for the durable horizon to move.
+			// Caught up: heartbeat if due, then wait for the horizon to move.
+			if sh.Heartbeat > 0 && sh.OnIdle != nil && time.Since(lastBeat) >= sh.Heartbeat {
+				if err := sh.OnIdle(); err != nil {
+					return nil
+				}
+				lastBeat = time.Now()
+			}
 			timer.Reset(poll)
 			select {
 			case <-stop:

@@ -1,0 +1,73 @@
+package repl
+
+import (
+	"fmt"
+	"time"
+)
+
+// Supervisor watches a replica's primary-liveness signal and promotes it
+// automatically when the primary has been silent for too long. Liveness is
+// "any frame heard on the stream" — batches and heartbeats both count — so
+// the detector composes with the primary's ReplHeartbeat interval: set
+// SilenceTimeout to several intervals and a quiet-but-alive primary is never
+// mistaken for a dead one, while a dead, partitioned, or stalled primary
+// trips the detector within one timeout.
+//
+// Promotion is safe to trigger from silence alone because of epoch fencing:
+// the promoted replica claims epoch+1, clients that have seen it refuse the
+// old primary (Begin carries the observed epoch), the old primary's Begin
+// check refuses clients from the future, and under SyncRepl the deposed
+// primary cannot acknowledge writes anyway — its subscriber is gone, so
+// commit waits expire instead of lying. A false positive therefore costs
+// availability of one node, never consistency.
+type Supervisor struct {
+	// R is the replica to supervise. Required.
+	R *Replica
+	// SilenceTimeout is how long the primary may be silent before the
+	// replica is promoted. Required (Run refuses zero).
+	SilenceTimeout time.Duration
+	// Interval is the check period. Default SilenceTimeout/4 (min 1ms).
+	Interval time.Duration
+	// OnPromote, when set, is called once with the promotion's result.
+	OnPromote func(error)
+}
+
+// Run blocks until promotion triggers or stop closes. It returns the
+// promotion error (nil after a successful promotion), or nil when stopped
+// first. After a successful run the replica's DB accepts writes and should
+// be served under its new epoch (Replica.Epoch).
+func (s *Supervisor) Run(stop <-chan struct{}) error {
+	if s.R == nil || s.SilenceTimeout <= 0 {
+		return fmt.Errorf("repl: supervisor needs a replica and a positive SilenceTimeout")
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = s.SilenceTimeout / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+		}
+		if s.R.promoted.Load() {
+			return nil // promoted out from under us (operator action)
+		}
+		if s.R.LastHeard() < s.SilenceTimeout {
+			continue
+		}
+		err := s.R.Promote()
+		if err == ErrPromoted {
+			err = nil
+		}
+		if s.OnPromote != nil {
+			s.OnPromote(err)
+		}
+		return err
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ermia/internal/proto"
 )
@@ -10,6 +11,20 @@ import (
 type commitAck struct {
 	sess  *session
 	reqID uint64
+
+	// epoch is the primary epoch observed at commit time; counted per epoch
+	// on a successful acknowledgment so the dual-primary audit can prove
+	// epochs never interleave acked writes.
+	epoch uint64
+
+	// deadline bounds how long this commit may wait for acknowledgment
+	// (zero = unbounded by the client; SyncRepl always caps it).
+	deadline time.Time
+
+	// target is the log offset a replica must acknowledge before this
+	// commit's OK is released. Zero when SyncRepl is off (or no log),
+	// which is instantly satisfied.
+	target uint64
 }
 
 // groupCommitter amortizes commit durability across connections. Sessions
@@ -20,6 +35,13 @@ type commitAck struct {
 // accumulates behind it — and releases every gathered acknowledgment at
 // once. No timer and no artificial batching window: the device sync itself
 // is the batching window, which is classic group commit.
+//
+// With SyncRepl the committer additionally holds each OK until a replica
+// has acknowledged the commit's log offset (semi-synchronous replication):
+// local durability alone is not enough to ack, which is what makes acked
+// commits survive primary failover and fences a deposed primary whose
+// subscriber is gone — its pending acks expire with StatusDeadlineExceeded
+// instead of lying to the client.
 type groupCommitter struct {
 	srv  *Server
 	ch   chan commitAck
@@ -78,19 +100,69 @@ func (g *groupCommitter) run() {
 }
 
 // flush makes the batch durable with a single wait and releases every
-// acknowledgment.
+// acknowledgment — immediately when SyncRepl is off, otherwise once a
+// replica has acknowledged each commit's log offset.
 func (g *groupCommitter) flush(batch []commitAck) {
 	err := g.srv.waitDurable()
 	g.batches.Add(1)
 	g.commits.Add(uint64(len(batch)))
-	st, detail := proto.StatusOf(err)
-	for _, a := range batch {
-		a.sess.respond(proto.MsgCommit, a.reqID, respPayload(st, detail, nil))
-		if st == proto.StatusOK {
-			g.srv.commits.Add(1)
+	if err != nil || !g.srv.cfg.SyncRepl {
+		st, detail := proto.StatusOf(err)
+		for _, a := range batch {
+			g.respondOne(a, st, detail)
 		}
-		a.sess.wg.Done()
+		return
 	}
+	g.awaitReplicated(batch)
+}
+
+// awaitReplicated holds locally-durable commits until the replica ack
+// watermark reaches each one's target offset. Individual commits expire at
+// their deadline (StatusDeadlineExceeded: outcome indeterminate, the bytes
+// ARE in the local log); server shutdown releases the remainder as
+// StatusShuttingDown so teardown never deadlocks behind a dead subscriber.
+func (g *groupCommitter) awaitReplicated(batch []commitAck) {
+	pending := batch
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	for len(pending) > 0 {
+		acked := g.srv.replAcked.Load()
+		now := time.Now()
+		rest := pending[:0]
+		for _, a := range pending {
+			switch {
+			case acked >= a.target:
+				g.respondOne(a, proto.StatusOK, "")
+			case !a.deadline.IsZero() && now.After(a.deadline):
+				g.respondOne(a, proto.StatusDeadlineExceeded,
+					"commit durable locally but not yet replicated")
+			default:
+				rest = append(rest, a)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-g.srv.doneCh:
+			for _, a := range pending {
+				g.respondOne(a, proto.StatusShuttingDown, "server shutting down")
+			}
+			return
+		}
+	}
+}
+
+// respondOne releases a single commit acknowledgment with the given status,
+// counting successful commits against their epoch.
+func (g *groupCommitter) respondOne(a commitAck, st proto.Status, detail string) {
+	a.sess.respond(proto.MsgCommit, a.reqID, respPayload(st, detail, nil))
+	if st == proto.StatusOK {
+		g.srv.noteCommit(a.epoch)
+	}
+	a.sess.wg.Done()
 }
 
 // close stops the committer; call only after every session has exited.

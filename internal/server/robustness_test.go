@@ -1,0 +1,535 @@
+package server_test
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ermia/internal/client"
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/faultconn"
+	"ermia/internal/proto"
+	"ermia/internal/repl"
+	"ermia/internal/server"
+	"ermia/internal/wal"
+)
+
+// rawConn is a frame-level test client: no pipelining, no pooling, just one
+// deadline-stamped request/response exchange at a time.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	id uint64
+}
+
+func rawDial(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{t: t, nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+}
+
+// send writes one frame with the given deadline budget without reading the
+// response (pipelining).
+func (r *rawConn) send(typ byte, dlMillis uint32, payload []byte) uint64 {
+	r.t.Helper()
+	r.id++
+	if err := proto.WriteFrameD(r.bw, typ, r.id, dlMillis, payload); err != nil {
+		r.t.Fatal(err)
+	}
+	if err := r.bw.Flush(); err != nil {
+		r.t.Fatal(err)
+	}
+	return r.id
+}
+
+// recv reads one response frame, asserting its type and request id.
+func (r *rawConn) recv(wantTyp byte, wantID uint64) (proto.Status, string, *proto.Dec) {
+	r.t.Helper()
+	r.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, id, _, payload, err := proto.ReadFrameD(r.br)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if typ != wantTyp|proto.RespFlag || id != wantID {
+		r.t.Fatalf("got frame typ=%#x id=%d, want typ=%#x id=%d", typ, id, wantTyp|proto.RespFlag, wantID)
+	}
+	d := proto.NewDec(payload)
+	st := d.Status()
+	detail := string(d.Bytes())
+	if d.Err() != nil {
+		r.t.Fatal(d.Err())
+	}
+	return st, detail, d
+}
+
+func (r *rawConn) call(typ byte, dlMillis uint32, payload []byte) (proto.Status, string, *proto.Dec) {
+	r.t.Helper()
+	id := r.send(typ, dlMillis, payload)
+	return r.recv(typ, id)
+}
+
+// TestPingFrame: Ping answers without a worker slot, carrying the primary
+// epoch and engine health.
+func TestPingFrame(t *testing.T) {
+	db := openCore(t, core.Config{})
+	_, addr := serve(t, db, server.Config{Epoch: 7, Workers: 1})
+	rc := rawDial(t, addr)
+
+	// Exhaust the only worker slot so the Ping proves it needs none.
+	c := dial(t, addr, 1)
+	tbl := c.CreateTable("t")
+	holder := c.Begin(0)
+	if err := holder.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Abort()
+
+	st, _, d := rc.call(proto.MsgPing, 0, nil)
+	if st != proto.StatusOK {
+		t.Fatalf("ping status %v", st)
+	}
+	epoch := d.U64()
+	health := engine.HealthState(d.U8())
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if epoch != 7 {
+		t.Fatalf("ping epoch %d, want 7", epoch)
+	}
+	if health != engine.Healthy {
+		t.Fatalf("ping health %v, want Healthy", health)
+	}
+}
+
+// TestDeadlineExpiryAbortsTxn: a request whose budget elapsed while it sat
+// queued behind a slow request is answered with StatusDeadlineExceeded, and
+// the transaction it names is aborted — the slot frees immediately, not at
+// teardown.
+func TestDeadlineExpiryAbortsTxn(t *testing.T) {
+	db := openCore(t, core.Config{})
+	srv, addr := serve(t, db, server.Config{
+		// A deliberately slow admin handler to queue requests behind.
+		PromoteFn: func() (string, error) {
+			time.Sleep(80 * time.Millisecond)
+			return "slept", nil
+		},
+	})
+	rc := rawDial(t, addr)
+
+	st, _, _ := rc.call(proto.MsgCreateTable, 0, proto.AppendBytes(nil, []byte("t")))
+	if st != proto.StatusOK {
+		t.Fatalf("create table: %v", st)
+	}
+	st, _, d := rc.call(proto.MsgBegin, 0, proto.AppendU8(nil, 0))
+	if st != proto.StatusOK {
+		t.Fatalf("begin: %v", st)
+	}
+	txnID := d.U64()
+	abortsBefore := db.Stats().Aborts.Load()
+
+	// Pipeline: slow Promote, then an op with a 1ms budget. By the time the
+	// op dispatches its deadline is long gone.
+	promoteID := rc.send(proto.MsgPromote, 0, nil)
+	p := proto.AppendU64(nil, txnID)
+	p = proto.AppendBytes(p, []byte("t"))
+	p = proto.AppendBytes(p, []byte("k"))
+	p = proto.AppendBytes(p, []byte("v"))
+	opID := rc.send(proto.MsgInsert, 1, p)
+
+	rc.recv(proto.MsgPromote, promoteID) // slow one first (in-order dispatch)
+	st, _, _ = rc.recv(proto.MsgInsert, opID)
+	if st != proto.StatusDeadlineExceeded {
+		t.Fatalf("overdue insert status %v, want StatusDeadlineExceeded", st)
+	}
+	if err := st.Err(""); !errors.Is(err, engine.ErrDeadlineExceeded) || !engine.IsRetryable(err) {
+		t.Fatalf("status maps to %v; want retryable engine.ErrDeadlineExceeded", err)
+	}
+
+	// The named transaction was aborted through the normal path.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().OpenTxns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("expired txn still holds a slot: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := db.Stats().Aborts.Load() - abortsBefore; got != 1 {
+		t.Fatalf("engine aborts moved by %d, want 1", got)
+	}
+}
+
+// TestBeginRefusesFutureEpoch: a client that has observed a higher primary
+// epoch than this server's is talking to a deposed primary; Begin must be
+// refused with the typed stale-epoch status rather than accept writes the
+// old primary can never replicate.
+func TestBeginRefusesFutureEpoch(t *testing.T) {
+	db := openCore(t, core.Config{})
+	_, addr := serve(t, db, server.Config{Epoch: 3})
+	rc := rawDial(t, addr)
+
+	p := proto.AppendU8(nil, 0)
+	p = proto.AppendU64(p, 9) // client saw epoch 9; this server is at 3
+	st, _, _ := rc.call(proto.MsgBegin, 0, p)
+	if st != proto.StatusStaleEpoch {
+		t.Fatalf("begin from the future: %v, want StatusStaleEpoch", st)
+	}
+	if err := st.Err(""); !errors.Is(err, engine.ErrStaleEpoch) ||
+		engine.Classify(err) != engine.OutcomeUnavailable {
+		t.Fatalf("status maps to %v (%v)", err, engine.Classify(err))
+	}
+
+	// At or below the server's epoch is fine.
+	p = proto.AppendU8(nil, 0)
+	p = proto.AppendU64(p, 3)
+	st, _, _ = rc.call(proto.MsgBegin, 0, p)
+	if st != proto.StatusOK {
+		t.Fatalf("begin at current epoch: %v", st)
+	}
+}
+
+// TestWriteTimeoutDisconnectsSlowReader: a peer that stops reading is
+// disconnected once the configured write timeout fires, reclaiming its
+// connection and transaction resources — it must not wedge the session
+// writer or hold slots forever. Runs over faultconn so the kernel's socket
+// buffers can't absorb the flood.
+func TestWriteTimeoutDisconnectsSlowReader(t *testing.T) {
+	db := openCore(t, core.Config{})
+	cfg := server.Config{WriteTimeout: 150 * time.Millisecond}
+	cfg.DB = db
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := faultconn.NewNetwork(1)
+	n.BufSize = 1 << 10
+	ln, err := n.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	nc, err := n.DialTimeout("client", "server", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Flood requests and never read a single response: the server's write
+	// path backs up through its bufio buffer into the 1KiB pipe, stalls,
+	// and the write deadline disconnects us.
+	bw := bufio.NewWriter(nc)
+	for i := uint64(1); i < 4000; i++ {
+		if err := proto.WriteFrame(bw, proto.MsgStats, i, nil); err != nil {
+			break // server already cut us off
+		}
+		if err := bw.Flush(); err != nil {
+			break
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Conns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow reader still connected: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIdleTimeoutReapsSilentPeer: a connection that never sends a frame is
+// reaped by the idle timer, while a client running Ping keepalives at a
+// fraction of the timeout survives and keeps working.
+func TestIdleTimeoutReapsSilentPeer(t *testing.T) {
+	db := openCore(t, core.Config{})
+	srv, addr := serve(t, db, server.Config{IdleTimeout: 120 * time.Millisecond})
+
+	// Keepalive client first: its pings must hold the connection open.
+	c, err := client.Dial(client.Options{Addr: addr, KeepaliveInterval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	silent, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	// Wait until the silent conn registers, then let the idle reaper run.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Conns < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("conns never reached 2: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for srv.Stats().Conns != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("silent peer not reaped: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Well past several idle windows, the keepalive client still works.
+	time.Sleep(250 * time.Millisecond)
+	tbl := c.CreateTable("t")
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatalf("keepalive client lost its session: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncReplCommitWithoutReplicaExpires: with semi-sync replication on and
+// no subscriber, a commit is durable locally but must NOT be acknowledged —
+// it expires with the typed deadline status (outcome indeterminate,
+// retryable), both under the server-side cap and under a client deadline.
+func TestSyncReplCommitWithoutReplicaExpires(t *testing.T) {
+	db := openCore(t, core.Config{})
+	_, addr := serve(t, db, server.Config{
+		SyncRepl:     true,
+		SyncReplWait: 150 * time.Millisecond,
+	})
+	c := dial(t, addr, 1)
+	tbl := c.CreateTable("t")
+
+	start := time.Now()
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := txn.Commit()
+	if !errors.Is(err, engine.ErrDeadlineExceeded) || !engine.IsRetryable(err) {
+		t.Fatalf("unreplicated sync commit = %v, want retryable ErrDeadlineExceeded", err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("expiry took %v, want ~SyncReplWait", d)
+	}
+
+	// A request deadline tighter than the server cap wins.
+	c2, err := client.Dial(client.Options{Addr: addr, RequestTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	start = time.Now()
+	txn = c2.Begin(0)
+	if err := txn.Insert(tbl, []byte("k2"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err = txn.Commit()
+	if !errors.Is(err, engine.ErrDeadlineExceeded) {
+		t.Fatalf("deadline commit = %v, want ErrDeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 140*time.Millisecond {
+		t.Fatalf("client-deadline expiry took %v, want ~60ms", d)
+	}
+}
+
+// TestSyncReplCommitAcksAfterReplicaAck: with a live replica subscribed, a
+// semi-sync commit is acknowledged only after the replica applied it — so
+// the acked write is immediately durable on BOTH nodes, and the per-epoch
+// write counter moves under the server's epoch.
+func TestSyncReplCommitAcksAfterReplicaAck(t *testing.T) {
+	dir := t.TempDir()
+	st, err := wal.NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openCore(t, core.Config{WAL: wal.Config{Storage: st}})
+	srv, addr := serve(t, db, server.Config{
+		SyncRepl:      true,
+		SyncReplWait:  2 * time.Second,
+		Epoch:         4,
+		ReplHeartbeat: 20 * time.Millisecond,
+	})
+
+	rep, err := repl.Start(repl.Config{PrimaryAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	c := dial(t, addr, 1)
+	tbl := c.CreateTable("t")
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("semi-sync commit with live replica: %v", err)
+	}
+	// The ack implies the replica already applied the bytes.
+	if got := srv.Stats().ReplAckedOffset; got == 0 {
+		t.Fatal("commit acked with zero replica watermark")
+	}
+	roDB := rep.DB()
+	roTbl := roDB.OpenTable("t")
+	if roTbl == nil {
+		t.Fatal("replica missing table after acked commit")
+	}
+	ro := roDB.BeginReadOnly(0)
+	defer ro.Abort()
+	if _, err := ro.Get(roTbl, []byte("k")); err != nil {
+		t.Fatalf("acked semi-sync commit not on replica: %v", err)
+	}
+	// Heartbeats carried the primary epoch to the replica.
+	deadline := time.Now().Add(2 * time.Second)
+	for rep.Epoch() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica epoch %d, want 4", rep.Epoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.CommitEpochs(); got[4] == 0 {
+		t.Fatalf("per-epoch commit audit empty: %v", got)
+	}
+}
+
+// TestReplicaRejectsDeposedPrimaryStream: a replica that has persisted epoch
+// E refuses a stream stamped below E — the wire-level fence against a healed
+// old primary feeding a promoted cluster stale bytes. The refusal must
+// survive a replica restart (the epoch is persisted, not just in memory).
+func TestReplicaRejectsDeposedPrimaryStream(t *testing.T) {
+	db := openCore(t, core.Config{})
+	_, addr := serve(t, db, server.Config{Epoch: 2, ReplHeartbeat: 10 * time.Millisecond})
+
+	mirror := wal.NewMemStorage()
+	// The replica already lived through epoch 5 (persisted fence).
+	if err := repl.SaveEpoch(mirror, 5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repl.Start(repl.Config{
+		PrimaryAddr: addr,
+		Core:        core.Config{WAL: wal.Config{SegmentSize: 4 << 20, BufferSize: 1 << 20, Storage: mirror}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	// Generate traffic so a batch (or heartbeat) with the stale epoch 2
+	// reaches the replica and trips the fence fatally.
+	c := dial(t, addr, 1)
+	tbl := c.CreateTable("t")
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replica accepted a stream from a deposed primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := rep.Err(); !errors.Is(err, repl.ErrStreamFatal) {
+		t.Fatalf("fence error = %v, want ErrStreamFatal", err)
+	}
+	if rep.Epoch() != 5 {
+		t.Fatalf("replica epoch moved to %d", rep.Epoch())
+	}
+	if w := rep.Watermark(); w > wal.Grain {
+		t.Fatalf("replica applied bytes (watermark %d) from a deposed primary", w)
+	}
+}
+
+// TestSupervisorPromotesOnSilence: heartbeats flowing, no promotion; primary
+// gone, the supervisor promotes the replica, which claims the next epoch and
+// accepts writes.
+func TestSupervisorPromotesOnSilence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := wal.NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openCore(t, core.Config{WAL: wal.Config{Storage: st}})
+	srv, addr := serve(t, db, server.Config{Epoch: 1, ReplHeartbeat: 15 * time.Millisecond})
+
+	c := dial(t, addr, 1)
+	tbl := c.CreateTable("t")
+	txn := c.Begin(0)
+	if err := txn.Insert(tbl, []byte("survives"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := repl.Start(repl.Config{
+		PrimaryAddr:      addr,
+		HeartbeatTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	// Wait for catch-up so the acked commit is on the replica.
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Watermark() < srv.Stats().DurableOffset || srv.Stats().DurableOffset == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: wm=%d durable=%d", rep.Watermark(), srv.Stats().DurableOffset)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sup := &repl.Supervisor{R: rep, SilenceTimeout: 250 * time.Millisecond}
+	supDone := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { supDone <- sup.Run(stop) }()
+
+	// Heartbeats are flowing: well past the timeout, still not promoted.
+	time.Sleep(400 * time.Millisecond)
+	select {
+	case err := <-supDone:
+		t.Fatalf("supervisor promoted under live heartbeats: %v", err)
+	default:
+	}
+
+	srv.Close() // primary dies; silence begins
+	select {
+	case err := <-supDone:
+		if err != nil {
+			t.Fatalf("supervised promotion: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor never promoted after primary death")
+	}
+	if rep.Epoch() != 2 {
+		t.Fatalf("promoted epoch %d, want 2", rep.Epoch())
+	}
+	// The promoted DB serves writes and kept the acked commit.
+	pdb := rep.DB()
+	ptbl := pdb.OpenTable("t")
+	if ptbl == nil {
+		t.Fatal("table lost across promotion")
+	}
+	w := pdb.Begin(0)
+	if _, err := w.Get(ptbl, []byte("survives")); err != nil {
+		t.Fatalf("acked commit lost across supervised promotion: %v", err)
+	}
+	if err := w.Update(ptbl, []byte("survives"), []byte("v2")); err != nil {
+		t.Fatalf("promoted DB refuses writes: %v", err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for future debugging output

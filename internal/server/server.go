@@ -34,6 +34,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ermia/internal/engine"
 	"ermia/internal/wal"
@@ -93,6 +94,37 @@ type Config struct {
 	// replica engine to primary and return a human-readable report (wire
 	// it to repl.Replica.Promote). Nil refuses the frame.
 	PromoteFn func() (string, error)
+	// WriteTimeout bounds each response write so a peer that stops reading
+	// is disconnected instead of wedging the session writer (and, through a
+	// full response queue, the group committer). Default 30s.
+	WriteTimeout time.Duration
+	// IdleTimeout, when positive, disconnects a session that sends no frame
+	// for this long. Live clients stay inside it with Ping keepalives;
+	// replication subscribers stay inside it because heartbeats elicit acks.
+	// It is the half-open-connection reaper: without it a peer that
+	// vanished without a FIN holds its connection slot forever. Zero
+	// disables.
+	IdleTimeout time.Duration
+	// SyncRepl makes group-commit acknowledgments semi-synchronous: a write
+	// commit is acknowledged only after a replication subscriber has
+	// acknowledged applying the log through that commit. Combined with
+	// epoch fencing this is what makes automatic failover lose no acked
+	// commit: anything acked lives on the replica that will be promoted,
+	// and a deposed primary cannot ack (its subscriber is gone, so waits
+	// expire). Requires DurabilityGroup.
+	SyncRepl bool
+	// SyncReplWait caps how long a SyncRepl commit waits for the replica's
+	// acknowledgment when the request carries no deadline of its own; such
+	// commits fail with StatusDeadlineExceeded (retryable, outcome
+	// indeterminate). Default 5s.
+	SyncReplWait time.Duration
+	// Epoch seeds the server's primary epoch number (see Server.SetEpoch).
+	Epoch uint64
+	// ReplHeartbeat, when positive, makes replication streams emit a
+	// heartbeat frame (epoch + durable offset) at most this often while
+	// caught up, so subscribers can detect a dead primary by silence.
+	// Zero disables heartbeats.
+	ReplHeartbeat time.Duration
 }
 
 // StatsSnapshot is the server-level counter set served by the Stats frame.
@@ -150,6 +182,17 @@ type Server struct {
 	replAcked       atomic.Uint64
 	checkpoints     atomic.Uint64
 
+	// epoch is the primary epoch this server believes it serves in; stamped
+	// into repl batches and Ping responses, checked against the client's
+	// Begin frames (a client that has seen a higher epoch is refused with
+	// StatusStaleEpoch — the fencing check for deposed primaries).
+	epoch atomic.Uint64
+	// commitEpochs counts positively acknowledged write commits per epoch:
+	// the nemesis single-writer audit asserts no two servers ever acked
+	// write commits in the same epoch.
+	epochMu      sync.Mutex
+	commitEpochs map[uint64]uint64
+
 	shutOnce sync.Once
 	shutErr  error
 }
@@ -169,14 +212,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ScanPageSize <= 0 {
 		cfg.ScanPageSize = 1024
 	}
-	s := &Server{
-		cfg:      cfg,
-		db:       cfg.DB,
-		doneCh:   make(chan struct{}),
-		connSem:  make(chan struct{}, cfg.MaxConns),
-		slots:    make(chan int, cfg.Workers),
-		sessions: make(map[*session]struct{}),
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
+	if cfg.SyncReplWait <= 0 {
+		cfg.SyncReplWait = 5 * time.Second
+	}
+	if cfg.SyncRepl && cfg.Durability != DurabilityGroup {
+		return nil, errors.New("server: SyncRepl requires DurabilityGroup (the group committer is where replication acks are awaited)")
+	}
+	s := &Server{
+		cfg:          cfg,
+		db:           cfg.DB,
+		doneCh:       make(chan struct{}),
+		connSem:      make(chan struct{}, cfg.MaxConns),
+		slots:        make(chan int, cfg.Workers),
+		sessions:     make(map[*session]struct{}),
+		commitEpochs: make(map[uint64]uint64),
+	}
+	s.epoch.Store(cfg.Epoch)
 	for i := 0; i < cfg.Workers; i++ {
 		s.slots <- i
 	}
@@ -218,6 +272,36 @@ func (s *Server) shipLog() *wal.Manager {
 		return nil
 	}
 	return lp.Log()
+}
+
+// Epoch returns the primary epoch this server currently serves in.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SetEpoch advances the server's primary epoch monotonically (a lower value
+// is ignored — epochs only move forward). Called after promotion, with the
+// persisted epoch the promoted replica now owns.
+func (s *Server) SetEpoch(e uint64) { storeMax(&s.epoch, e) }
+
+// noteCommit records one positively acknowledged write commit in epoch.
+func (s *Server) noteCommit(epoch uint64) {
+	s.commits.Add(1)
+	s.epochMu.Lock()
+	s.commitEpochs[epoch]++
+	s.epochMu.Unlock()
+}
+
+// CommitEpochs snapshots the per-epoch acknowledged write-commit counts.
+// The nemesis harness intersects these across servers: two servers both
+// acking write commits in one epoch is the split-brain the epoch fence
+// exists to prevent.
+func (s *Server) CommitEpochs() map[uint64]uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	out := make(map[uint64]uint64, len(s.commitEpochs))
+	for e, n := range s.commitEpochs {
+		out[e] = n
+	}
+	return out
 }
 
 // storeMax advances a high-watermark counter monotonically.

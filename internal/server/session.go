@@ -30,6 +30,12 @@ type request struct {
 	typ     byte
 	id      uint64
 	payload []byte
+	// deadline is the absolute expiry computed from the frame header's
+	// relative budget when the frame was read; zero means none. Requests
+	// overdue at dispatch are refused with StatusDeadlineExceeded and any
+	// transaction they name is aborted, so a stalled pipeline sheds load
+	// instead of executing work nobody is waiting for.
+	deadline time.Time
 }
 
 // session is one connection: a reader goroutine decodes frames into a
@@ -94,12 +100,25 @@ func (s *session) forceClose() { s.nc.Close() }
 func (s *session) readLoop() {
 	defer close(s.reqs)
 	br := bufio.NewReaderSize(s.nc, 64<<10)
+	idle := s.srv.cfg.IdleTimeout
 	for {
-		typ, id, payload, err := proto.ReadFrame(br)
-		if err != nil {
-			return // EOF, forced close, drain kick, or framing violation
+		if idle > 0 {
+			// Half-open reaper: a peer that sends nothing (not even a Ping)
+			// for a full idle window is presumed gone. Left untouched when
+			// disabled so kickIfIdle's past-deadline poke is never undone.
+			s.nc.SetReadDeadline(time.Now().Add(idle))
 		}
-		s.reqs <- request{typ: typ, id: id, payload: payload}
+		typ, id, dl, payload, err := proto.ReadFrameD(br)
+		if err != nil {
+			return // EOF, forced close, drain kick, idle/deadline, or framing violation
+		}
+		req := request{typ: typ, id: id, payload: payload}
+		if dl > 0 {
+			// The budget is relative: the countdown starts the moment the
+			// frame is off the wire, so no clock sync with the client needed.
+			req.deadline = time.Now().Add(time.Duration(dl) * time.Millisecond)
+		}
+		s.reqs <- req
 	}
 }
 
@@ -113,15 +132,20 @@ func (s *session) writeLoop() {
 		}
 		// A peer that stops reading must not wedge this writer (and through
 		// a full response queue, the group committer) forever.
-		s.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		s.nc.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
 		if _, err := bw.Write(f); err != nil {
 			dead = true
-			continue
-		}
-		if len(s.out) == 0 {
+		} else if len(s.out) == 0 {
 			if err := bw.Flush(); err != nil {
 				dead = true
 			}
+		}
+		if dead {
+			// Disconnect, don't just drop responses: closing the conn
+			// unblocks the reader, so the session tears down and its
+			// transactions, slots, and connection slot are reclaimed
+			// instead of being held by a peer that stopped reading.
+			s.nc.Close()
 		}
 	}
 	if !dead {
@@ -191,6 +215,10 @@ func (s *session) endTxn(id uint64, ot openTxn) {
 }
 
 func (s *session) dispatch(req request) {
+	if !req.deadline.IsZero() && time.Now().After(req.deadline) {
+		s.expire(req)
+		return
+	}
 	d := proto.NewDec(req.payload)
 	switch req.typ {
 	case proto.MsgBegin:
@@ -221,15 +249,63 @@ func (s *session) dispatch(req request) {
 		s.handleCheckpoint(req, d)
 	case proto.MsgCkptFetch:
 		s.handleCkptFetch(req, d)
+	case proto.MsgPing:
+		s.handlePing(req)
 	default:
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
 	}
 }
 
+// expire answers an overdue request with StatusDeadlineExceeded. A request
+// that names a transaction has it aborted through the normal path first, so
+// its worker slot and engine resources free immediately — an abandoned
+// deadline must not leak a slot until teardown.
+func (s *session) expire(req request) {
+	switch req.typ {
+	case proto.MsgGet, proto.MsgInsert, proto.MsgUpdate, proto.MsgDelete,
+		proto.MsgScan, proto.MsgCommit, proto.MsgAbort:
+		d := proto.NewDec(req.payload)
+		txnID := d.U64()
+		if d.Err() == nil {
+			if ot, ok := s.txns[txnID]; ok {
+				ot.txn.Abort()
+				s.srv.aborts.Add(1)
+				s.endTxn(txnID, ot)
+			}
+		}
+	}
+	s.respond(req.typ, req.id, respPayload(proto.StatusDeadlineExceeded, "", nil))
+}
+
+// handlePing serves the liveness probe/handshake: the current primary epoch
+// and health state, with no worker slot consumed. Clients use it at dial
+// time to learn the epoch before issuing work and periodically as a
+// keepalive against the server's IdleTimeout.
+func (s *session) handlePing(req request) {
+	st := engine.Healthy
+	if hr, ok := s.srv.db.(engine.HealthReporter); ok {
+		st = hr.Health().State
+	}
+	body := proto.AppendU64(nil, s.srv.epoch.Load())
+	body = proto.AppendU8(body, byte(st))
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
+}
+
 func (s *session) handleBegin(req request, d *proto.Dec) {
 	flags := d.U8()
+	// Older clients send only the flag byte; newer ones append the highest
+	// primary epoch they have observed, and a server behind that epoch is a
+	// deposed primary that must fence itself rather than accept the work.
+	var cliEpoch uint64
+	if len(req.payload) > 1 {
+		cliEpoch = d.U64()
+	}
 	if d.Err() != nil {
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	if cliEpoch > s.srv.epoch.Load() {
+		s.respond(req.typ, req.id, respPayload(proto.StatusStaleEpoch, "", nil))
 		return
 	}
 	if s.srv.draining() {
@@ -389,9 +465,10 @@ func (s *session) handleCommit(req request, d *proto.Dec) {
 		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
 		return
 	}
+	ep := s.srv.epoch.Load()
 	switch s.srv.cfg.Durability {
 	case DurabilityNone:
-		s.srv.commits.Add(1)
+		s.srv.noteCommit(ep)
 		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
 	case DurabilityPerCommit:
 		s.wg.Add(1)
@@ -399,13 +476,27 @@ func (s *session) handleCommit(req request, d *proto.Dec) {
 			defer s.wg.Done()
 			st, detail := proto.StatusOf(s.srv.syncCommit())
 			if st == proto.StatusOK {
-				s.srv.commits.Add(1)
+				s.srv.noteCommit(ep)
 			}
 			s.respond(proto.MsgCommit, reqID, respPayload(st, detail, nil))
 		}(req.id)
 	default: // DurabilityGroup
+		ack := commitAck{sess: s, reqID: req.id, epoch: ep, deadline: req.deadline}
+		if s.srv.cfg.SyncRepl {
+			// The replica must acknowledge applying the log through this
+			// commit's bytes before the client hears OK. Deadline-less
+			// commits get the server-side cap so a dead or fenced-off
+			// subscriber cannot park the committer forever.
+			if log := s.srv.shipLog(); log != nil {
+				ack.target = log.CurrentOffset()
+			}
+			replCap := time.Now().Add(s.srv.cfg.SyncReplWait)
+			if ack.deadline.IsZero() || replCap.Before(ack.deadline) {
+				ack.deadline = replCap
+			}
+		}
 		s.wg.Add(1)
-		s.srv.gc.enqueue(commitAck{sess: s, reqID: req.id})
+		s.srv.gc.enqueue(ack)
 	}
 }
 
@@ -609,8 +700,21 @@ func (s *session) handleReplSubscribe(req request, d *proto.Dec) {
 	go func(reqID, from uint64, stop chan struct{}) {
 		defer s.wg.Done()
 		defer s.srv.replSubscribers.Add(-1)
-		sh := &repl.Shipper{Log: log}
+		sh := &repl.Shipper{
+			Log:       log,
+			Heartbeat: s.srv.cfg.ReplHeartbeat,
+			OnIdle: func() error {
+				// Liveness beacon on a quiet stream: epoch plus durable
+				// horizon. The replica answers with a MsgReplAck, which
+				// keeps both directions inside their idle timeouts.
+				body := proto.AppendU64(nil, s.srv.epoch.Load())
+				body = proto.AppendU64(body, log.DurableOffset())
+				s.respond(proto.MsgReplHeartbeat, reqID, respPayload(proto.StatusOK, "", body))
+				return nil
+			},
+		}
 		err := sh.Run(from, stop, func(b *proto.ReplBatch) error {
+			b.Epoch = s.srv.epoch.Load()
 			if n := len(b.Blocks); n > 0 {
 				last := &b.Blocks[n-1]
 				storeMax(&s.srv.replShipped, last.Off+uint64(last.Size))

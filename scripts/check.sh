@@ -26,9 +26,19 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (core, wal, epoch, engine, server, client, repl; -short) =="
+echo "== go test -race (core, wal, epoch, engine, server, client, repl, faultconn; -short) =="
 go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
-	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/
+	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/ \
+	./internal/faultconn/
+
+echo "== nemesis smoke (fixed seeds, -race) =="
+# A bounded chaos sweep: every seed replays a deterministic fault schedule
+# (partitions, cuts, crashes, supervised failovers) against a primary +
+# replica cluster under retrying load, and must lose no acked commit, show
+# no snapshot regression, and never ack writes under one epoch on two
+# primaries. A failing seed's schedule is printed by the test; replay it
+# with nemesis.Run(nemesis.Config{Seed: <seed>}).
+go test -race -count=1 ./internal/nemesis/
 
 echo "== fuzz smoke (FuzzCheckpointBlob, 10s) =="
 # The other fuzz targets' seed corpora already run inside `go test` above;
