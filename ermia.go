@@ -26,6 +26,7 @@ import (
 	"ermia/internal/client"
 	"ermia/internal/core"
 	"ermia/internal/engine"
+	"ermia/internal/query"
 	"ermia/internal/repl"
 	"ermia/internal/server"
 	"ermia/internal/silo"
@@ -402,3 +403,162 @@ func StartReplicaWith(cfg ReplicaConfig, opts Options) (*LogReplica, error) {
 	cfg.Core = core
 	return repl.Start(cfg)
 }
+
+// ---- Relational query layer ----
+//
+// internal/query re-exported: a volcano-style operator tree (scan, filter,
+// project, hash join, aggregate, order-by, limit) evaluated over a typed row
+// codec on top of Txn.Scan. Every plan executes inside one read-only
+// snapshot, so long analytical queries never block or abort writers — SI
+// heterogeneous-workload behaviour at the query layer. Plans are a compact
+// typed AST (not SQL) with a deterministic binary encoding; the same encoded
+// plan runs embedded, over the wire via Client.Query, or against a
+// LogReplica's engine. See DESIGN.md ("Query processing").
+//
+//	sch := ermia.QuerySchema{
+//	    Key: []ermia.QueryColumn{{Name: "id", Enc: ermia.EncKeyU32}},
+//	    Val: []ermia.QueryColumn{{Name: "amount", Enc: ermia.EncValI}},
+//	}
+//	plan := ermia.NewQueryPlan(ermia.QueryAggregate(
+//	    ermia.QueryFilter(ermia.QueryScan("orders", sch),
+//	        ermia.QGt(ermia.QCol(1), ermia.QInt(100))),
+//	    nil, ermia.QCount(), ermia.QSum(ermia.QCol(1))))
+//	rows, err := ermia.RunQuery(db, 0, plan)
+
+// QueryPlan is an executable analytical plan (internal/query.Plan).
+type QueryPlan = query.Plan
+
+// QueryNode is one operator in a plan tree.
+type QueryNode = query.Node
+
+// QueryExpr is a scalar expression over a row.
+type QueryExpr = query.Expr
+
+// QueryValue is one typed scalar (int, float, or string).
+type QueryValue = query.Value
+
+// QueryRow is one result row.
+type QueryRow = query.Row
+
+// QueryRows is a pull iterator over result rows: Next returns (nil, nil) at
+// end of stream; always Close.
+type QueryRows = query.Rows
+
+// QuerySchema describes how a table's key/value bytes decode into columns.
+type QuerySchema = query.Schema
+
+// QueryColumn is one column of a QuerySchema.
+type QueryColumn = query.Column
+
+// QueryOptions bounds a query execution (row budget, cancellation hook).
+type QueryOptions = query.Options
+
+// QueryAggSpec is one aggregate computation (COUNT/SUM/MIN/MAX/AVG).
+type QueryAggSpec = query.AggSpec
+
+// QuerySortKey is one order-by key.
+type QuerySortKey = query.SortKey
+
+// Column encodings for QuerySchema: EncKey* decode order-preserving key
+// fields, EncVal* decode varint tuple fields, and the Raw forms capture the
+// undecoded remainder as an opaque string column.
+const (
+	EncKeyU8  = query.EncKeyU8
+	EncKeyU16 = query.EncKeyU16
+	EncKeyU32 = query.EncKeyU32
+	EncKeyU64 = query.EncKeyU64
+	EncKeyI64 = query.EncKeyI64
+	EncKeyStr = query.EncKeyStr
+	EncKeyRaw = query.EncKeyRaw
+	EncValU   = query.EncValU
+	EncValI   = query.EncValI
+	EncValF   = query.EncValF
+	EncValS   = query.EncValS
+	EncValRaw = query.EncValRaw
+)
+
+// Plan-node builders.
+var (
+	QueryScan      = query.Scan
+	QueryScanRange = query.ScanRange
+	QueryFilter    = query.Filter
+	QueryProject   = query.Project
+	QueryHashJoin  = query.HashJoin
+	QueryAggregate = query.Aggregate
+	QueryOrderBy   = query.OrderBy
+	QueryLimit     = query.Limit
+	NewQueryPlan   = query.NewPlan
+)
+
+// Expression builders (Q-prefixed to keep the facade namespace flat).
+var (
+	QCol     = query.Col
+	QInt     = query.ConstInt
+	QFloat   = query.ConstFloat
+	QStr     = query.ConstStr
+	QEq      = query.Eq
+	QNe      = query.Ne
+	QLt      = query.Lt
+	QLe      = query.Le
+	QGt      = query.Gt
+	QGe      = query.Ge
+	QAnd     = query.And
+	QOr      = query.Or
+	QNot     = query.Not
+	QAdd     = query.Add
+	QSub     = query.Sub
+	QMul     = query.Mul
+	QDiv     = query.Div
+	QToInt   = query.ToInt
+	QToFloat = query.ToFloat
+)
+
+// Aggregate builders.
+var (
+	QCount = query.Count
+	QSum   = query.Sum
+	QMin   = query.Min
+	QMax   = query.Max
+	QAvg   = query.Avg
+)
+
+// Query-plan errors. ErrBadQueryPlan is fatal (fix the plan);
+// ErrQueryCancelled reports a cancelled execution; ErrQueryOverflow a result
+// or materialization that exceeded the row budget.
+var (
+	ErrBadQueryPlan   = engine.ErrBadQueryPlan
+	ErrQueryCancelled = engine.ErrQueryCancelled
+	ErrQueryOverflow  = engine.ErrQueryOverflow
+)
+
+// RunQuery executes plan inside one fresh read-only snapshot on any local
+// Engine (primary or replica) and returns the full result. For streaming,
+// bounded, or cancellable execution use query.Run via ExecQuery's options.
+func RunQuery(db Engine, worker int, plan *QueryPlan) ([]QueryRow, error) {
+	return query.RunReadOnly(db, worker, plan, query.Options{})
+}
+
+// ExecQuery is RunQuery with explicit execution options (row budget,
+// cancellation hook).
+func ExecQuery(db Engine, worker int, plan *QueryPlan, opts QueryOptions) ([]QueryRow, error) {
+	return query.RunReadOnly(db, worker, plan, opts)
+}
+
+// QueryInTxn runs plan inside an already-open transaction on db and
+// returns the full result. The plan sees exactly the versions txn.Scan
+// would return, so a read-write transaction can mix relational scans with
+// imperative updates and commit them atomically.
+func QueryInTxn(db Engine, txn Txn, plan *QueryPlan) ([]QueryRow, error) {
+	return query.Collect(txn, db.OpenTable, plan, query.Options{})
+}
+
+// EncodeQueryPlan serializes a plan to its deterministic wire encoding.
+func EncodeQueryPlan(plan *QueryPlan) ([]byte, error) { return plan.Encode() }
+
+// DecodeQueryPlan parses a wire-encoded plan (without validating it — call
+// Validate before executing untrusted bytes).
+func DecodeQueryPlan(data []byte) (*QueryPlan, error) { return query.DecodePlan(data) }
+
+// QueryRowIter streams a remote query's results (client.RowIter
+// re-exported); obtained from Client.Query.
+type QueryRowIter = client.RowIter

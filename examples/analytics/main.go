@@ -1,9 +1,10 @@
 // Analytics: the paper's motivating heterogeneous workload in miniature.
 //
 // Every worker runs a mix of short, write-intensive "order" transactions
-// and occasional long read-mostly "report" transactions. A report scans the
-// whole inventory to compute an aggregate and restocks depleted products —
-// so it writes, and cannot hide in Silo's read-only snapshots. The program
+// and occasional long read-mostly "report" transactions. A report runs a
+// relational query (scan → filter → project, via the query layer) over the
+// whole inventory to find depleted products, then restocks them — so it
+// writes, and cannot hide in Silo's read-only snapshots. The program
 // runs the identical mix on the Silo-OCC baseline and on ERMIA-SI and
 // prints how each engine treats the report transaction: under writer-wins
 // OCC the report's read set is overwritten before it validates and it
@@ -70,23 +71,32 @@ func order(db ermia.Engine, inventory ermia.Table, worker int, rng *xrand.Rand) 
 	return txn.Commit()
 }
 
-// report is the long read-mostly transaction: scan everything, sum stock,
-// restock anything that ran low.
+// lowStockPlan is the report's relational half: scan the whole inventory,
+// keep rows whose stock parses below 10, and project the product key.
+// EncKeyRaw/EncValRaw expose the example's ad-hoc encodings (string keys,
+// ASCII counts) as string columns; QToInt parses the count.
+var lowStockPlan = ermia.NewQueryPlan(
+	ermia.QueryProject(
+		ermia.QueryFilter(
+			ermia.QueryScan("inventory", ermia.QuerySchema{
+				Key: []ermia.QueryColumn{{Name: "product", Enc: ermia.EncKeyRaw}},
+				Val: []ermia.QueryColumn{{Name: "stock", Enc: ermia.EncValRaw}},
+			}),
+			ermia.QLt(ermia.QToInt(ermia.QCol(1)), ermia.QInt(10))),
+		ermia.QCol(0)))
+
+// report is the long read-mostly transaction: run the low-stock query,
+// then restock everything it found — inside one read-write transaction, so
+// the restocks commit atomically with the scan that justified them.
 func report(db ermia.Engine, inventory ermia.Table, worker int) error {
 	txn := db.Begin(worker)
-	var lows [][]byte
-	if err := txn.Scan(inventory, nil, nil, func(k, v []byte) bool {
-		n, _ := strconv.Atoi(string(v))
-		if n < 10 {
-			lows = append(lows, append([]byte(nil), k...))
-		}
-		return true
-	}); err != nil {
+	lows, err := ermia.QueryInTxn(db, txn, lowStockPlan)
+	if err != nil {
 		txn.Abort()
 		return err
 	}
-	for _, k := range lows {
-		if err := txn.Update(inventory, k, []byte("50")); err != nil {
+	for _, row := range lows {
+		if err := txn.Update(inventory, []byte(row[0].Str), []byte("50")); err != nil {
 			txn.Abort()
 			return err
 		}

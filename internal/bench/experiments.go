@@ -743,12 +743,12 @@ var Experiments = map[string]func(Params) error{
 	"fig1": Fig1, "fig2": Fig2, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7,
 	"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
 	"fig12": Fig12, "table1": Table1, "server": ServerBench, "repl": ReplBench,
-	"ckpt": CkptBench, "chaos": ChaosBench,
+	"ckpt": CkptBench, "chaos": ChaosBench, "query": QueryBench,
 }
 
 // ExperimentOrder lists experiments in paper order for "all"; "server",
 // "repl", and "ckpt" (not from the paper's evaluation) come last.
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "table1", "server", "repl", "ckpt", "chaos",
+	"fig11", "fig12", "table1", "server", "repl", "ckpt", "chaos", "query",
 }

@@ -399,6 +399,11 @@ type ServerStats struct {
 	ReplAckedOffset   uint64
 
 	Checkpoints uint64
+
+	ActiveQueries    uint32
+	Queries          uint64
+	QueryRows        uint64
+	QueriesCancelled uint64
 }
 
 // Stats fetches the server's counters.
@@ -427,6 +432,10 @@ func (c *Client) Stats() (ServerStats, error) {
 	out.ReplShippedOffset = d.U64()
 	out.ReplAckedOffset = d.U64()
 	out.Checkpoints = d.U64()
+	out.ActiveQueries = d.U32()
+	out.Queries = d.U64()
+	out.QueryRows = d.U64()
+	out.QueriesCancelled = d.U64()
 	return out, d.Err()
 }
 

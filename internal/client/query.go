@@ -1,0 +1,150 @@
+package client
+
+import (
+	"ermia/internal/proto"
+	"ermia/internal/query"
+)
+
+// RowIter streams one analytical query's result rows from the server. It is
+// the client end of the pull-based query protocol: rows arrive in chunks,
+// each fetched by an ordinary pipelined request when the local buffer runs
+// dry, so a slow consumer throttles the server instead of flooding the
+// connection. Not safe for concurrent use.
+type RowIter struct {
+	cn     *conn
+	id     uint64
+	arity  int
+	buf    []query.Row
+	pos    int
+	done   bool
+	closed bool
+	err    error
+}
+
+// Query opens an analytical query on the server: the plan is validated,
+// pinned to a read-only snapshot, and its results become pullable through
+// the returned iterator. worker selects the pool connection, like Begin.
+// The snapshot holds a server worker slot until the iterator is drained or
+// closed — always Close it.
+func (c *Client) Query(worker int, plan *query.Plan) (*RowIter, error) {
+	return c.QueryMaxRows(worker, plan, 0)
+}
+
+// QueryMaxRows is Query with a client-side row budget: the server fails the
+// query with engine.ErrQueryOverflow if the result would exceed maxRows.
+// Zero means the server's own limit alone applies; a non-zero budget can
+// lower the server limit but never raise it.
+func (c *Client) QueryMaxRows(worker int, plan *query.Plan, maxRows uint32) (*RowIter, error) {
+	enc, err := plan.Encode()
+	if err != nil {
+		return nil, err
+	}
+	cn, err := c.conn(worker)
+	if err != nil {
+		return nil, err
+	}
+	p := proto.AppendBytes(nil, enc)
+	p = proto.AppendU32(p, maxRows)
+	st, detail, d, err := cn.call(proto.MsgQuery, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Err(detail); err != nil {
+		return nil, err
+	}
+	id := d.U64()
+	arity := d.U32()
+	if d.Err() != nil {
+		return nil, connLost(d.Err())
+	}
+	return &RowIter{cn: cn, id: id, arity: int(arity)}, nil
+}
+
+// Arity returns the number of columns in each result row.
+func (it *RowIter) Arity() int { return it.arity }
+
+// Next returns the next result row, or (nil, nil) at end of stream. Errors
+// are sticky; after one the stream is dead server-side.
+func (it *RowIter) Next() (query.Row, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	for {
+		if it.pos < len(it.buf) {
+			row := it.buf[it.pos]
+			it.pos++
+			return row, nil
+		}
+		if it.done || it.closed {
+			return nil, nil
+		}
+		if err := it.pull(); err != nil {
+			it.err = err
+			return nil, err
+		}
+	}
+}
+
+// pull fetches the next chunk of rows from the server.
+func (it *RowIter) pull() error {
+	st, detail, d, err := it.cn.call(proto.MsgQueryRow, proto.AppendU64(nil, it.id))
+	if err != nil {
+		return err
+	}
+	if err := st.Err(detail); err != nil {
+		return err
+	}
+	done := d.U8() == 1
+	n := d.U32()
+	raw := d.Rest()
+	if d.Err() != nil {
+		return connLost(d.Err())
+	}
+	rows, err := query.DecodeRows(raw, int(n))
+	if err != nil {
+		return connLost(err)
+	}
+	it.buf, it.pos = rows, 0
+	it.done = done
+	return nil
+}
+
+// Close releases the query's snapshot and worker slot on the server. It is
+// a no-op after the stream completed (the server already released) and is
+// safe to call more than once.
+func (it *RowIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.buf, it.pos = nil, 0
+	if it.done || it.err != nil {
+		// Stream completion and error frames both end the query server-side.
+		return nil
+	}
+	st, detail, _, err := it.cn.call(proto.MsgQueryEnd, proto.AppendU64(nil, it.id))
+	if err != nil {
+		return err
+	}
+	return st.Err(detail)
+}
+
+// QueryAll opens the query and drains it into a slice, closing the stream.
+func (c *Client) QueryAll(worker int, plan *query.Plan) ([]query.Row, error) {
+	it, err := c.Query(worker, plan)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []query.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -177,6 +177,15 @@ func (d *KeyDecoder) String() string {
 	return ""
 }
 
+// Rest returns the undecoded remainder of the key (empty after an error).
+// Useful for schemas whose final field is the raw key tail.
+func (d *KeyDecoder) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	return d.buf
+}
+
 // Err reports the first decoding error, if any.
 func (d *KeyDecoder) Err() error { return d.err }
 
@@ -282,6 +291,14 @@ func (d *TupleDecoder) String() string {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s
+}
+
+// Rest returns the undecoded remainder of the tuple (empty after an error).
+func (d *TupleDecoder) Rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	return d.buf
 }
 
 // Err reports the first decoding error, if any.

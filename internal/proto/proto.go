@@ -103,6 +103,25 @@ const (
 	// replica's failure detector and elicits a MsgReplAck reply, keeping
 	// both directions of the subscription inside their idle timeouts.
 	MsgReplHeartbeat
+	// MsgQuery opens a server-side analytical query: payload uvarint-
+	// prefixed plan bytes (internal/query binary encoding) + u32 max result
+	// rows (0 = server default). The server validates the plan, pins a
+	// read-only snapshot transaction, and answers with u64 query id. Rows
+	// are then pulled with MsgQueryRow; the snapshot holds until the stream
+	// finishes, MsgQueryEnd cancels it, or the session closes. Appended
+	// after MsgReplHeartbeat to keep existing wire values stable.
+	MsgQuery
+	// MsgQueryRow pulls the next chunk of result rows: payload u64 query
+	// id. Response: u8 done flag, u32 row count, then that many wire-encoded
+	// rows. done=1 means the stream is complete and the id is released.
+	// Pull-based chunking gives natural backpressure — the snapshot advances
+	// only as fast as the client drains — and each pull carries its own
+	// frame deadline.
+	MsgQueryRow
+	// MsgQueryEnd cancels a running query: payload u64 query id. Always
+	// answers OK (cancelling a finished or unknown id is a no-op), aborting
+	// the snapshot transaction and releasing its worker slot.
+	MsgQueryEnd
 )
 
 // Begin request flag bits.

@@ -71,6 +71,17 @@ const (
 	// server is a deposed primary (e.g. a healed partition survivor) and
 	// must not accept work.
 	StatusStaleEpoch
+	// StatusQueryBadPlan reports an analytical query plan the server
+	// refused: undecodable bytes, failed validation, an unknown table, or a
+	// runtime type error during execution. Appended after StatusStaleEpoch
+	// to keep existing wire values stable.
+	StatusQueryBadPlan
+	// StatusQueryCancelled reports a query terminated by MsgQueryEnd (or by
+	// its session tearing down) before its result stream finished.
+	StatusQueryCancelled
+	// StatusQueryOverflow reports a query whose result or internal
+	// materialization exceeded the server's row budget.
+	StatusQueryOverflow
 )
 
 // Server-side request errors with no engine sentinel. They are fatal to the
@@ -109,6 +120,9 @@ var statusTable = []struct {
 	{StatusNoCheckpoint, engine.ErrNoCheckpoint},
 	{StatusDeadlineExceeded, engine.ErrDeadlineExceeded},
 	{StatusStaleEpoch, engine.ErrStaleEpoch},
+	{StatusQueryBadPlan, engine.ErrBadQueryPlan},
+	{StatusQueryCancelled, engine.ErrQueryCancelled},
+	{StatusQueryOverflow, engine.ErrQueryOverflow},
 }
 
 // StatusOf maps a server-side error to its wire status plus a detail string

@@ -34,6 +34,9 @@ var sentinelValues = map[string]error{
 	"ErrNoCheckpoint":     engine.ErrNoCheckpoint,
 	"ErrDeadlineExceeded": engine.ErrDeadlineExceeded,
 	"ErrStaleEpoch":       engine.ErrStaleEpoch,
+	"ErrBadQueryPlan":     engine.ErrBadQueryPlan,
+	"ErrQueryCancelled":   engine.ErrQueryCancelled,
+	"ErrQueryOverflow":    engine.ErrQueryOverflow,
 }
 
 // engineSentinel is one parsed sentinel declaration.

@@ -1,0 +1,135 @@
+package query
+
+// Snapshot stability under churn: an aggregate scanned repeatedly inside
+// ONE read-only transaction, while a background writer keeps moving money
+// between accounts, must return the identical total every time (the
+// snapshot never moves), and every fresh snapshot must see a conserved
+// total (transfers preserve the sum). The replica-side variant of this
+// test lives in internal/repl.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ermia/internal/codec"
+	"ermia/internal/engine"
+	"ermia/internal/xrand"
+)
+
+const (
+	churnAccounts = 400
+	churnInitial  = 1000
+)
+
+// AcctSchema is the layout the churn tests (here and in internal/repl)
+// share: key Uint32(acct), value varint balance.
+func acctSchema() Schema {
+	return Schema{
+		Key: []Column{{Name: "acct", Enc: EncKeyU32}},
+		Val: []Column{{Name: "bal", Enc: EncValI}},
+	}
+}
+
+func acctKey(i uint32) []byte { return codec.NewKey(4).Uint32(i).Clone() }
+func acctVal(v int64) []byte  { return codec.NewTuple(8).Int64(v).Clone() }
+
+func loadAccounts(t *testing.T, db engine.DB) {
+	t.Helper()
+	tbl := db.CreateTable("acct")
+	txn := db.Begin(0)
+	for i := uint32(0); i < churnAccounts; i++ {
+		if err := txn.Insert(tbl, acctKey(i), acctVal(churnInitial)); err != nil {
+			t.Fatalf("insert acct %d: %v", i, err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit accounts: %v", err)
+	}
+}
+
+func sumPlan() *Plan {
+	return NewPlan(Aggregate(Scan("acct", acctSchema()), nil, Sum(Col(1)), Count()))
+}
+
+// transfer moves a random amount between two random accounts, retrying
+// conflicts.
+func transfer(db engine.DB, worker int, r *xrand.Rand) error {
+	a := uint32(r.Intn(churnAccounts))
+	b := uint32(r.Intn(churnAccounts))
+	if a == b {
+		b = (b + 1) % churnAccounts
+	}
+	amt := int64(r.Intn(50) + 1)
+	return engine.RunWithRetry(context.Background(), db, worker, func(txn engine.Txn) error {
+		tbl := db.OpenTable("acct")
+		av, err := txn.Get(tbl, acctKey(a))
+		if err != nil {
+			return err
+		}
+		bv, err := txn.Get(tbl, acctKey(b))
+		if err != nil {
+			return err
+		}
+		abal := codec.DecodeTuple(av).Int64()
+		bbal := codec.DecodeTuple(bv).Int64()
+		if err := txn.Update(tbl, acctKey(a), acctVal(abal-amt)); err != nil {
+			return err
+		}
+		return txn.Update(tbl, acctKey(b), acctVal(bbal+amt))
+	})
+}
+
+func TestSnapshotStableUnderChurn(t *testing.T) {
+	db := openDB(t)
+	loadAccounts(t, db)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const writers = 3
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			r := xrand.New2(0xc4, uint64(worker))
+			for !stop.Load() {
+				if err := transfer(db, worker, r); err != nil {
+					t.Errorf("writer %d: %v", worker, err)
+					return
+				}
+			}
+		}(w + 1)
+	}
+
+	const total = int64(churnAccounts * churnInitial)
+
+	// One pinned snapshot, scanned 25 times while writers churn: every
+	// scan must see the identical (conserved) total and row count.
+	txn := db.BeginReadOnly(writers + 1)
+	for i := 0; i < 25; i++ {
+		rows, err := Collect(txn, db.OpenTable, sumPlan(), Options{})
+		if err != nil {
+			t.Fatalf("pinned scan %d: %v", i, err)
+		}
+		if len(rows) != 1 || rows[0][0].Int != total || rows[0][1].Int != churnAccounts {
+			t.Fatalf("pinned scan %d: got %v, want sum %d count %d", i, rows, total, churnAccounts)
+		}
+	}
+	txn.Abort()
+
+	// Fresh snapshots during churn: each sees a different moment, but
+	// every moment conserves the total.
+	for i := 0; i < 25; i++ {
+		rows, err := RunReadOnly(db, writers+1, sumPlan(), Options{})
+		if err != nil {
+			t.Fatalf("fresh scan %d: %v", i, err)
+		}
+		if len(rows) != 1 || rows[0][0].Int != total {
+			t.Fatalf("fresh scan %d: got %v, want conserved sum %d", i, rows, total)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+}

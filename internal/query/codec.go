@@ -1,0 +1,568 @@
+package query
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Binary plan encoding. The format is deterministic: the encoder emits
+// minimal uvarints and fields in a fixed order, so encode(decode(bytes))
+// is a fixed point — re-encoding a decoded plan always reproduces the
+// same bytes. That property is what FuzzQueryPlan pins.
+//
+//	plan   := magic 'Q' | version 0x01 | node
+//	node   := kind u8 | body(kind)
+//	scan   := str(table) | schema | flags u8 | [lo bytes] [hi bytes]
+//	schema := uvarint nKey | nKey × (str(name) | enc u8)
+//	        | uvarint nVal | nVal × (str(name) | enc u8)
+//	expr   := kind u8 | body(kind)
+//	value  := kind u8 | varint / float bits u64-be / str
+//	str    := uvarint len | bytes
+//
+// Decoding enforces the same structural limits as Validate (node count,
+// tree depth, expression depth) with explicit counters, so hostile bytes
+// can neither recurse unboundedly nor allocate unboundedly: every
+// length-prefixed field is bounds-checked against the remaining input
+// before allocation.
+
+const (
+	planMagic   = 'Q'
+	planVersion = 1
+)
+
+type planEnc struct{ buf []byte }
+
+func (e *planEnc) u8(v uint8)       { e.buf = append(e.buf, v) }
+func (e *planEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *planEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *planEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *planEnc) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// EncodePlan serializes the plan. It does not validate; callers that
+// accept plans from outside should Validate before or after.
+func EncodePlan(p *Plan) ([]byte, error) {
+	if p == nil || p.Root == nil {
+		return nil, planErr("empty plan")
+	}
+	e := &planEnc{buf: make([]byte, 0, 256)}
+	e.u8(planMagic)
+	e.u8(planVersion)
+	if err := encodeNode(e, p.Root); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+func encodeNode(e *planEnc, n *Node) error {
+	if n == nil {
+		return planErr("encode: nil operator")
+	}
+	e.u8(uint8(n.Kind))
+	switch n.Kind {
+	case NodeScan:
+		e.str(n.Table)
+		e.uvarint(uint64(len(n.Schema.Key)))
+		for _, c := range n.Schema.Key {
+			e.str(c.Name)
+			e.u8(uint8(c.Enc))
+		}
+		e.uvarint(uint64(len(n.Schema.Val)))
+		for _, c := range n.Schema.Val {
+			e.str(c.Name)
+			e.u8(uint8(c.Enc))
+		}
+		var flags uint8
+		if n.Lo != nil {
+			flags |= 1
+		}
+		if n.Hi != nil {
+			flags |= 2
+		}
+		e.u8(flags)
+		if n.Lo != nil {
+			e.bytes(n.Lo)
+		}
+		if n.Hi != nil {
+			e.bytes(n.Hi)
+		}
+		return nil
+	case NodeFilter:
+		if err := encodeExpr(e, n.Pred); err != nil {
+			return err
+		}
+		return encodeNode(e, n.Left)
+	case NodeProject:
+		e.uvarint(uint64(len(n.Exprs)))
+		for _, x := range n.Exprs {
+			if err := encodeExpr(e, x); err != nil {
+				return err
+			}
+		}
+		return encodeNode(e, n.Left)
+	case NodeHashJoin:
+		e.uvarint(uint64(len(n.LeftKeys)))
+		for _, c := range n.LeftKeys {
+			e.uvarint(uint64(c))
+		}
+		e.uvarint(uint64(len(n.RightKeys)))
+		for _, c := range n.RightKeys {
+			e.uvarint(uint64(c))
+		}
+		if err := encodeNode(e, n.Left); err != nil {
+			return err
+		}
+		return encodeNode(e, n.Right)
+	case NodeAggregate:
+		e.uvarint(uint64(len(n.GroupBy)))
+		for _, c := range n.GroupBy {
+			e.uvarint(uint64(c))
+		}
+		e.uvarint(uint64(len(n.Aggs)))
+		for _, a := range n.Aggs {
+			e.u8(uint8(a.Fn))
+			if a.Fn != AggCount {
+				if err := encodeExpr(e, a.Arg); err != nil {
+					return err
+				}
+			}
+		}
+		return encodeNode(e, n.Left)
+	case NodeSort:
+		e.uvarint(uint64(len(n.Keys)))
+		for _, k := range n.Keys {
+			e.uvarint(uint64(k.Col))
+			if k.Desc {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		}
+		return encodeNode(e, n.Left)
+	case NodeLimit:
+		e.uvarint(uint64(n.Offset))
+		e.uvarint(uint64(n.Count))
+		return encodeNode(e, n.Left)
+	}
+	return planErr("encode: bad operator kind %d", n.Kind)
+}
+
+func encodeExpr(e *planEnc, x *Expr) error {
+	if x == nil {
+		return planErr("encode: nil expression")
+	}
+	e.u8(uint8(x.Kind))
+	switch x.Kind {
+	case ExprCol:
+		e.uvarint(uint64(x.Col))
+		return nil
+	case ExprConst:
+		e.u8(uint8(x.Const.Kind))
+		switch x.Const.Kind {
+		case KindInt:
+			e.varint(x.Const.Int)
+		case KindFloat:
+			e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(x.Const.Float))
+		case KindString:
+			e.str(x.Const.Str)
+		default:
+			return planErr("encode: bad constant kind %d", x.Const.Kind)
+		}
+		return nil
+	case ExprCmp, ExprLogic, ExprArith:
+		e.u8(x.Op)
+		if err := encodeExpr(e, x.L); err != nil {
+			return err
+		}
+		return encodeExpr(e, x.R)
+	case ExprNot, ExprToInt, ExprToFloat:
+		return encodeExpr(e, x.L)
+	}
+	return planErr("encode: bad expression kind %d", x.Kind)
+}
+
+type planDec struct {
+	buf   []byte
+	nodes int
+}
+
+func (d *planDec) u8() (uint8, error) {
+	if len(d.buf) < 1 {
+		return 0, planErr("decode: truncated")
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
+
+func (d *planDec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, planErr("decode: bad uvarint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *planDec) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, planErr("decode: bad varint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *planDec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)) {
+		return "", planErr("decode: string of %d bytes exceeds input", n)
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *planDec) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)) {
+		return nil, planErr("decode: field of %d bytes exceeds input", n)
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[:n])
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+// count bounds a decoded element count by both a hard cap and the bytes
+// actually remaining (each element costs ≥ min bytes), so a hostile count
+// cannot trigger a huge allocation.
+func (d *planDec) count(v uint64, min int) (int, error) {
+	if v > uint64(maxPlanNodes) || v > uint64(len(d.buf)/min+1) {
+		return 0, planErr("decode: implausible element count %d", v)
+	}
+	return int(v), nil
+}
+
+// DecodePlan parses plan bytes. It enforces structural limits but does
+// not fully Validate; the server validates separately so the two failure
+// modes stay distinguishable in tests.
+func DecodePlan(data []byte) (*Plan, error) {
+	d := &planDec{buf: data}
+	m, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	v, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if m != planMagic || v != planVersion {
+		return nil, planErr("decode: bad header %02x %02x", m, v)
+	}
+	root, err := decodeNode(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.buf) != 0 {
+		return nil, planErr("decode: %d trailing bytes", len(d.buf))
+	}
+	return &Plan{Root: root}, nil
+}
+
+func decodeNode(d *planDec, depth int) (*Node, error) {
+	if depth > maxPlanDepth {
+		return nil, planErr("decode: plan deeper than %d operators", maxPlanDepth)
+	}
+	d.nodes++
+	if d.nodes > maxPlanNodes {
+		return nil, planErr("decode: plan larger than %d operators", maxPlanNodes)
+	}
+	k, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Kind: NodeKind(k)}
+	switch n.Kind {
+	case NodeScan:
+		if n.Table, err = d.str(); err != nil {
+			return nil, err
+		}
+		nk, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nKey, err := d.count(nk, 2)
+		if err != nil {
+			return nil, err
+		}
+		n.Schema.Key = make([]Column, nKey)
+		for i := range n.Schema.Key {
+			if n.Schema.Key[i].Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			enc, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			n.Schema.Key[i].Enc = ColEnc(enc)
+		}
+		nv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nVal, err := d.count(nv, 2)
+		if err != nil {
+			return nil, err
+		}
+		n.Schema.Val = make([]Column, nVal)
+		for i := range n.Schema.Val {
+			if n.Schema.Val[i].Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			enc, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			n.Schema.Val[i].Enc = ColEnc(enc)
+		}
+		flags, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 3 {
+			return nil, planErr("decode: bad scan range flags %#x", flags)
+		}
+		if flags&1 != 0 {
+			if n.Lo, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if n.Lo == nil {
+				n.Lo = []byte{}
+			}
+		}
+		if flags&2 != 0 {
+			if n.Hi, err = d.bytes(); err != nil {
+				return nil, err
+			}
+			if n.Hi == nil {
+				n.Hi = []byte{}
+			}
+		}
+		return n, nil
+	case NodeFilter:
+		if n.Pred, err = decodeExpr(d, 1); err != nil {
+			return nil, err
+		}
+		n.Left, err = decodeNode(d, depth+1)
+		return n, err
+	case NodeProject:
+		ne, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.count(ne, 2)
+		if err != nil {
+			return nil, err
+		}
+		n.Exprs = make([]*Expr, cnt)
+		for i := range n.Exprs {
+			if n.Exprs[i], err = decodeExpr(d, 1); err != nil {
+				return nil, err
+			}
+		}
+		n.Left, err = decodeNode(d, depth+1)
+		return n, err
+	case NodeHashJoin:
+		if n.LeftKeys, err = decodeCols(d); err != nil {
+			return nil, err
+		}
+		if n.RightKeys, err = decodeCols(d); err != nil {
+			return nil, err
+		}
+		if n.Left, err = decodeNode(d, depth+1); err != nil {
+			return nil, err
+		}
+		n.Right, err = decodeNode(d, depth+1)
+		return n, err
+	case NodeAggregate:
+		if n.GroupBy, err = decodeCols(d); err != nil {
+			return nil, err
+		}
+		na, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.count(na, 1)
+		if err != nil {
+			return nil, err
+		}
+		n.Aggs = make([]AggSpec, cnt)
+		for i := range n.Aggs {
+			fn, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			n.Aggs[i].Fn = AggFn(fn)
+			if n.Aggs[i].Fn != AggCount {
+				if n.Aggs[i].Arg, err = decodeExpr(d, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		n.Left, err = decodeNode(d, depth+1)
+		return n, err
+	case NodeSort:
+		nk, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := d.count(nk, 2)
+		if err != nil {
+			return nil, err
+		}
+		n.Keys = make([]SortKey, cnt)
+		for i := range n.Keys {
+			c, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			desc, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if desc > 1 {
+				return nil, planErr("decode: bad sort direction %d", desc)
+			}
+			if c > uint64(maxColIndex) {
+				return nil, planErr("decode: sort column %d out of range", c)
+			}
+			n.Keys[i] = SortKey{Col: int(c), Desc: desc == 1}
+		}
+		n.Left, err = decodeNode(d, depth+1)
+		return n, err
+	case NodeLimit:
+		off, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cntv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if off > math.MaxUint32 || cntv > math.MaxUint32 {
+			return nil, planErr("decode: limit out of range")
+		}
+		n.Offset, n.Count = uint32(off), uint32(cntv)
+		n.Left, err = decodeNode(d, depth+1)
+		return n, err
+	}
+	return nil, planErr("decode: bad operator kind %d", k)
+}
+
+// maxColIndex bounds decoded column references. Real rows never have more
+// than a few dozen columns; this keeps int conversion safe on the wire.
+const maxColIndex = 1 << 20
+
+func decodeCols(d *planDec) ([]int, error) {
+	nc, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := d.count(nc, 1)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, cnt)
+	for i := range cols {
+		c, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if c > uint64(maxColIndex) {
+			return nil, planErr("decode: column index %d out of range", c)
+		}
+		cols[i] = int(c)
+	}
+	return cols, nil
+}
+
+func decodeExpr(d *planDec, depth int) (*Expr, error) {
+	if depth > maxExprDepth {
+		return nil, planErr("decode: expression deeper than %d", maxExprDepth)
+	}
+	k, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	x := &Expr{Kind: ExprKind(k)}
+	switch x.Kind {
+	case ExprCol:
+		c, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if c > uint64(maxColIndex) {
+			return nil, planErr("decode: column index %d out of range", c)
+		}
+		x.Col = int(c)
+		return x, nil
+	case ExprConst:
+		ck, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch Kind(ck) {
+		case KindInt:
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			x.Const = IntVal(v)
+		case KindFloat:
+			if len(d.buf) < 8 {
+				return nil, planErr("decode: truncated float constant")
+			}
+			x.Const = FloatVal(math.Float64frombits(binary.BigEndian.Uint64(d.buf)))
+			d.buf = d.buf[8:]
+		case KindString:
+			s, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			x.Const = StrVal(s)
+		default:
+			return nil, planErr("decode: bad constant kind %d", ck)
+		}
+		return x, nil
+	case ExprCmp, ExprLogic, ExprArith:
+		if x.Op, err = d.u8(); err != nil {
+			return nil, err
+		}
+		if x.L, err = decodeExpr(d, depth+1); err != nil {
+			return nil, err
+		}
+		x.R, err = decodeExpr(d, depth+1)
+		return x, err
+	case ExprNot, ExprToInt, ExprToFloat:
+		x.L, err = decodeExpr(d, depth+1)
+		return x, err
+	}
+	return nil, planErr("decode: bad expression kind %d", k)
+}
+
+// Encode is EncodePlan for plans known to be structurally sound (e.g.
+// ones that just came out of DecodePlan); it panics only on programmer
+// error, never on decoded input.
+func (p *Plan) Encode() ([]byte, error) { return EncodePlan(p) }

@@ -1,0 +1,369 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ermia/internal/engine"
+)
+
+// ExprKind discriminates the expression AST.
+type ExprKind uint8
+
+const (
+	// ExprCol reads column Col of the input row.
+	ExprCol ExprKind = 1
+	// ExprConst yields the literal Const.
+	ExprConst ExprKind = 2
+	// ExprCmp compares L Op R, yielding Int 1 or 0. Comparison follows
+	// Compare: numeric promotion between int and float, lexicographic for
+	// strings, numerics before strings.
+	ExprCmp ExprKind = 3
+	// ExprLogic combines two boolean (Int) operands with AND/OR. Any
+	// non-zero Int is true; float or string operands are a type error.
+	ExprLogic ExprKind = 4
+	// ExprNot negates a boolean (Int) operand.
+	ExprNot ExprKind = 5
+	// ExprArith applies +,-,*,/ . Two Ints yield Int (integer division);
+	// any float operand promotes the result to Float. Strings are a type
+	// error, as is integer division by zero.
+	ExprArith ExprKind = 6
+	// ExprToInt converts: Int passes through, Float truncates toward
+	// zero, String parses as decimal (a parse failure is a type error).
+	ExprToInt ExprKind = 7
+	// ExprToFloat converts: Float passes through, Int widens, String
+	// parses (a parse failure is a type error).
+	ExprToFloat ExprKind = 8
+)
+
+// Comparison operators for ExprCmp.Op.
+const (
+	CmpEq uint8 = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Logical operators for ExprLogic.Op.
+const (
+	LogicAnd uint8 = iota
+	LogicOr
+)
+
+// Arithmetic operators for ExprArith.Op.
+const (
+	ArithAdd uint8 = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+)
+
+// Expr is one expression node. Binary kinds use L and R; unary kinds use
+// L only. The struct is flat (one shape for every kind) so the binary
+// codec stays simple.
+type Expr struct {
+	Kind  ExprKind
+	Col   int
+	Const Value
+	Op    uint8
+	L, R  *Expr
+}
+
+// Col references column i of the operator's input row.
+func Col(i int) *Expr { return &Expr{Kind: ExprCol, Col: i} }
+
+// ConstInt yields the integer literal v.
+func ConstInt(v int64) *Expr { return &Expr{Kind: ExprConst, Const: IntVal(v)} }
+
+// ConstFloat yields the float literal v.
+func ConstFloat(v float64) *Expr { return &Expr{Kind: ExprConst, Const: FloatVal(v)} }
+
+// ConstStr yields the string literal s.
+func ConstStr(s string) *Expr { return &Expr{Kind: ExprConst, Const: StrVal(s)} }
+
+func cmp(op uint8, l, r *Expr) *Expr { return &Expr{Kind: ExprCmp, Op: op, L: l, R: r} }
+
+// Eq yields 1 when l = r.
+func Eq(l, r *Expr) *Expr { return cmp(CmpEq, l, r) }
+
+// Ne yields 1 when l ≠ r.
+func Ne(l, r *Expr) *Expr { return cmp(CmpNe, l, r) }
+
+// Lt yields 1 when l < r.
+func Lt(l, r *Expr) *Expr { return cmp(CmpLt, l, r) }
+
+// Le yields 1 when l ≤ r.
+func Le(l, r *Expr) *Expr { return cmp(CmpLe, l, r) }
+
+// Gt yields 1 when l > r.
+func Gt(l, r *Expr) *Expr { return cmp(CmpGt, l, r) }
+
+// Ge yields 1 when l ≥ r.
+func Ge(l, r *Expr) *Expr { return cmp(CmpGe, l, r) }
+
+// And is boolean conjunction.
+func And(l, r *Expr) *Expr { return &Expr{Kind: ExprLogic, Op: LogicAnd, L: l, R: r} }
+
+// Or is boolean disjunction.
+func Or(l, r *Expr) *Expr { return &Expr{Kind: ExprLogic, Op: LogicOr, L: l, R: r} }
+
+// Not is boolean negation.
+func Not(e *Expr) *Expr { return &Expr{Kind: ExprNot, L: e} }
+
+// Add is l + r.
+func Add(l, r *Expr) *Expr { return &Expr{Kind: ExprArith, Op: ArithAdd, L: l, R: r} }
+
+// Sub is l - r.
+func Sub(l, r *Expr) *Expr { return &Expr{Kind: ExprArith, Op: ArithSub, L: l, R: r} }
+
+// Mul is l * r.
+func Mul(l, r *Expr) *Expr { return &Expr{Kind: ExprArith, Op: ArithMul, L: l, R: r} }
+
+// Div is l / r.
+func Div(l, r *Expr) *Expr { return &Expr{Kind: ExprArith, Op: ArithDiv, L: l, R: r} }
+
+// ToInt converts its operand to Int.
+func ToInt(e *Expr) *Expr { return &Expr{Kind: ExprToInt, L: e} }
+
+// ToFloat converts its operand to Float.
+func ToFloat(e *Expr) *Expr { return &Expr{Kind: ExprToFloat, L: e} }
+
+func typeErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", engine.ErrBadQueryPlan, fmt.Sprintf(format, args...))
+}
+
+// Eval evaluates the expression against one input row.
+func (e *Expr) Eval(row Row) (Value, error) {
+	switch e.Kind {
+	case ExprCol:
+		if e.Col < 0 || e.Col >= len(row) {
+			return Value{}, typeErr("column %d out of range (row has %d)", e.Col, len(row))
+		}
+		return row[e.Col], nil
+	case ExprConst:
+		return e.Const, nil
+	case ExprCmp:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := e.R.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		c := Compare(l, r)
+		var ok bool
+		switch e.Op {
+		case CmpEq:
+			ok = c == 0
+		case CmpNe:
+			ok = c != 0
+		case CmpLt:
+			ok = c < 0
+		case CmpLe:
+			ok = c <= 0
+		case CmpGt:
+			ok = c > 0
+		case CmpGe:
+			ok = c >= 0
+		default:
+			return Value{}, typeErr("bad comparison op %d", e.Op)
+		}
+		if ok {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	case ExprLogic:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, err := asBool(l)
+		if err != nil {
+			return Value{}, err
+		}
+		// Short-circuit: AND with false / OR with true skips R entirely,
+		// including any type error R would raise.
+		if e.Op == LogicAnd && !lb {
+			return IntVal(0), nil
+		}
+		if e.Op == LogicOr && lb {
+			return IntVal(1), nil
+		}
+		r, err := e.R.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, err := asBool(r)
+		if err != nil {
+			return Value{}, err
+		}
+		if rb {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	case ExprNot:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, err := asBool(l)
+		if err != nil {
+			return Value{}, err
+		}
+		if lb {
+			return IntVal(0), nil
+		}
+		return IntVal(1), nil
+	case ExprArith:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := e.R.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		return arith(e.Op, l, r)
+	case ExprToInt:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		switch l.Kind {
+		case KindInt:
+			return l, nil
+		case KindFloat:
+			return IntVal(int64(l.Float)), nil
+		default:
+			v, err := strconv.ParseInt(strings.TrimSpace(l.Str), 10, 64)
+			if err != nil {
+				return Value{}, typeErr("ToInt(%q): not an integer", l.Str)
+			}
+			return IntVal(v), nil
+		}
+	case ExprToFloat:
+		l, err := e.L.Eval(row)
+		if err != nil {
+			return Value{}, err
+		}
+		switch l.Kind {
+		case KindInt:
+			return FloatVal(float64(l.Int)), nil
+		case KindFloat:
+			return l, nil
+		default:
+			v, err := strconv.ParseFloat(strings.TrimSpace(l.Str), 64)
+			if err != nil {
+				return Value{}, typeErr("ToFloat(%q): not a number", l.Str)
+			}
+			return FloatVal(v), nil
+		}
+	}
+	return Value{}, typeErr("bad expression kind %d", e.Kind)
+}
+
+func asBool(v Value) (bool, error) {
+	if v.Kind != KindInt {
+		return false, typeErr("boolean context needs an int, got %s", v.Kind)
+	}
+	return v.Int != 0, nil
+}
+
+func arith(op uint8, l, r Value) (Value, error) {
+	if l.Kind == KindString || r.Kind == KindString {
+		return Value{}, typeErr("arithmetic on a string value")
+	}
+	if l.Kind == KindInt && r.Kind == KindInt {
+		switch op {
+		case ArithAdd:
+			return IntVal(l.Int + r.Int), nil
+		case ArithSub:
+			return IntVal(l.Int - r.Int), nil
+		case ArithMul:
+			return IntVal(l.Int * r.Int), nil
+		case ArithDiv:
+			if r.Int == 0 {
+				return Value{}, typeErr("integer division by zero")
+			}
+			return IntVal(l.Int / r.Int), nil
+		default:
+			return Value{}, typeErr("bad arithmetic op %d", op)
+		}
+	}
+	lf, rf := l.asFloat(), r.asFloat()
+	switch op {
+	case ArithAdd:
+		return FloatVal(lf + rf), nil
+	case ArithSub:
+		return FloatVal(lf - rf), nil
+	case ArithMul:
+		return FloatVal(lf * rf), nil
+	case ArithDiv:
+		return FloatVal(lf / rf), nil
+	default:
+		return Value{}, typeErr("bad arithmetic op %d", op)
+	}
+}
+
+// maxDepth walks the expression depth (for validation limits).
+func (e *Expr) maxDepth() int {
+	if e == nil {
+		return 0
+	}
+	d := e.L.maxDepth()
+	if r := e.R.maxDepth(); r > d {
+		d = r
+	}
+	return d + 1
+}
+
+// validate checks kinds, ops, and column references against the input
+// arity, recursively.
+func (e *Expr) validate(arity int) error {
+	if e == nil {
+		return typeErr("nil expression")
+	}
+	switch e.Kind {
+	case ExprCol:
+		if e.Col < 0 || e.Col >= arity {
+			return typeErr("column %d out of range (input has %d)", e.Col, arity)
+		}
+		return nil
+	case ExprConst:
+		if e.Const.Kind > KindString {
+			return typeErr("bad constant kind %d", e.Const.Kind)
+		}
+		return nil
+	case ExprCmp:
+		if e.Op > CmpGe {
+			return typeErr("bad comparison op %d", e.Op)
+		}
+		if err := e.L.validate(arity); err != nil {
+			return err
+		}
+		return e.R.validate(arity)
+	case ExprLogic:
+		if e.Op > LogicOr {
+			return typeErr("bad logic op %d", e.Op)
+		}
+		if err := e.L.validate(arity); err != nil {
+			return err
+		}
+		return e.R.validate(arity)
+	case ExprNot, ExprToInt, ExprToFloat:
+		return e.L.validate(arity)
+	case ExprArith:
+		if e.Op > ArithDiv {
+			return typeErr("bad arithmetic op %d", e.Op)
+		}
+		if err := e.L.validate(arity); err != nil {
+			return err
+		}
+		return e.R.validate(arity)
+	}
+	return typeErr("bad expression kind %d", e.Kind)
+}

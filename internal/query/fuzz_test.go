@@ -1,0 +1,76 @@
+package query
+
+// FuzzQueryPlan: plan bytes arrive straight off the wire (MsgQuery), so
+// the decoder must reject arbitrary garbage without panicking and without
+// unbounded allocation or recursion, and the codec must be a fixed point:
+// any plan that decodes must re-encode to bytes that decode to the same
+// plan and re-encode identically (the decoder tolerates non-minimal
+// varints in the input, so only the *re-encoded* form is canonical).
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fuzzSeedPlans() []*Plan {
+	kv := kvSchema()
+	dim := dimSchema()
+	return []*Plan{
+		NewPlan(Scan("kv", kv)),
+		NewPlan(ScanRange("kv", kv, []byte{0, 0, 0, 9}, nil)),
+		NewPlan(Filter(Scan("kv", kv), And(Ge(Col(0), ConstInt(90)), Eq(Col(4), ConstStr("s0"))))),
+		NewPlan(Project(Scan("kv", kv), Col(0), Mul(Col(0), ConstInt(2)), ToFloat(Col(1)))),
+		NewPlan(Limit(
+			OrderBy(
+				Aggregate(
+					HashJoin(Scan("kv", kv), Scan("dim", dim), []int{1}, []int{0}),
+					[]int{6}, Count(), Sum(Col(2)), Avg(Col(3)), Min(Col(0)), Max(Col(4))),
+				SortKey{Col: 1, Desc: true}, SortKey{Col: 0}),
+			2, 50)),
+		NewPlan(Aggregate(
+			Filter(Scan("kv", kv), Or(Not(Lt(Col(3), ConstFloat(7.5))), Ne(Col(4), ConstStr("s\x00z")))),
+			nil, Count(), Sum(Add(Col(1), Col(2))))),
+	}
+}
+
+func FuzzQueryPlan(f *testing.F) {
+	for _, p := range fuzzSeedPlans() {
+		enc, err := EncodePlan(p)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{planMagic, planVersion})
+	f.Add([]byte{planMagic, planVersion, byte(NodeScan), 0})
+	f.Add(bytes.Repeat([]byte{byte(NodeFilter)}, 200)) // deep-nesting probe
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePlan(data)
+		if err != nil {
+			return // reject-without-panic is the contract for garbage
+		}
+		// Validate must terminate without panicking either way.
+		valErr := p.Validate()
+
+		enc1, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded plan failed to re-encode: %v", err)
+		}
+		p2, err := DecodePlan(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded plan failed to decode: %v\nbytes: %x", err, enc1)
+		}
+		enc2, err := p2.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("codec not a fixed point:\n first: %x\nsecond: %x", enc1, enc2)
+		}
+		if (p2.Validate() == nil) != (valErr == nil) {
+			t.Fatalf("validation verdict changed across round trip: %v vs %v", valErr, p2.Validate())
+		}
+	})
+}

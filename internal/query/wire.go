@@ -1,0 +1,125 @@
+package query
+
+import (
+	"encoding/binary"
+	"math"
+
+	"ermia/internal/engine"
+)
+
+// Wire encoding of result rows, shared by the server's MsgQueryRow chunks
+// and the client's row iterator. Each row is self-delimiting:
+//
+//	row   := uvarint nCols | nCols × value
+//	value := kind u8 | varint / float bits u64-be / uvarint len + bytes
+//
+// Rows inside a chunk concatenate with no separator; the chunk header
+// carries the row count.
+
+// AppendRow appends the wire encoding of row to dst.
+func AppendRow(dst []byte, row Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			dst = binary.AppendVarint(dst, v.Int)
+		case KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float))
+		default:
+			dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+			dst = append(dst, v.Str...)
+		}
+	}
+	return dst
+}
+
+// maxWireCols bounds a decoded row's declared column count against its
+// remaining bytes (each value costs at least 2 bytes on the wire).
+func maxWireCols(remaining int) uint64 { return uint64(remaining/2 + 1) }
+
+// DecodeRows decodes n concatenated rows from data, which must be
+// consumed exactly.
+func DecodeRows(data []byte, n int) ([]Row, error) {
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		row, rest, err := decodeRow(data)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, planErr("row chunk: %d trailing bytes", len(data))
+	}
+	return rows, nil
+}
+
+func decodeRow(data []byte) (Row, []byte, error) {
+	nc, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, planErr("row chunk: bad column count")
+	}
+	data = data[n:]
+	if nc > maxWireCols(len(data)) {
+		return nil, nil, planErr("row chunk: implausible column count %d", nc)
+	}
+	row := make(Row, 0, nc)
+	for i := uint64(0); i < nc; i++ {
+		if len(data) < 1 {
+			return nil, nil, planErr("row chunk: truncated value")
+		}
+		kind := Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case KindInt:
+			v, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, nil, planErr("row chunk: bad int value")
+			}
+			data = data[n:]
+			row = append(row, IntVal(v))
+		case KindFloat:
+			if len(data) < 8 {
+				return nil, nil, planErr("row chunk: truncated float value")
+			}
+			row = append(row, FloatVal(math.Float64frombits(binary.BigEndian.Uint64(data))))
+			data = data[8:]
+		case KindString:
+			ln, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, nil, planErr("row chunk: bad string length")
+			}
+			data = data[n:]
+			if ln > uint64(len(data)) {
+				return nil, nil, planErr("row chunk: string of %d bytes exceeds chunk", ln)
+			}
+			row = append(row, StrVal(string(data[:ln])))
+			data = data[ln:]
+		default:
+			return nil, nil, planErr("row chunk: bad value kind %d", kind)
+		}
+	}
+	return row, data, nil
+}
+
+// RunReadOnly executes the plan in its own read-only snapshot transaction
+// on db and collects the full result. It is the local (non-wire)
+// convenience used by the bench harness and examples: the snapshot is
+// taken at call time, held for the whole query, and released before
+// returning, so writers proceed untouched throughout.
+func RunReadOnly(db engine.DB, worker int, p *Plan, opts Options) ([]Row, error) {
+	txn := db.BeginReadOnly(worker)
+	defer txn.Abort()
+	rows, err := Collect(txn, db.OpenTable, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Read-only snapshot commit cannot conflict; Abort after Commit is a
+	// no-op on both engines but keeping the defer makes early returns safe.
+	if err := txn.Commit(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

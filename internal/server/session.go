@@ -57,6 +57,12 @@ type session struct {
 	openTxns atomic.Int32 // mirror of len(txns) readable off-thread
 	tables   map[string]engine.Table
 
+	// queries holds open analytical queries (pinned snapshot + iterator),
+	// lazily allocated; openQueries mirrors its size for kickIfIdle. Owned
+	// by the handler goroutine like txns.
+	queries     map[uint64]*runningQuery
+	openQueries atomic.Int32
+
 	// replStop, once a replication subscription starts, stops its shipper
 	// goroutine. Owned by the handler goroutine (created in
 	// handleReplSubscribe, closed in teardown).
@@ -88,7 +94,7 @@ func (s *session) start() {
 // deadline (rather than closing the connection) lets responses already owed
 // still be written.
 func (s *session) kickIfIdle() {
-	if s.openTxns.Load() == 0 {
+	if s.openTxns.Load() == 0 && s.openQueries.Load() == 0 {
 		s.nc.SetReadDeadline(time.Unix(1, 0))
 	}
 }
@@ -172,7 +178,7 @@ func (s *session) run() {
 	defer s.teardown()
 	for req := range s.reqs {
 		s.dispatch(req)
-		if s.srv.draining() && len(s.txns) == 0 && len(s.reqs) == 0 {
+		if s.srv.draining() && len(s.txns) == 0 && len(s.queries) == 0 && len(s.reqs) == 0 {
 			return // graceful drain: nothing owed, nothing open
 		}
 	}
@@ -186,6 +192,9 @@ func (s *session) teardown() {
 		ot.txn.Abort()
 		s.srv.aborts.Add(1)
 		s.endTxn(id, ot)
+	}
+	for id, rq := range s.queries {
+		s.endQuery(id, rq, true) // orphaned snapshots release like orphaned txns
 	}
 	// Unblock a parked reader WITHOUT killing the write side: responses
 	// still owed — group-commit acks in particular — must reach the peer
@@ -251,6 +260,12 @@ func (s *session) dispatch(req request) {
 		s.handleCkptFetch(req, d)
 	case proto.MsgPing:
 		s.handlePing(req)
+	case proto.MsgQuery:
+		s.handleQuery(req, d)
+	case proto.MsgQueryRow:
+		s.handleQueryRow(req, d)
+	case proto.MsgQueryEnd:
+		s.handleQueryEnd(req, d)
 	default:
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
 	}
@@ -271,6 +286,16 @@ func (s *session) expire(req request) {
 				ot.txn.Abort()
 				s.srv.aborts.Add(1)
 				s.endTxn(txnID, ot)
+			}
+		}
+	case proto.MsgQueryRow, proto.MsgQueryEnd:
+		// An abandoned query stream must not pin its snapshot (and worker
+		// slot) until teardown; expiry releases it like an abandoned txn.
+		d := proto.NewDec(req.payload)
+		qid := d.U64()
+		if d.Err() == nil {
+			if rq, ok := s.queries[qid]; ok {
+				s.endQuery(qid, rq, true)
 			}
 		}
 	}
@@ -570,6 +595,12 @@ func (s *session) handleStats(req request) {
 	body = proto.AppendU64(body, st.ReplShippedOffset)
 	body = proto.AppendU64(body, st.ReplAckedOffset)
 	body = proto.AppendU64(body, st.Checkpoints)
+	// Query counters append at the end so older decoders still parse the
+	// prefix they know about.
+	body = proto.AppendU32(body, st.ActiveQueries)
+	body = proto.AppendU64(body, st.Queries)
+	body = proto.AppendU64(body, st.QueryRows)
+	body = proto.AppendU64(body, st.QueriesCancelled)
 	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 

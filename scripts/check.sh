@@ -29,7 +29,7 @@ go test ./...
 echo "== go test -race (core, wal, epoch, engine, server, client, repl, faultconn; -short) =="
 go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
 	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/ \
-	./internal/faultconn/
+	./internal/faultconn/ ./internal/query/
 
 echo "== nemesis smoke (fixed seeds, -race) =="
 # A bounded chaos sweep: every seed replays a deterministic fault schedule
@@ -40,11 +40,13 @@ echo "== nemesis smoke (fixed seeds, -race) =="
 # with nemesis.Run(nemesis.Config{Seed: <seed>}).
 go test -race -count=1 ./internal/nemesis/
 
-echo "== fuzz smoke (FuzzCheckpointBlob, 10s) =="
+echo "== fuzz smoke (FuzzCheckpointBlob + FuzzQueryPlan, 10s each) =="
 # The other fuzz targets' seed corpora already run inside `go test` above;
-# the checkpoint-blob target gets a short mutation run locally too because
-# its attack surface (replica seeding) accepts bytes straight off the wire.
+# these two get a short mutation run locally too because their attack
+# surfaces (replica seeding, query-plan decoding) accept bytes straight
+# off the wire.
 go test ./internal/core/ -run='^$' -fuzz='^FuzzCheckpointBlob$' -fuzztime=10s
+go test ./internal/query/ -run='^$' -fuzz='^FuzzQueryPlan$' -fuzztime=10s
 
 echo "== replication soak (30s, -race) =="
 ERMIA_REPL_SOAK=30s go test -race -count=1 -run TestReplicationSoak ./internal/repl/
