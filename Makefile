@@ -12,7 +12,8 @@ vet:
 	$(GO) vet ./...
 
 # The repo-specific static-analysis suite (internal/vet): atomicmix,
-# epochguard, errclass, lockorder, nodeterminism.
+# cancelpoll, epochguard, errclass, hotalloc, lockorder, nodeterminism,
+# txnlifecycle, wirecompat.
 ermia-vet:
 	$(GO) run ./cmd/ermia-vet ./...
 

@@ -1,0 +1,24 @@
+// Package alloctest enforces per-operation allocation budgets in tests.
+//
+// The hotalloc analyzer gates //ermia:hotpath functions to zero heap
+// escapes at compile time; this package covers the complementary case —
+// functions whose allocations are their documented job (a decoder
+// returning a fresh payload, a response builder) and therefore cannot be
+// hotpath-annotated, but whose per-op cost must still not regress. Budgets
+// are enforced (test failure), not printed.
+package alloctest
+
+import "testing"
+
+// Budget fails t if fn performs more than max allocations per run.
+// Skipped under the race detector, whose instrumentation changes
+// allocation counts.
+func Budget(t *testing.T, max float64, fn func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	if got := testing.AllocsPerRun(100, fn); got > max {
+		t.Errorf("%.1f allocs/op, budget %.0f", got, max)
+	}
+}

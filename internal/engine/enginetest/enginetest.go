@@ -272,15 +272,18 @@ func testTxnUnusableAfterEnd(t *testing.T, db engine.DB) {
 	txn := db.Begin(0)
 	txn.Insert(tbl, []byte("k"), []byte("v"))
 	commit(t, txn)
+	//ermia:allow txnlifecycle conformance test: proves the engine rejects use after commit
 	if err := txn.Insert(tbl, []byte("k2"), []byte("v")); err == nil {
 		t.Error("insert after commit succeeded")
 	}
+	//ermia:allow txnlifecycle conformance test: proves the engine rejects a double commit
 	if err := txn.Commit(); err == nil {
 		t.Error("double commit succeeded")
 	}
 
 	txn2 := db.Begin(0)
 	txn2.Abort()
+	//ermia:allow txnlifecycle conformance test: proves the engine rejects use after abort
 	if _, err := txn2.Get(tbl, []byte("k")); err == nil {
 		t.Error("get after abort succeeded")
 	}

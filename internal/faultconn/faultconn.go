@@ -26,6 +26,11 @@
 // Like faultfs, determinism is per seed: the same seed produces the same
 // jitter and corruption stream per link. Goroutine interleaving stays
 // OS-scheduled; the nemesis harness layers a seeded fault schedule on top.
+// The file is marked deterministic to hold that line: every fault decision
+// must derive from the seed, and the audited exceptions below are only
+// order-insensitive broadcasts and real net.Conn deadline semantics.
+//
+//ermia:deterministic
 package faultconn
 
 import (
@@ -125,10 +130,12 @@ func (n *Network) getLink(from, to string) *link {
 // state. One network-wide wakeup keeps the locking trivial; the thundering
 // herd is irrelevant at test scale.
 func (n *Network) broadcast() {
+	//ermia:allow nodeterminism wakes every conn; broadcast order is invisible to waiters
 	for c := range n.conns {
 		c.rd.cond.Broadcast()
 		c.wr.cond.Broadcast()
 	}
+	//ermia:allow nodeterminism wakes every listener; broadcast order is invisible to waiters
 	for _, l := range n.listeners {
 		l.cond.Broadcast()
 	}
@@ -181,6 +188,7 @@ func (n *Network) Partition(a, b string) {
 func (n *Network) Isolate(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	//ermia:allow nodeterminism stalls every link touching name; the set is the same in any order
 	for other := range n.endpointsLocked() {
 		if other == name {
 			continue
@@ -194,13 +202,16 @@ func (n *Network) Isolate(name string) {
 // endpointsLocked collects every endpoint name the network has seen.
 func (n *Network) endpointsLocked() map[string]struct{} {
 	eps := make(map[string]struct{})
+	//ermia:allow nodeterminism set union; insertion order is invisible
 	for name := range n.listeners {
 		eps[name] = struct{}{}
 	}
+	//ermia:allow nodeterminism set union; insertion order is invisible
 	for k := range n.links {
 		eps[k.from] = struct{}{}
 		eps[k.to] = struct{}{}
 	}
+	//ermia:allow nodeterminism set union; insertion order is invisible
 	for c := range n.conns {
 		eps[c.local.Name] = struct{}{}
 		eps[c.remote.Name] = struct{}{}
@@ -233,6 +244,7 @@ func (n *Network) CutAfter(from, to string, nbytes int64) {
 func (n *Network) Cut(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	//ermia:allow nodeterminism severs every matching conn; order is invisible once all are dead
 	for c := range n.conns {
 		if (c.local.Name == a && c.remote.Name == b) || (c.local.Name == b && c.remote.Name == a) {
 			c.breakLocked(ErrCut)
@@ -256,6 +268,7 @@ func (n *Network) Heal(a, b string) {
 func (n *Network) HealAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	//ermia:allow nodeterminism heals every link; order is invisible once all are clean
 	for k := range n.links {
 		n.healLinkLocked(k)
 	}
@@ -340,7 +353,7 @@ func (n *Network) DialTimeout(from, to string, timeout time.Duration) (net.Conn,
 	defer n.mu.Unlock()
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = time.Now().Add(timeout) //ermia:allow nodeterminism real net.Conn dial-timeout semantics; wall time by contract
 	}
 	fwd, rev := n.getLink(from, to), n.getLink(to, from)
 	for fwd.stalled || fwd.drop || rev.stalled || rev.drop {
@@ -373,12 +386,12 @@ func (n *Network) DialTimeout(from, to string, timeout time.Duration) (net.Conn,
 // c is built on. The timer broadcasts rather than signals so it cannot
 // steal another waiter's wakeup.
 func waitCondDeadline(deadline time.Time, c *sync.Cond) bool {
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
+	if !deadline.IsZero() && !time.Now().Before(deadline) { //ermia:allow nodeterminism real net.Conn deadline semantics; wall time by contract
 		return false
 	}
 	var timer *time.Timer
 	if !deadline.IsZero() {
-		timer = time.AfterFunc(time.Until(deadline), c.Broadcast)
+		timer = time.AfterFunc(time.Until(deadline), c.Broadcast) //ermia:allow nodeterminism real net.Conn deadline semantics; wall time by contract
 	}
 	c.Wait()
 	if timer != nil {

@@ -1,0 +1,43 @@
+package mvcc_test
+
+import (
+	"testing"
+
+	"ermia/internal/alloctest"
+	"ermia/internal/mvcc"
+)
+
+// TestAllocBudgets pins the allocation cost of the version-chain hot path:
+// the stamp and reader-bitmap accessors run on every read and commit and
+// must stay allocation-free (also gated at compile time by hotalloc);
+// NewVersion is one allocation per write, by design.
+func TestAllocBudgets(t *testing.T) {
+	v := mvcc.NewVersion([]byte("v"), 1, false)
+	older := mvcc.NewVersion([]byte("o"), 1, false)
+
+	t.Run("StampAccessors", func(t *testing.T) {
+		alloctest.Budget(t, 0, func() {
+			v.SetCLSN(7)
+			_ = v.CLSN()
+			v.MaxPstamp(9)
+			_ = v.Pstamp()
+			v.SetSstamp(11)
+			_ = v.Sstamp()
+			v.SetNext(older)
+			_ = v.Next()
+		})
+	})
+	t.Run("ReaderBitmap", func(t *testing.T) {
+		alloctest.Budget(t, 0, func() {
+			v.MarkReader(3)
+			_ = v.HasReaders()
+			v.ClearReader(3)
+		})
+	})
+	t.Run("NewVersion", func(t *testing.T) {
+		data := []byte("payload")
+		alloctest.Budget(t, 1, func() { // the Version itself
+			_ = mvcc.NewVersion(data, 1, false)
+		})
+	})
+}

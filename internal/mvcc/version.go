@@ -53,10 +53,14 @@ func NewVersion(data []byte, clsn Stamp, tombstone bool) *Version {
 }
 
 // CLSN returns the creation stamp.
+//
+//ermia:hotpath visibility checks read the creation stamp on every version-chain hop
 func (v *Version) CLSN() Stamp { return v.clsn.Load() }
 
 // SetCLSN replaces the creation stamp; post-commit uses it to swap the TID
 // tag for the commit LSN.
+//
+//ermia:hotpath post-commit stamp finalization runs once per write of every committed transaction
 func (v *Version) SetCLSN(s Stamp) { v.clsn.Store(s) }
 
 // Next returns the next-older version, or nil. Chain traversal is only safe
@@ -64,15 +68,22 @@ func (v *Version) SetCLSN(s Stamp) { v.clsn.Store(s) }
 // that could have observed it has been reclaimed.
 //
 //ermia:guarded
+//ermia:hotpath version-chain traversal runs on every read of every record
 func (v *Version) Next() *Version { return v.next.Load() }
 
 // SetNext links v in front of older.
+//
+//ermia:hotpath install links a new version on every write
 func (v *Version) SetNext(older *Version) { v.next.Store(older) }
 
 // Pstamp returns η(V).
+//
+//ermia:hotpath SSN exclusion checks read η(V) on every read and commit
 func (v *Version) Pstamp() Stamp { return v.pstamp.Load() }
 
 // MaxPstamp raises η(V) to at least s.
+//
+//ermia:hotpath committed readers raise η(V) once per read-set entry at commit
 func (v *Version) MaxPstamp(s Stamp) {
 	for {
 		old := v.pstamp.Load()
@@ -83,13 +94,19 @@ func (v *Version) MaxPstamp(s Stamp) {
 }
 
 // Sstamp returns π(V).
+//
+//ermia:hotpath SSN exclusion checks read π(V) on every read and commit
 func (v *Version) Sstamp() Stamp { return v.sstamp.Load() }
 
 // SetSstamp publishes π(V) (a TID tag during the overwriter's commit, then
 // the final successor stamp).
+//
+//ermia:hotpath overwriters publish π(V) once per write-set entry at commit
 func (v *Version) SetSstamp(s Stamp) { v.sstamp.Store(s) }
 
 // MarkReader records worker w as an in-flight reader of v.
+//
+//ermia:hotpath parallel SSN marks the reader bitmap on every read
 func (v *Version) MarkReader(w int) {
 	w &= MaxReaders - 1
 	word, bit := w/64, uint(w%64)
@@ -103,6 +120,8 @@ func (v *Version) MarkReader(w int) {
 }
 
 // ClearReader removes worker w's reader mark.
+//
+//ermia:hotpath parallel SSN clears the reader bitmap when each reader finishes
 func (v *Version) ClearReader(w int) {
 	w &= MaxReaders - 1
 	word, bit := w/64, uint(w%64)
@@ -127,6 +146,8 @@ func (v *Version) Readers(fn func(w int)) {
 }
 
 // HasReaders reports whether any reader mark is set.
+//
+//ermia:hotpath committing overwriters poll the reader bitmap while waiting out in-flight readers
 func (v *Version) HasReaders() bool {
 	for word := 0; word < readerWords; word++ {
 		if v.readers[word].Load() != 0 {

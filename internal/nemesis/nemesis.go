@@ -48,7 +48,6 @@ import (
 	"ermia/internal/repl"
 	"ermia/internal/server"
 	"ermia/internal/wal"
-	"ermia/internal/xrand"
 )
 
 // Endpoint names on the fault network. The client, the primary server, the
@@ -91,79 +90,6 @@ type Result struct {
 	Crashes    int      // primary crash+restart cycles
 	FinalEpoch uint64   // highest epoch observed by the shared client
 	Violations []string
-}
-
-// ---- fault schedule ----
-
-type action int
-
-const (
-	actCut             action = iota // sever one directed link a few bytes into a frame
-	actPartitionClient               // client <-> primary partition, then heal
-	actPartitionRepl                 // primary <-> replica partition, then heal
-	actIsolatePrimary                // primary cut off from everyone (failover trigger)
-	actLatency                       // latency flutter on one directed link, then reset
-	actCrash                         // primary server crash + restart under its old epoch
-)
-
-type event struct {
-	gap    time.Duration // sleep before applying
-	act    action
-	dur    time.Duration // how long the fault holds before healing
-	from   string        // directed-link faults
-	to     string
-	nbytes int64 // actCut: bytes allowed through before the cut
-	lat    time.Duration
-	desc   string
-}
-
-// genSchedule derives the whole fault schedule from the seed. Durations of
-// the failover-inducing faults straddle the supervisor's silence timeout so
-// some runs promote and some merely flap.
-func genSchedule(seed uint64, total time.Duration) []event {
-	rng := xrand.New(seed ^ 0x6e656d65736973) // "nemesis"
-	links := [][2]string{
-		{epClient, epPrimary}, {epPrimary, epClient},
-		{epReplica, epPrimary}, {epPrimary, epReplica},
-		{epClient, epBackup}, {epBackup, epClient},
-	}
-	var evs []event
-	var elapsed time.Duration
-	for elapsed < total {
-		ev := event{gap: time.Duration(10+rng.Intn(50)) * time.Millisecond}
-		switch p := rng.Intn(100); {
-		case p < 30:
-			l := links[rng.Intn(len(links))]
-			ev.act, ev.from, ev.to = actCut, l[0], l[1]
-			ev.nbytes = int64(1 + rng.Intn(128))
-			ev.desc = fmt.Sprintf("cut %s->%s after %dB", ev.from, ev.to, ev.nbytes)
-		case p < 45:
-			ev.act = actPartitionClient
-			ev.dur = time.Duration(40+rng.Intn(160)) * time.Millisecond
-			ev.desc = fmt.Sprintf("partition client<->primary %v", ev.dur)
-		case p < 60:
-			ev.act = actPartitionRepl
-			ev.dur = time.Duration(80+rng.Intn(320)) * time.Millisecond
-			ev.desc = fmt.Sprintf("partition primary<->replica %v", ev.dur)
-		case p < 72:
-			ev.act = actIsolatePrimary
-			ev.dur = time.Duration(200+rng.Intn(300)) * time.Millisecond
-			ev.desc = fmt.Sprintf("isolate primary %v", ev.dur)
-		case p < 85:
-			l := links[rng.Intn(len(links))]
-			ev.act, ev.from, ev.to = actLatency, l[0], l[1]
-			ev.lat = time.Duration(200+rng.Intn(1800)) * time.Microsecond
-			ev.dur = time.Duration(30+rng.Intn(120)) * time.Millisecond
-			ev.desc = fmt.Sprintf("latency %s->%s %v for %v", ev.from, ev.to, ev.lat, ev.dur)
-		default:
-			ev.act = actCrash
-			ev.dur = time.Duration(40+rng.Intn(120)) * time.Millisecond
-			ev.desc = fmt.Sprintf("crash primary, down %v", ev.dur)
-		}
-		evs = append(evs, ev)
-		elapsed += ev.gap + ev.dur
-	}
-	return evs
 }
 
 // ---- harness ----

@@ -1,0 +1,67 @@
+package proto_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"ermia/internal/alloctest"
+	"ermia/internal/proto"
+)
+
+// TestAllocBudgets pins the per-op allocation cost of the wire hot path.
+// The //ermia:hotpath-annotated helpers are gated to zero escapes by
+// ermia-vet's hotalloc analyzer; the budgets here cover the functions whose
+// allocations are intentional (ReadFrameD returns a fresh payload,
+// WriteFrameD builds a frame buffer) so those stay at their designed cost
+// instead of silently growing.
+func TestAllocBudgets(t *testing.T) {
+	payload := []byte("alloc-budget-payload")
+	frame := proto.AppendFrameD(nil, proto.MsgGet, 7, 250, payload)
+	buf := make([]byte, 0, 256)
+
+	t.Run("AppendFrameD", func(t *testing.T) {
+		alloctest.Budget(t, 0, func() {
+			buf = proto.AppendFrameD(buf[:0], proto.MsgGet, 7, 250, payload)
+		})
+	})
+	t.Run("EncodeHelpers", func(t *testing.T) {
+		alloctest.Budget(t, 0, func() {
+			b := proto.AppendStatus(buf[:0], proto.StatusOK)
+			b = proto.AppendU64(b, 42)
+			b = proto.AppendU32(b, 42)
+			b = proto.AppendU16(b, 42)
+			b = proto.AppendU8(b, 42)
+			buf = proto.AppendBytes(b, payload)
+		})
+	})
+	t.Run("DecodeRoundTrip", func(t *testing.T) {
+		enc := proto.AppendBytes(proto.AppendU64(proto.AppendStatus(nil, proto.StatusOK), 42), payload)
+		alloctest.Budget(t, 1, func() { // one alloc: the *Dec itself
+			d := proto.NewDec(enc)
+			_ = d.Status()
+			_ = d.U64()
+			_ = d.Bytes()
+			if d.Err() != nil {
+				t.Fatal("decode failed")
+			}
+		})
+	})
+	t.Run("ReadFrameD", func(t *testing.T) {
+		r := bytes.NewReader(frame)
+		alloctest.Budget(t, 2, func() { // header spill + the returned payload
+			r.Reset(frame)
+			_, _, _, _, err := proto.ReadFrameD(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	t.Run("WriteFrameD", func(t *testing.T) {
+		alloctest.Budget(t, 1, func() { // the frame buffer
+			if err := proto.WriteFrameD(io.Discard, proto.MsgGet, 7, 250, payload); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

@@ -155,6 +155,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendFrameD appends a complete frame to dst with a relative deadline
 // budget (0 = none) and returns the extended slice.
+//
+//ermia:hotpath frame encoding runs once per message on every connection; the header array must stay on the stack
 func AppendFrameD(dst []byte, typ byte, reqID uint64, deadlineMillis uint32, payload []byte) []byte {
 	start := len(dst)
 	var h [HeaderSize]byte
@@ -171,6 +173,8 @@ func AppendFrameD(dst []byte, typ byte, reqID uint64, deadlineMillis uint32, pay
 }
 
 // AppendFrame appends a complete frame with no deadline budget.
+//
+//ermia:hotpath frame encoding runs once per message on every connection
 func AppendFrame(dst []byte, typ byte, reqID uint64, payload []byte) []byte {
 	return AppendFrameD(dst, typ, reqID, 0, payload)
 }
@@ -194,6 +198,8 @@ func WriteFrame(w io.Writer, typ byte, reqID uint64, payload []byte) error {
 // ReadFrameD reads one complete frame from r, verifying magic, version, size
 // bound, and CRC, and returns the sender's relative deadline budget in
 // milliseconds (0 = none). The returned payload is freshly allocated.
+//
+//ermia:cancelpoint the underlying read fails once the conn is closed, read-deadlined, or drain-kicked, so loops blocked here unwind promptly
 func ReadFrameD(r io.Reader) (typ byte, reqID uint64, deadlineMillis uint32, payload []byte, err error) {
 	var h [HeaderSize]byte
 	if _, err = io.ReadFull(r, h[:]); err != nil {
@@ -226,6 +232,8 @@ func ReadFrameD(r io.Reader) (typ byte, reqID uint64, deadlineMillis uint32, pay
 }
 
 // ReadFrame reads one complete frame, discarding the deadline field.
+//
+//ermia:cancelpoint same contract as ReadFrameD: the read fails once the conn is closed or read-deadlined
 func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) {
 	typ, reqID, _, payload, err = ReadFrameD(r)
 	return typ, reqID, payload, err
@@ -234,21 +242,31 @@ func ReadFrame(r io.Reader) (typ byte, reqID uint64, payload []byte, err error) 
 // ---- Payload encoding helpers ----
 
 // AppendBytes appends a uvarint-length-prefixed byte string.
+//
+//ermia:hotpath payload encoding runs several times per message on every connection
 func AppendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
 }
 
 // AppendU64 appends a fixed-width little-endian uint64.
+//
+//ermia:hotpath payload encoding runs several times per message on every connection
 func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
 
 // AppendU32 appends a fixed-width little-endian uint32.
+//
+//ermia:hotpath payload encoding runs several times per message on every connection
 func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 
 // AppendU16 appends a fixed-width little-endian uint16.
+//
+//ermia:hotpath payload encoding runs several times per message on every connection
 func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
 
 // AppendU8 appends one byte.
+//
+//ermia:hotpath payload encoding runs several times per message on every connection
 func AppendU8(b []byte, v byte) []byte { return append(b, v) }
 
 // Dec decodes a payload sequentially. Decoding errors are sticky: after the
@@ -263,6 +281,8 @@ type Dec struct {
 func NewDec(p []byte) *Dec { return &Dec{b: p} }
 
 // Bytes decodes a uvarint-length-prefixed byte string (aliasing the input).
+//
+//ermia:hotpath payload decoding runs several times per message on every connection; accessors must alias, not copy
 func (d *Dec) Bytes() []byte {
 	if d.bad {
 		return nil
@@ -278,6 +298,8 @@ func (d *Dec) Bytes() []byte {
 }
 
 // U64 decodes a fixed-width uint64.
+//
+//ermia:hotpath payload decoding runs several times per message on every connection
 func (d *Dec) U64() uint64 {
 	if d.bad || len(d.b) < 8 {
 		d.bad = true
@@ -289,6 +311,8 @@ func (d *Dec) U64() uint64 {
 }
 
 // U32 decodes a fixed-width uint32.
+//
+//ermia:hotpath payload decoding runs several times per message on every connection
 func (d *Dec) U32() uint32 {
 	if d.bad || len(d.b) < 4 {
 		d.bad = true
@@ -300,6 +324,8 @@ func (d *Dec) U32() uint32 {
 }
 
 // U16 decodes a fixed-width uint16.
+//
+//ermia:hotpath payload decoding runs several times per message on every connection
 func (d *Dec) U16() uint16 {
 	if d.bad || len(d.b) < 2 {
 		d.bad = true
@@ -311,6 +337,8 @@ func (d *Dec) U16() uint16 {
 }
 
 // U8 decodes one byte.
+//
+//ermia:hotpath payload decoding runs several times per message on every connection
 func (d *Dec) U8() byte {
 	if d.bad || len(d.b) < 1 {
 		d.bad = true
@@ -324,6 +352,8 @@ func (d *Dec) U8() byte {
 // Rest consumes and returns the undecoded remainder of the payload
 // (aliasing the input). Used for messages that end in an opaque body with
 // its own framing, like the replication batch.
+//
+//ermia:hotpath replication batch decoding hands off the remainder once per frame; aliasing keeps it copy-free
 func (d *Dec) Rest() []byte {
 	if d.bad {
 		return nil
@@ -334,6 +364,8 @@ func (d *Dec) Rest() []byte {
 }
 
 // Err reports whether decoding ran past the payload.
+//
+//ermia:hotpath checked once per decoded message; the happy path must not allocate
 func (d *Dec) Err() error {
 	if d.bad {
 		return fmt.Errorf("%w: truncated payload", ErrBadFrame)

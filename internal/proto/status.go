@@ -158,7 +158,11 @@ func (s Status) Err(detail string) error {
 }
 
 // AppendStatus appends a response status header to b.
+//
+//ermia:hotpath every response carries a status header; encoding it must not allocate
 func AppendStatus(b []byte, s Status) []byte { return AppendU16(b, uint16(s)) }
 
 // DecStatus reads the response status header.
+//
+//ermia:hotpath every response carries a status header; decoding it must not allocate
 func (d *Dec) Status() Status { return Status(d.U16()) }

@@ -53,6 +53,7 @@ type exec struct {
 	polls   int
 }
 
+//ermia:cancelpoint delegates to the Options.Cancel hook (server drain, pull deadline) and returns ErrQueryCancelled once it fires
 func (x *exec) cancelled() error {
 	if x.cancel != nil && x.cancel() {
 		return engine.ErrQueryCancelled
@@ -218,6 +219,7 @@ type scanIter struct {
 	err    error
 }
 
+//ermia:cancellable
 func (it *scanIter) Next() (Row, error) {
 	for {
 		if it.err != nil {
@@ -350,6 +352,7 @@ type hashJoinIter struct {
 	done         bool
 }
 
+//ermia:cancellable
 func (it *hashJoinIter) build() error {
 	it.table = make(map[string][]Row)
 	n := 0
@@ -520,6 +523,7 @@ type aggIter struct {
 	err     error
 }
 
+//ermia:cancellable
 func (it *aggIter) build() error {
 	it.index = make(map[string]*group)
 	var keyBuf []byte
@@ -615,6 +619,7 @@ type sortIter struct {
 	err   error
 }
 
+//ermia:cancellable
 func (it *sortIter) build() error {
 	n := 0
 	for {

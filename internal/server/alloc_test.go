@@ -1,0 +1,18 @@
+package server
+
+import (
+	"testing"
+
+	"ermia/internal/alloctest"
+	"ermia/internal/proto"
+)
+
+// TestRespPayloadAllocBudget pins the response-builder cost: one buffer per
+// response. respPayload cannot be //ermia:hotpath (the buffer escapes to
+// the writer by design), so the budget test is the gate instead.
+func TestRespPayloadAllocBudget(t *testing.T) {
+	body := []byte("response-body")
+	alloctest.Budget(t, 1, func() {
+		_ = respPayload(proto.StatusOK, "", body)
+	})
+}

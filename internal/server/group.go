@@ -66,6 +66,7 @@ func newGroupCommitter(srv *Server) *groupCommitter {
 // cannot close the response channel underneath the eventual respond.
 func (g *groupCommitter) enqueue(a commitAck) { g.ch <- a }
 
+//ermia:cancellable
 func (g *groupCommitter) run() {
 	defer close(g.done)
 	var batch []commitAck
@@ -121,6 +122,8 @@ func (g *groupCommitter) flush(batch []commitAck) {
 // their deadline (StatusDeadlineExceeded: outcome indeterminate, the bytes
 // ARE in the local log); server shutdown releases the remainder as
 // StatusShuttingDown so teardown never deadlocks behind a dead subscriber.
+//
+//ermia:cancellable
 func (g *groupCommitter) awaitReplicated(batch []commitAck) {
 	pending := batch
 	ticker := time.NewTicker(time.Millisecond)

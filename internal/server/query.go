@@ -36,6 +36,7 @@ type runningQuery struct {
 	deadline time.Time
 }
 
+//ermia:txn-owner runningQuery owns the snapshot txn; endQuery aborts it on completion, cancel, or session teardown
 func (s *session) handleQuery(req request, d *proto.Dec) {
 	planBytes := d.Bytes()
 	maxRows := d.U32()

@@ -103,6 +103,7 @@ func (s *session) kickIfIdle() {
 // and the handler aborts whatever is still open.
 func (s *session) forceClose() { s.nc.Close() }
 
+//ermia:cancellable
 func (s *session) readLoop() {
 	defer close(s.reqs)
 	br := bufio.NewReaderSize(s.nc, 64<<10)
@@ -128,6 +129,7 @@ func (s *session) readLoop() {
 	}
 }
 
+//ermia:cancellable
 func (s *session) writeLoop() {
 	defer close(s.writerDone)
 	bw := bufio.NewWriterSize(s.nc, 64<<10)
@@ -174,6 +176,8 @@ func respPayload(st proto.Status, detail string, body []byte) []byte {
 }
 
 // run is the handler goroutine; it owns s.txns and the session lifecycle.
+//
+//ermia:cancellable
 func (s *session) run() {
 	defer s.teardown()
 	for req := range s.reqs {
@@ -316,6 +320,11 @@ func (s *session) handlePing(req request) {
 	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 
+// handleBegin opens a transaction and parks it in the session's registry
+// keyed by wire txn id; Commit/Abort requests finish it and teardown
+// aborts whatever the client left open.
+//
+//ermia:txn-owner session txn registry owns the handle; handleCommit/handleAbort finish it and teardown aborts leftovers
 func (s *session) handleBegin(req request, d *proto.Dec) {
 	flags := d.U8()
 	// Older clients send only the flag byte; newer ones append the highest

@@ -41,6 +41,9 @@ func newBatcher(db engine.DB, size int) *batcher {
 	return &batcher{db: db, size: size}
 }
 
+// insert batches rows into one bulk-load transaction held across calls.
+//
+//ermia:txn-owner batcher holds the bulk-load txn across insert calls; insert commits full batches and flush commits the tail
 func (b *batcher) insert(t engine.Table, key, val []byte) error {
 	if b.txn == nil {
 		b.txn = b.db.Begin(0)

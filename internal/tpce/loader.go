@@ -113,6 +113,9 @@ type loadBatcher struct {
 	n, size int
 }
 
+// insert batches rows into one bulk-load transaction held across calls.
+//
+//ermia:txn-owner loadBatcher holds the bulk-load txn across insert calls; insert commits full batches and flush commits the tail
 func (b *loadBatcher) insert(t engine.Table, key, val []byte) error {
 	if b.txn == nil {
 		b.txn = b.db.Begin(0)

@@ -1,0 +1,71 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baselines let a new analyzer land warn-first: snapshot today's findings
+// with -update-baseline, gate against the snapshot with -baseline, then
+// burn the file down to empty and delete it when the analyzer is promoted
+// to a hard gate. The file is exactly the -json output format, so
+// `ermia-vet -json > vet-baseline.json` and `-update-baseline` agree.
+//
+// Matching is line-agnostic — (analyzer, file, message) — so unrelated
+// edits that shift line numbers don't resurrect baselined findings, while
+// a baselined file still can't accumulate new instances of the same
+// finding class beyond the snapshot's count.
+
+// Baseline is a loaded findings snapshot: a multiset keyed by
+// (analyzer, file, message).
+type Baseline map[baselineKey]int
+
+type baselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+// WriteBaseline snapshots findings to path in the -json output format.
+func WriteBaseline(path string, fs []Finding) error {
+	b, err := JSON(fs)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadBaseline reads a snapshot written by WriteBaseline (or `-json`
+// output redirected to a file).
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []jsonFinding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("vet: baseline %s: %w", path, err)
+	}
+	b := make(Baseline, len(entries))
+	for _, e := range entries {
+		b[baselineKey{e.Analyzer, e.File, e.Message}]++
+	}
+	return b, nil
+}
+
+// Filter returns the findings not covered by the baseline. Each baseline
+// entry absorbs at most one finding, so growth beyond the snapshot's count
+// still gates. The baseline is consumed; load a fresh one per run.
+func (b Baseline) Filter(fs []Finding) []Finding {
+	out := fs[:0:0]
+	for _, f := range fs {
+		k := baselineKey{f.Analyzer, f.Pos.Filename, f.Message}
+		if b[k] > 0 {
+			b[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

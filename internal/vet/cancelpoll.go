@@ -1,0 +1,246 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CancelPoll enforces the PR 8 cancellation invariant structurally: every
+// potentially-unbounded loop in a function annotated
+//
+//	//ermia:cancellable <what stops this code>
+//
+// must provably poll a cancel signal each iteration, so drain, failover,
+// and query cancellation cannot be stalled by a loop that never looks up.
+// A loop polls if its body (or condition) does any of:
+//
+//   - execute a select statement, or send/receive on a channel (a closed
+//     or signalled channel unblocks it);
+//   - range over a channel (the range ends when the channel closes);
+//   - call Err/Done/Deadline on a context.Context;
+//   - call a function annotated //ermia:cancelpoint <reason> — an audited
+//     assertion that the callee returns promptly once cancellation is
+//     requested (the session read loop's frame read, which fails once the
+//     connection is closed or deadlined; the query executor's cancelled()
+//     hook);
+//   - call another //ermia:cancellable function (the obligation moves to
+//     the callee's own loops).
+//
+// Counted three-clause loops (for i := 0; i < n; i++) and ranges over
+// slices, maps, arrays, strings, and integers are bounded by construction
+// and exempt; `for {}`, `for cond {}`, and ranges over channels or
+// iterator functions are where unbounded waits live.
+//
+// The annotation is deliberately opt-in per function: marking a function
+// cancellable is the reviewable act of saying "this runs on the serve or
+// replication path and must yield to shutdown", and the analyzer then
+// keeps every future edit honest.
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc:  "every loop in //ermia:cancellable code must poll its cancel signal",
+	Run:  runCancelPoll,
+}
+
+func runCancelPoll(m *Module) []Finding {
+	// Pass 1: collect cancelpoint and cancellable annotations.
+	cancelpoints := make(map[*types.Func]bool)
+	cancellable := make(map[*types.Func]bool)
+	var out []Finding
+
+	funcs := moduleFuncs(m)
+	for obj, fi := range funcs {
+		if d, ok := hasDirective(fi.decl.Doc, "cancelpoint"); ok {
+			cancelpoints[obj] = true
+			if strings.TrimSpace(d.raw) == "" {
+				out = append(out, Finding{
+					Analyzer: "cancelpoll",
+					Pos:      m.Fset.Position(fi.decl.Name.Pos()),
+					Message: fmt.Sprintf("cancelpoint annotation on %s carries no reason; say why it returns promptly once cancellation is requested",
+						obj.Name()),
+				})
+			}
+		}
+		if _, ok := hasDirective(fi.decl.Doc, "cancellable"); ok {
+			cancellable[obj] = true
+		}
+	}
+
+	// Pass 2: check every loop in every cancellable function.
+	for obj, fi := range funcs {
+		if !cancellable[obj] || fi.decl.Body == nil {
+			continue
+		}
+		c := &cancelCheck{m: m, pkg: fi.pkg, fname: obj.Name(), cancelpoints: cancelpoints, cancellable: cancellable}
+		c.walk(fi.decl.Body)
+		if !c.sawLoop {
+			out = append(out, Finding{
+				Analyzer: "cancelpoll",
+				Pos:      m.Fset.Position(fi.decl.Name.Pos()),
+				Message: fmt.Sprintf("cancellable annotation on %s asserts nothing: the function has no loops; drop it or move it to the looping callee",
+					obj.Name()),
+			})
+		}
+		out = append(out, c.findings...)
+	}
+	return out
+}
+
+type cancelCheck struct {
+	m            *Module
+	pkg          *Package
+	fname        string
+	cancelpoints map[*types.Func]bool
+	cancellable  map[*types.Func]bool
+	findings     []Finding
+	sawLoop      bool
+}
+
+// walk visits statements looking for loops; nested loops are each checked
+// on their own (an inner poll also satisfies the outer loop, because it is
+// inside the outer body).
+func (c *cancelCheck) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.sawLoop = true
+			if forIsCounted(n) {
+				return true
+			}
+			if !c.polls(n.Body) && !(n.Cond != nil && c.pollsExpr(n.Cond)) {
+				c.report(n.Pos(), "unbounded loop")
+			}
+		case *ast.RangeStmt:
+			c.sawLoop = true
+			if c.rangeIsBounded(n) {
+				return true
+			}
+			// Ranging over a channel is itself the poll; over an iterator
+			// function the body must poll.
+			if c.rangeOverChannel(n) {
+				return true
+			}
+			if !c.polls(n.Body) {
+				c.report(n.Pos(), "range over an iterator function")
+			}
+		case *ast.FuncLit:
+			// A closure has its own (un)annotated identity; its loops are
+			// not this function's loops.
+			return false
+		}
+		return true
+	})
+}
+
+func (c *cancelCheck) report(pos token.Pos, what string) {
+	c.findings = append(c.findings, Finding{
+		Analyzer: "cancelpoll",
+		Pos:      c.m.Fset.Position(pos),
+		Message: fmt.Sprintf("%s in cancellable function %s never polls a cancel signal: add a select/channel op, a context Err/Done check, or a call to a //ermia:cancelpoint function",
+			what, c.fname),
+	})
+}
+
+// forIsCounted: a classic three-clause counted loop is bounded by
+// construction.
+func forIsCounted(n *ast.ForStmt) bool {
+	return n.Init != nil && n.Cond != nil && n.Post != nil
+}
+
+func (c *cancelCheck) rangeIsBounded(n *ast.RangeStmt) bool {
+	t := c.pkg.Info.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Array, *types.Basic, *types.Pointer:
+		// Pointer covers *[N]T; Basic covers range-over-int and strings.
+		return true
+	}
+	return false
+}
+
+func (c *cancelCheck) rangeOverChannel(n *ast.RangeStmt) bool {
+	t := c.pkg.Info.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// polls reports whether the loop body contains an accepted cancel poll.
+// Nested function literals do not count: they only run if called, and a
+// called one shows up as a call expression we cannot see through — the
+// convention is to annotate the named function instead.
+func (c *cancelCheck) polls(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if c.rangeOverChannel(n) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if c.callPolls(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *cancelCheck) pollsExpr(x ast.Expr) bool {
+	return c.polls(x)
+}
+
+func (c *cancelCheck) callPolls(call *ast.CallExpr) bool {
+	// context.Context method calls: Err, Done, Deadline.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Err", "Done", "Deadline":
+			if t := c.pkg.Info.TypeOf(sel.X); t != nil && isContextType(t) {
+				return true
+			}
+		}
+	}
+	callee := calleeOf(c.pkg.Info, call)
+	if callee == nil {
+		// Interface dispatch: resolve through the selection for methods
+		// declared on module interfaces (we key annotations by the
+		// concrete *types.Func of declared functions only, so dynamic
+		// calls cannot match a cancelpoint and conservatively don't
+		// count).
+		return false
+	}
+	return c.cancelpoints[callee] || c.cancellable[callee]
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Context" && pkgPathIs(named.Obj().Pkg(), "context")
+}

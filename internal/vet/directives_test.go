@@ -1,0 +1,102 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDirective pins the comment convention: go:build style, no space
+// after "//", so ordinary prose never parses as a directive.
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		ok   bool
+		verb string
+		args []string
+		raw  string
+	}{
+		{"//ermia:allow lockorder commit path is lock-free", true, "allow", []string{"lockorder", "commit", "path", "is", "lock-free"}, "lockorder commit path is lock-free"},
+		{"//ermia:hotpath", true, "hotpath", nil, ""},
+		{"//ermia:", false, "", nil, ""},
+		{"// ermia:allow lockorder spaced comments are prose", false, "", nil, ""},
+		{"// The //ermia:hotpath helpers are gated elsewhere", false, "", nil, ""},
+		{"//go:build race", false, "", nil, ""},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.verb != c.verb || d.raw != c.raw || len(d.args) != len(c.args) {
+			t.Errorf("parseDirective(%q) = %+v, want verb %q args %v raw %q", c.text, d, c.verb, c.args, c.raw)
+			continue
+		}
+		for i := range c.args {
+			if d.args[i] != c.args[i] {
+				t.Errorf("parseDirective(%q) arg[%d] = %q, want %q", c.text, i, d.args[i], c.args[i])
+			}
+		}
+	}
+}
+
+// TestDirectiveValidation runs the driver over the directives fixture and
+// checks every malformation is reported exactly once, while the two
+// well-aimed allows still suppress their findings.
+func TestDirectiveValidation(t *testing.T) {
+	m := loadFixture(t, "directives")
+	findings := Run(m, []*Analyzer{NoDeterminism})
+
+	wantSubstrings := []string{
+		`unknown directive //ermia:frobnicate`,
+		`//ermia:allow nodeterminism carries no reason`,
+		`//ermia:allow nodeterminism suppresses nothing`,
+		`//ermia:allow names unknown analyzer "nosuchanalyzer"`,
+		`//ermia:allow names no analyzer`,
+	}
+	for _, want := range wantSubstrings {
+		n := 0
+		for _, f := range findings {
+			if f.Analyzer == "directives" && strings.Contains(f.Message, want) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("want exactly 1 finding containing %q, got %d\nall findings:\n%s", want, n, Text(findings))
+		}
+	}
+	for _, f := range findings {
+		if f.Analyzer == "nodeterminism" {
+			t.Errorf("allowed finding leaked through: %s", f.Message)
+		}
+	}
+	if want, got := len(wantSubstrings), len(findings); want != got {
+		t.Errorf("want %d findings total, got %d:\n%s", want, got, Text(findings))
+	}
+}
+
+// TestStaleAllowScopedToRunSet: an allow is only stale when its analyzer
+// actually ran — `-run` subset invocations must not condemn suppressions
+// they never exercised.
+func TestStaleAllowScopedToRunSet(t *testing.T) {
+	m := loadFixture(t, "directives")
+	findings := Run(m, []*Analyzer{LockOrder})
+	for _, f := range findings {
+		if strings.Contains(f.Message, "delete the stale suppression") {
+			t.Errorf("stale-allow finding for an analyzer outside the run set: %s", f.Message)
+		}
+	}
+	// The syntax-level diagnostics still fire regardless of the run set.
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "unknown directive //ermia:frobnicate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("syntax-level directive diagnostics must not depend on the run set")
+	}
+}

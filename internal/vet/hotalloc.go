@@ -1,0 +1,174 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc gates functions annotated
+//
+//	//ermia:hotpath <why this is hot>
+//
+// to zero heap escapes, by running the real compiler's escape analysis
+// (`go build -gcflags=-m`) over the module and mapping every "escapes to
+// heap" / "moved to heap" diagnostic back to the annotated function's body
+// span. This is ROADMAP item 3's allocation discipline as a gate instead
+// of a hope: the frame encode/decode helpers, the session writer, the
+// group-commit ack path, and the mvcc visibility accessors run once per
+// request (or per version-chain hop) on every connection, and a single
+// boxed value or heap-spilled buffer there is a per-op allocation the
+// 1→4-client scaling curve pays for forever.
+//
+// The analyzer shells out to the module's own toolchain rather than
+// reimplementing escape analysis: the compiler's verdict is the one that
+// ships, it replays -m diagnostics from the build cache on repeat runs (no
+// -a rebuild needed), and the diagnostics carry exact positions. Only the
+// two allocation verdicts count — "leaking param" (a fact about callers,
+// not an allocation) and inlining chatter are ignored.
+//
+// Escapes that are the function's documented job (e.g. a decoder that
+// intentionally returns a fresh payload slice) do not belong on the hot
+// path-gate at all: budget them with an AllocsPerRun regression test
+// instead of annotating, or suppress the one line with //ermia:allow
+// hotalloc and a reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//ermia:hotpath functions must have zero heap escapes per go build -gcflags=-m",
+	Run:  runHotAlloc,
+}
+
+// hotSpan is one annotated function's body extent.
+type hotSpan struct {
+	file     string // absolute path
+	from, to int    // body line span, inclusive
+	name     string
+}
+
+func runHotAlloc(m *Module) []Finding {
+	var spans []hotSpan
+	var out []Finding
+	for obj, fi := range moduleFuncs(m) {
+		d, ok := hasDirective(fi.decl.Doc, "hotpath")
+		if !ok {
+			continue
+		}
+		if fi.decl.Body == nil {
+			continue
+		}
+		start := m.Fset.Position(fi.decl.Pos())
+		end := m.Fset.Position(fi.decl.Body.End())
+		spans = append(spans, hotSpan{
+			file: start.Filename,
+			from: start.Line,
+			to:   end.Line,
+			name: obj.Name(),
+		})
+		if strings.TrimSpace(d.raw) == "" {
+			out = append(out, Finding{
+				Analyzer: "hotalloc",
+				Pos:      m.Fset.Position(fi.decl.Name.Pos()),
+				Message:  fmt.Sprintf("hotpath annotation on %s carries no reason; say which per-op path makes it hot", obj.Name()),
+			})
+		}
+	}
+	if len(spans) == 0 {
+		return out
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].file != spans[j].file {
+			return spans[i].file < spans[j].file
+		}
+		return spans[i].from < spans[j].from
+	})
+
+	diags, err := escapeDiagnostics(m.Root)
+	if err != nil {
+		out = append(out, Finding{
+			Analyzer: "hotalloc",
+			Pos:      token.Position{Filename: filepath.Join(m.Root, "go.mod"), Line: 1, Column: 1},
+			Message:  fmt.Sprintf("escape analysis unavailable: %v", err),
+		})
+		return out
+	}
+
+	for _, d := range diags {
+		for i := range spans {
+			s := &spans[i]
+			if d.file == s.file && d.line >= s.from && d.line <= s.to {
+				out = append(out, Finding{
+					Analyzer: "hotalloc",
+					Pos:      token.Position{Filename: d.file, Line: d.line, Column: d.col},
+					Message:  fmt.Sprintf("hotpath function %s allocates: %s", s.name, d.msg),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// escapeDiag is one allocation verdict from the compiler.
+type escapeDiag struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+// escapeDiagnostics runs `go build -gcflags=-m ./...` in root and returns
+// the allocation diagnostics with absolute file paths. The go toolchain
+// replays cached -m output, so repeat runs are cheap and deterministic.
+func escapeDiagnostics(root string) ([]escapeDiag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		// -m output goes to stderr even on success; a non-nil err means the
+		// build itself failed.
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, trimOutput(string(b)))
+	}
+	var out []escapeDiag
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasSuffix(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err1 := strconv.Atoi(parts[1])
+		col, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		out = append(out, escapeDiag{file: file, line: ln, col: col, msg: strings.TrimSpace(parts[3])})
+	}
+	return out, nil
+}
+
+func trimOutput(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	keep := lines[:0]
+	for _, l := range lines {
+		// Keep only error lines, not the -m diagnostic flood.
+		if strings.Contains(l, "escapes to heap") || strings.Contains(l, "moved to heap") ||
+			strings.Contains(l, "can inline") || strings.Contains(l, "inlining call") ||
+			strings.Contains(l, "leaking param") || strings.Contains(l, "does not escape") {
+			continue
+		}
+		keep = append(keep, l)
+		if len(keep) >= 20 {
+			break
+		}
+	}
+	return strings.Join(keep, "\n")
+}

@@ -3,6 +3,7 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -12,6 +13,12 @@ import (
 	"sort"
 	"strings"
 )
+
+// buildCtx decides which files belong to the build, honoring //go:build
+// constraints and GOOS/GOARCH file-name suffixes, so tag-gated stub pairs
+// (like alloctest's race / !race files) load as one declaration instead of
+// a redeclaration error.
+var buildCtx = build.Default
 
 // Package is one loaded, type-checked package of the module under analysis.
 type Package struct {
@@ -233,6 +240,9 @@ func (l *loader) load(path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := buildCtx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

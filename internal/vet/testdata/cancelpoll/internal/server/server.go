@@ -1,0 +1,121 @@
+// Package server exercises cancelpoll: every accepted poll form, the
+// bounded-loop exemptions, and the real bug shape — a session-style read
+// loop whose frame read is not an audited cancel point, so nothing stops
+// it at drain.
+package server
+
+import "context"
+
+type conn struct{}
+
+//ermia:cancelpoint returns an error once the connection is closed or its read deadline lapses
+func readFrame(c *conn) (byte, error) { return 0, nil }
+
+func readFrameRaw(c *conn) (byte, error) { return 0, nil }
+
+var sink byte
+
+// readLoop mirrors the real session read loop: the deadlined frame read is
+// the poll.
+//
+//ermia:cancellable
+func readLoop(c *conn) {
+	for {
+		b, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		sink = b
+	}
+}
+
+// readLoopRaw is the bug shape: the same loop over an unaudited read.
+//
+//ermia:cancellable
+func readLoopRaw(c *conn) {
+	for { // want `unbounded loop in cancellable function readLoopRaw never polls a cancel signal`
+		b, err := readFrameRaw(c)
+		if err != nil {
+			return
+		}
+		sink = b
+	}
+}
+
+// drainChannel: ranging over a channel ends when the channel closes.
+//
+//ermia:cancellable
+func drainChannel(in chan byte) {
+	for b := range in {
+		sink = b
+	}
+}
+
+//ermia:cancellable
+func selectLoop(in chan byte, stop chan struct{}) {
+	for {
+		select {
+		case b := <-in:
+			sink = b
+		case <-stop:
+			return
+		}
+	}
+}
+
+//ermia:cancellable
+func ctxLoop(ctx context.Context, work []byte) {
+	for len(work) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		sink, work = work[0], work[1:]
+	}
+}
+
+// condLoopBad is the await-pending shape with the poll forgotten.
+//
+//ermia:cancellable
+func condLoopBad(pending int) {
+	for pending > 0 { // want `unbounded loop in cancellable function condLoopBad never polls a cancel signal`
+		pending--
+	}
+}
+
+// countedOK: three-clause counted loops are bounded by construction.
+//
+//ermia:cancellable
+func countedOK(n int) {
+	for i := 0; i < n; i++ {
+		sink = byte(i)
+	}
+}
+
+//ermia:cancellable
+func boundedRangeOK(bs []byte) {
+	for _, b := range bs {
+		sink = b
+	}
+}
+
+// delegates has no loops of its own: the annotation belongs on the callee.
+//
+//ermia:cancellable
+func delegates(c *conn) error { // want `cancellable annotation on delegates asserts nothing`
+	_, err := readFrame(c)
+	return err
+}
+
+// outer delegates its poll obligation to a cancellable callee's own loops.
+//
+//ermia:cancellable
+func outer(c *conn) {
+	for {
+		readLoop(c)
+	}
+}
+
+// pointNoReason asserts prompt return without saying why.
+//
+//ermia:cancelpoint
+func pointNoReason() error { return nil } // want `cancelpoint annotation on pointNoReason carries no reason`

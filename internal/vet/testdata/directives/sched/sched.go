@@ -1,0 +1,36 @@
+// Package sched exercises the driver's directive validation: unknown
+// verbs, malformed allows, and stale suppressions.
+//
+//ermia:deterministic
+package sched
+
+import "time"
+
+// frobnicate is not a directive the suite understands.
+//
+//ermia:frobnicate with great vigor
+func now() int64 {
+	//ermia:allow nodeterminism replay stamps use wall time only for operator-facing labels
+	return time.Now().UnixNano() // suppressed, and the allow is live
+}
+
+func justified() int64 {
+	//ermia:allow nodeterminism
+	return time.Now().UnixNano() // suppressed, but the allow carries no reason
+}
+
+func pure(a, b int) int {
+	//ermia:allow nodeterminism nothing here reads a clock, so this suppression is stale
+	return a + b
+}
+
+func typos(a, b int) int {
+	//ermia:allow nosuchanalyzer reasons do not save a bad analyzer name
+	//ermia:allow
+	return a * b
+}
+
+var _ = now
+var _ = justified
+var _ = pure
+var _ = typos

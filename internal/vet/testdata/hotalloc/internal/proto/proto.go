@@ -1,0 +1,51 @@
+// Package proto exercises hotalloc: clean zero-alloc append helpers (the
+// real frame-encode shape), and the two real escape shapes — a header
+// array spilled to the heap by an interface read (the ReadFrameD shape)
+// and a freshly made buffer returned to the caller.
+package proto
+
+import "io"
+
+// AppendU32 is the real encode-helper shape: appends into the caller's
+// buffer, nothing escapes.
+//
+//ermia:hotpath frame encoding runs once per request on every connection
+func AppendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// readsHeader is the ReadFrameD bug shape: the fixed-size header array is
+// passed to an interface method, so the compiler spills it to the heap —
+// one hidden allocation per frame.
+//
+//ermia:hotpath frame decoding runs once per request
+func readsHeader(r io.Reader) error {
+	var h [16]byte // want `hotpath function readsHeader allocates: moved to heap: h`
+	_, err := r.Read(h[:])
+	return err
+}
+
+// freshBuffer returns a new slice: an allocation per call by design, which
+// disqualifies it from the hotpath gate (budget it with AllocsPerRun
+// instead).
+//
+//ermia:hotpath
+func freshBuffer(n int) []byte { // want `hotpath annotation on freshBuffer carries no reason`
+	buf := make([]byte, n) // want `hotpath function freshBuffer allocates: make\(\[\]byte, n\) escapes to heap`
+	return buf
+}
+
+// coldAllocates is unannotated: its escapes are nobody's business.
+func coldAllocates() *int {
+	x := 7
+	return &x
+}
+
+var sink error
+
+func use(r io.Reader) {
+	sink = readsHeader(r)
+	_ = freshBuffer(8)
+	_ = coldAllocates()
+	_ = AppendU32(nil, 1)
+}

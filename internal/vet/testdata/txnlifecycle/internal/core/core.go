@@ -1,0 +1,209 @@
+// Package core exercises the txnlifecycle lattice: clean idioms the repo
+// actually uses (canonical abort-on-error, defer Abort, finisher helpers,
+// wrapper producers, aliases) and each violation class the analyzer must
+// flag exactly once.
+package core
+
+import "fix/internal/engine"
+
+var k, v []byte
+
+func bad() bool { return false }
+
+// canonical is the runOnce idiom: abort on the error path, commit on the
+// happy path.
+func canonical(db engine.DB) error {
+	txn := db.Begin(0)
+	if err := txn.Insert(k, v); err != nil {
+		txn.Abort()
+		return err
+	}
+	return txn.Commit()
+}
+
+// deferAbort covers every exit, including panics, with one deferred Abort;
+// Abort after the successful Commit is the documented-safe idiom.
+func deferAbort(db engine.DB) error {
+	txn := db.Begin(0)
+	defer txn.Abort()
+	if err := txn.Insert(k, v); err != nil {
+		return err
+	}
+	return txn.Commit()
+}
+
+// deferClosure finishes through a deferred closure over the handle.
+func deferClosure(db engine.DB) {
+	txn := db.Begin(0)
+	committed := false
+	defer func() {
+		if !committed {
+			txn.Abort()
+		}
+	}()
+	if txn.Insert(k, v) == nil {
+		if txn.Commit() == nil {
+			committed = true
+		}
+	}
+}
+
+// finish is a finisher: it ends its txn parameter on every path, so
+// passing a live handle to it discharges the caller's obligation.
+func finish(txn engine.Txn, err error) error {
+	if err != nil {
+		txn.Abort()
+		return err
+	}
+	return txn.Commit()
+}
+
+func usesFinisher(db engine.DB) error {
+	txn := db.Begin(0)
+	err := txn.Insert(k, v)
+	return finish(txn, err)
+}
+
+// freshHandle is a wrapper producer discovered by the fixpoint (the name
+// is not Begin-like): it returns a live transaction, so its callers own
+// the obligation.
+func freshHandle(db engine.DB) engine.Txn {
+	return db.Begin(0)
+}
+
+func callsWrapper(db engine.DB) {
+	txn := freshHandle(db)
+	txn.Abort()
+}
+
+func leaksFromWrapper(db engine.DB) error {
+	txn := freshHandle(db) // want `transaction from freshHandle is not finished on the path ending at line \d+`
+	_, err := txn.Get(k)
+	return err
+}
+
+// aliases share one obligation: finishing through either name counts.
+func aliases(db engine.DB) {
+	a := db.Begin(0)
+	b := a
+	if b.Insert(k, v) != nil {
+		b.Abort()
+		return
+	}
+	a.Abort()
+}
+
+// panicsInstead: panic is a terminated path; the Abort before it covers
+// the obligation there.
+func panicsInstead(db engine.DB) {
+	txn := db.Begin(0)
+	if bad() {
+		txn.Abort()
+		panic("corrupt")
+	}
+	if txn.Commit() != nil {
+		return
+	}
+}
+
+// abortOnMaybe: Abort tolerates a maybe-finished handle (it is the
+// defensive finisher), so conditional commit + unconditional abort is
+// clean.
+func abortOnMaybe(db engine.DB, ok bool) {
+	txn := db.Begin(0)
+	if ok {
+		if txn.Commit() != nil {
+			return
+		}
+		return
+	}
+	txn.Abort()
+}
+
+// ---- violations ----
+
+func leaks(db engine.DB) error {
+	txn := db.Begin(0) // want `transaction from db\.Begin is not finished on the path ending at line \d+`
+	_, err := txn.Get(k)
+	return err
+}
+
+func maybeLeaks(db engine.DB, ok bool) {
+	txn := db.Begin(0) // want `transaction from db\.Begin may leak: finished on some paths`
+	if ok {
+		txn.Abort()
+	}
+}
+
+func commitsTwice(db engine.DB) {
+	txn := db.Begin(0)
+	if txn.Commit() != nil {
+		return
+	}
+	if txn.Commit() != nil { // want `already finished; this Commit finishes it twice`
+		return
+	}
+}
+
+func usesAfterFinish(db engine.DB) {
+	txn := db.Begin(0)
+	txn.Abort()
+	txn.Insert(k, v) // want `use of transaction from db\.Begin after it finished \(Insert on a finished handle\)`
+}
+
+func maybeUses(db engine.DB, ok bool) error {
+	txn := db.Begin(0)
+	if ok {
+		if txn.Commit() != nil {
+			txn.Abort()
+		}
+	}
+	_, err := txn.Get(k) // want `may already be finished on some path reaching this Get`
+	txn.Abort()
+	return err
+}
+
+func discards(db engine.DB) {
+	db.Begin(0) // want `live transaction but is discarded`
+}
+
+func overwrites(db engine.DB) {
+	txn := db.Begin(0) // want `overwritten at line \d+ by a new transaction while still unfinished`
+	txn = db.Begin(0)
+	txn.Abort()
+}
+
+func leaksInLoop(db engine.DB, n int) {
+	for i := 0; i < n; i++ {
+		txn := db.Begin(0) // want `begun inside this loop is still live when the iteration ends`
+		txn.Insert(k, v)
+	}
+}
+
+func handsToGoroutine(db engine.DB) {
+	txn := db.Begin(0)
+	go func() { // want `escapes through a goroutine closure`
+		txn.Abort()
+	}()
+}
+
+func sendsToChannel(db engine.DB, ch chan engine.Txn) {
+	txn := db.Begin(0)
+	ch <- txn // want `escapes through a channel send`
+}
+
+type holder struct{ txn engine.Txn }
+
+func storesInField(db engine.DB, h *holder) {
+	txn := db.Begin(0)
+	h.txn = txn // want `escapes through a struct field`
+}
+
+// parkNoReason asserts ownership transfer without saying where the
+// obligation goes — an unaudited escape hatch is no audit at all.
+//
+//ermia:txn-owner
+func parkNoReason(db engine.DB, h *holder) { // want `txn-owner annotation on parkNoReason carries no reason`
+	txn := db.Begin(0)
+	h.txn = txn
+}

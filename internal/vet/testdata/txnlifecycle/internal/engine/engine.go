@@ -1,0 +1,35 @@
+// Package engine is the fixture's stand-in for the real engine: the
+// analyzer recognizes transaction handles structurally (Commit() error +
+// Abort() in the method set), so this mirror of the real interface is all
+// it needs.
+package engine
+
+// Txn mirrors the real contract: ends with exactly one Commit or Abort;
+// Abort is safe after a failed Commit.
+type Txn interface {
+	Get(k []byte) ([]byte, error)
+	Insert(k, v []byte) error
+	Commit() error
+	Abort()
+}
+
+// DB hands out transactions; Begin* through an interface is the dynamic
+// dispatch the name-based producer seeding covers.
+type DB interface {
+	Begin(worker int) Txn
+	BeginReadOnly(worker int) Txn
+}
+
+type db struct{}
+
+func New() DB { return db{} }
+
+type txn struct{ done bool }
+
+func (db) Begin(worker int) Txn         { return &txn{} }
+func (db) BeginReadOnly(worker int) Txn { return &txn{} }
+
+func (t *txn) Get(k []byte) ([]byte, error) { return nil, nil }
+func (t *txn) Insert(k, v []byte) error     { return nil }
+func (t *txn) Commit() error                { t.done = true; return nil }
+func (t *txn) Abort()                       { t.done = true }

@@ -1,0 +1,57 @@
+// Package server reproduces the bug shape the real query handler has to
+// dodge: a worker slot and snapshot transaction acquired up front, then an
+// early error return that releases the slot but forgets the Abort — the
+// leaked snapshot pins its worker slot and, under SSN, the exclusion
+// windows of everything it read.
+package server
+
+import "fix/internal/engine"
+
+type session struct {
+	db   engine.DB
+	open map[uint64]engine.Txn
+}
+
+func (s *session) acquire() int   { return 0 }
+func (s *session) release(i int) {}
+
+// handleQueryLeaky is the PR 8 bug shape: the plan-validation error path
+// releases the slot but never finishes the snapshot transaction.
+func (s *session) handleQueryLeaky(planBad bool) {
+	slot := s.acquire()
+	txn := s.db.BeginReadOnly(slot) // want `not finished on the path ending at line \d+`
+	if planBad {
+		s.release(slot)
+		return // BUG: txn.Abort() missing on this path
+	}
+	txn.Abort()
+	s.release(slot)
+}
+
+// handleQueryFixed is the corrected shape: every path finishes the txn.
+func (s *session) handleQueryFixed(planBad bool) {
+	slot := s.acquire()
+	txn := s.db.BeginReadOnly(slot)
+	if planBad {
+		txn.Abort()
+		s.release(slot)
+		return
+	}
+	txn.Abort()
+	s.release(slot)
+}
+
+// handleBegin parks an open transaction in the session registry — an
+// audited ownership transfer, mirroring the real server's txn map.
+//
+//ermia:txn-owner session registry owns the txn; teardown aborts leftovers
+func (s *session) handleBegin(id uint64) {
+	txn := s.db.Begin(0)
+	s.open[id] = txn
+}
+
+// handleBeginUnaudited is the same store without the annotation.
+func (s *session) handleBeginUnaudited(id uint64) {
+	txn := s.db.Begin(0)
+	s.open[id] = txn // want `escapes through a map or slice element`
+}

@@ -1,0 +1,1066 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TxnLifecycle proves, interprocedurally, that every transaction handle
+// obtained from a Begin-style call reaches exactly one finish (Commit or
+// Abort) on every return path, is never used after it finished, and is
+// never finished twice. This is the engine.Txn contract ("a Txn is
+// single-goroutine; it ends with exactly one Commit or Abort call") that
+// the SI/SSN machinery leans on: a leaked transaction pins its worker
+// slot, its epoch guard, and — under SSN — the exclusion windows of
+// everything it read.
+//
+// The analysis is a forward abstract interpretation over each function
+// body, with interprocedural summaries computed to a fixpoint first:
+//
+//   - producer: a function that returns a freshly begun transaction
+//     (seeded by name prefix Begin/begin with a txn-typed result, then
+//     propagated through wrappers that return a live obligation);
+//   - finisher: a function that finishes a txn-typed parameter on every
+//     return path (passing a live handle to it discharges the obligation
+//     at the call site).
+//
+// Obligations arise at calls to producers. They are discharged by Commit
+// or Abort on the handle (directly or via defer, which also covers panic
+// paths), by passing the handle to a finisher, or by returning the handle
+// (ownership moves to the caller, which makes the enclosing function a
+// producer itself).
+//
+// Abort after Commit is allowed: the engine documents Abort as safe after
+// a failed Commit, and the defer-Abort-then-return-Commit idiom depends on
+// it. A second Commit, or any operation on a finished handle, is flagged.
+//
+// Storing a handle into a struct field, map, slice, channel, or global —
+// or handing it to a goroutine — moves the obligation somewhere the
+// dataflow cannot follow. Such stores are only legal inside functions
+// annotated
+//
+//	//ermia:txn-owner <reason>
+//
+// which declares an audited ownership transfer (the server session
+// registry parks open transactions in a map keyed by wire txn id; the
+// bench loaders hold a bulk-load transaction across batches). The reason
+// is mandatory: an unaudited escape is exactly the bug shape this
+// analyzer exists for.
+//
+// Dynamic dispatch the type-checker cannot resolve (interface method
+// calls, function-valued arguments) is treated as a borrow: the callee
+// uses the handle but the obligation stays with the caller. That matches
+// the repo's conventions (the closure RunWithRetry is handed borrows the
+// txn) and keeps the analysis finite. Synchronous closures capturing a
+// handle are borrows too; go statements are escapes, because a Txn is
+// single-goroutine by contract.
+var TxnLifecycle = &Analyzer{
+	Name: "txnlifecycle",
+	Doc:  "prove every begun transaction reaches exactly one Commit/Abort on all paths",
+	Run:  runTxnLifecycle,
+}
+
+// ---- txn type detection ----
+
+// isTxnType reports whether t is a transaction handle type: its method set
+// (through a pointer for concrete types) contains both Commit() error and
+// Abort(). This matches the engine.Txn interface and every concrete engine
+// transaction without naming any package, so fixture mini-modules work
+// identically.
+func isTxnType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isNamed := t.(*types.Named); !isNamed {
+			return false
+		}
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	commit, abort := false, false
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, _ := f.Type().(*types.Signature)
+		if sig == nil {
+			continue
+		}
+		switch f.Name() {
+		case "Commit":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				commit = true
+			}
+		case "Abort":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				abort = true
+			}
+		}
+	}
+	return commit && abort
+}
+
+// ---- obligation lattice ----
+
+type oblState int
+
+const (
+	oblLive  oblState = iota // begun, not yet finished
+	oblDone                  // finished (Commit or Abort ran)
+	oblMaybe                 // finished on some merged paths only
+	oblMoved                 // ownership transferred (returned, escaped, finisher)
+)
+
+// obligation is one tracked live transaction. Aliased variables share the
+// same obligation record inside one environment.
+type obligation struct {
+	pos      token.Pos // the producing call
+	call     string    // the producing call's rendering, for messages
+	state    oblState
+	deferred bool // a deferred finisher covers every exit from here on
+	param    bool // summary mode: the function's own txn parameter
+	paramIdx int
+}
+
+// env maps variables to their obligations, branch-sensitively.
+type env map[*types.Var]*obligation
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	copied := make(map[*obligation]*obligation, len(e))
+	for v, o := range e {
+		c, ok := copied[o]
+		if !ok {
+			dup := *o
+			c = &dup
+			copied[o] = c
+		}
+		out[v] = c
+	}
+	return out
+}
+
+// merge folds a post-branch environment b into e: obligations known to
+// both keep their state when it agrees and degrade to oblMaybe when it
+// does not (oblMoved wins outright — the obligation is someone else's on
+// that path). Variables only b knows were declared inside the branch;
+// their leak check already ran at the branch's end.
+func (e env) merge(b env) {
+	for v, o := range e {
+		bo, ok := b[v]
+		if !ok {
+			continue
+		}
+		if bo.state != o.state {
+			if o.state == oblMoved || bo.state == oblMoved {
+				o.state = oblMoved
+			} else {
+				o.state = oblMaybe
+			}
+		}
+		o.deferred = o.deferred && bo.deferred
+	}
+	// Obligations born inside the branch (their variable is out of scope
+	// now, or was first assigned there) are adopted as-is: nothing after
+	// the merge point can finish a branch-scoped handle, so a live one is
+	// a leak the next exit check must see.
+	for v, bo := range b {
+		if _, ok := e[v]; !ok {
+			e[v] = bo
+		}
+	}
+}
+
+// ---- interprocedural summaries ----
+
+type txnSummary struct {
+	producer           bool         // returns a freshly begun transaction
+	finishes           map[int]bool // flat param index -> finished on all paths
+	owner              bool         // //ermia:txn-owner: audited ownership sink
+	ownerReasonMissing bool
+}
+
+type txnSummaries map[*types.Func]*txnSummary
+
+// ---- driver ----
+
+func runTxnLifecycle(m *Module) []Finding {
+	funcs := moduleFuncs(m)
+	sums := make(txnSummaries, len(funcs))
+
+	for obj, fi := range funcs {
+		s := &txnSummary{finishes: make(map[int]bool)}
+		if d, ok := hasDirective(fi.decl.Doc, "txn-owner"); ok {
+			s.owner = true
+			s.ownerReasonMissing = strings.TrimSpace(d.raw) == ""
+		}
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil && beginLikeName(obj.Name()) && resultsContainTxn(sig) {
+			s.producer = true
+		}
+		sums[obj] = s
+	}
+
+	// Fixpoint: summary-mode analysis discovers wrapper producers (a
+	// function returning a live obligation) and parameter finishers; both
+	// cascade through call chains, so iterate until stable.
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for obj, fi := range funcs {
+			if fi.decl.Body == nil {
+				continue
+			}
+			a := &txnAnalysis{m: m, pkg: fi.pkg, sums: sums, summaryMode: true}
+			a.analyzeFunc(fi.decl.Type, fi.decl.Body)
+			s := sums[obj]
+			if a.returnsLive && !s.producer {
+				s.producer = true
+				changed = true
+			}
+			for i, fin := range a.paramFinished {
+				if fin && !s.finishes[i] {
+					s.finishes[i] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var out []Finding
+	for obj, fi := range funcs {
+		s := sums[obj]
+		if s.ownerReasonMissing {
+			out = append(out, Finding{
+				Analyzer: "txnlifecycle",
+				Pos:      m.Fset.Position(fi.decl.Name.Pos()),
+				Message: fmt.Sprintf("txn-owner annotation on %s carries no reason; write //ermia:txn-owner <where ownership goes and who finishes the txn>",
+					obj.Name()),
+			})
+		}
+		if fi.decl.Body == nil {
+			continue
+		}
+		a := &txnAnalysis{m: m, pkg: fi.pkg, sums: sums, owner: s.owner, fname: obj.Name()}
+		a.analyzeFunc(fi.decl.Type, fi.decl.Body)
+		out = append(out, a.findings...)
+	}
+	return out
+}
+
+func beginLikeName(name string) bool {
+	return strings.HasPrefix(name, "Begin") || strings.HasPrefix(name, "begin")
+}
+
+func resultsContainTxn(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isTxnType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- per-function abstract interpretation ----
+
+type txnAnalysis struct {
+	m    *Module
+	pkg  *Package
+	sums txnSummaries
+
+	summaryMode bool // collect producer/finisher facts, emit no findings
+	owner       bool // enclosing function is an audited ownership sink
+	fname       string
+
+	findings []Finding
+
+	// Summary-mode outputs.
+	returnsLive   bool
+	paramFinished map[int]bool
+	paramSeen     map[int]bool
+}
+
+func (a *txnAnalysis) report(pos token.Pos, format string, args ...any) {
+	if a.summaryMode {
+		return
+	}
+	a.findings = append(a.findings, Finding{
+		Analyzer: "txnlifecycle",
+		Pos:      a.m.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (a *txnAnalysis) analyzeFunc(ftyp *ast.FuncType, body *ast.BlockStmt) {
+	e := make(env)
+	if a.summaryMode {
+		a.paramFinished = make(map[int]bool)
+		a.paramSeen = make(map[int]bool)
+		idx := 0
+		if ftyp.Params != nil {
+			for _, field := range ftyp.Params.List {
+				if len(field.Names) == 0 {
+					idx++
+					continue
+				}
+				for _, name := range field.Names {
+					if v, _ := a.pkg.Info.Defs[name].(*types.Var); v != nil && isTxnType(v.Type()) {
+						e[v] = &obligation{pos: name.Pos(), call: name.Name, state: oblLive, param: true, paramIdx: idx}
+					}
+					idx++
+				}
+			}
+		}
+	}
+	if !a.stmt(body, e) {
+		a.exitCheck(e, body.End())
+	}
+}
+
+// exitCheck runs at every return and at falling off the end of the body:
+// live obligations without a deferred finisher leak; parameters feed the
+// finisher summary instead.
+func (a *txnAnalysis) exitCheck(e env, at token.Pos) {
+	seen := make(map[*obligation]bool)
+	for _, o := range e {
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		if o.param {
+			fin := o.state == oblDone || o.deferred
+			if !a.paramSeen[o.paramIdx] {
+				a.paramSeen[o.paramIdx] = true
+				a.paramFinished[o.paramIdx] = fin
+			} else if !fin {
+				a.paramFinished[o.paramIdx] = false
+			}
+			continue
+		}
+		if o.deferred || o.state == oblDone || o.state == oblMoved {
+			continue
+		}
+		line := a.m.Fset.Position(at).Line
+		switch o.state {
+		case oblLive:
+			a.report(o.pos, "transaction from %s is not finished on the path ending at line %d: every path needs exactly one Commit/Abort (or a defer Abort)", o.call, line)
+		case oblMaybe:
+			a.report(o.pos, "transaction from %s may leak: finished on some paths but not on the one ending at line %d", o.call, line)
+		}
+	}
+}
+
+// scopeEndCheck flags obligations begun inside a loop body that are still
+// live when the iteration ends: the next iteration rebinds the variable
+// and the old handle leaks.
+func (a *txnAnalysis) scopeEndCheck(before, after env, at token.Pos) {
+	seen := make(map[*obligation]bool)
+	known := make(map[*types.Var]bool, len(before))
+	for v := range before {
+		known[v] = true
+	}
+	for v, o := range after {
+		if known[v] || seen[o] || o.param {
+			continue
+		}
+		seen[o] = true
+		if o.deferred || o.state == oblDone || o.state == oblMoved {
+			continue
+		}
+		a.report(o.pos, "transaction from %s begun inside this loop is still live when the iteration ends at line %d; it leaks when the next iteration rebinds the variable",
+			o.call, a.m.Fset.Position(at).Line)
+		o.state = oblMoved // report once, not again at the function's exit
+	}
+}
+
+// ---- statements ----
+
+// stmt interprets s in e and reports whether the path terminated (return,
+// panic, fatal call, branch).
+func (a *txnAnalysis) stmt(s ast.Stmt, e env) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if a.stmt(st, e) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		a.expr(s.X, e, true)
+		if isTerminalCall(a.pkg.Info, s.X) {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		a.assign(s, e)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					a.expr(val, e, false)
+					if i < len(vs.Names) {
+						a.bind(vs.Names[i], val, e)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.expr(r, e, false)
+			// Returning the handle transfers ownership to the caller.
+			if o := a.trackedOperand(r, e); o != nil && !o.param {
+				if o.state == oblLive || o.state == oblMaybe {
+					o.state = oblMoved
+					a.returnsLive = true
+				}
+			} else if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && a.producesTxn(call) {
+				a.returnsLive = true
+			}
+		}
+		a.exitCheck(e, s.Pos())
+		return true
+	case *ast.IfStmt:
+		a.stmt(s.Init, e)
+		a.expr(s.Cond, e, false)
+		thenEnv := e.clone()
+		thenTerm := a.stmt(s.Body, thenEnv)
+		var elseTerm bool
+		var elseEnv env
+		if s.Else != nil {
+			elseEnv = e.clone()
+			elseTerm = a.stmt(s.Else, elseEnv)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				e.merge(thenEnv)
+			}
+			return false
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			copyInto(e, elseEnv)
+			return false
+		case elseTerm:
+			copyInto(e, thenEnv)
+			return false
+		default:
+			copyInto(e, thenEnv)
+			e.merge(elseEnv)
+			return false
+		}
+	case *ast.ForStmt:
+		a.stmt(s.Init, e)
+		a.expr(s.Cond, e, false)
+		bodyEnv := e.clone()
+		term := a.stmt(s.Body, bodyEnv)
+		if !term {
+			a.stmt(s.Post, bodyEnv)
+			a.scopeEndCheck(e, bodyEnv, s.Body.End())
+			e.merge(bodyEnv)
+		}
+		// `for { ... }` with no break still falls through for our purposes:
+		// break paths were treated as terminated, which is conservative.
+		return false
+	case *ast.RangeStmt:
+		a.expr(s.X, e, false)
+		bodyEnv := e.clone()
+		if !a.stmt(s.Body, bodyEnv) {
+			a.scopeEndCheck(e, bodyEnv, s.Body.End())
+			e.merge(bodyEnv)
+		}
+		return false
+	case *ast.SwitchStmt:
+		a.stmt(s.Init, e)
+		a.expr(s.Tag, e, false)
+		return a.caseBodies(s.Body, e, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		a.stmt(s.Init, e)
+		a.stmt(s.Assign, e)
+		return a.caseBodies(s.Body, e, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		return a.caseBodies(s.Body, e, true)
+	case *ast.DeferStmt:
+		a.deferStmt(s, e)
+		return false
+	case *ast.GoStmt:
+		a.goStmt(s, e)
+		return false
+	case *ast.SendStmt:
+		a.expr(s.Chan, e, false)
+		a.expr(s.Value, e, false)
+		if o := a.trackedOperand(s.Value, e); o != nil && !o.param {
+			a.escape(s.Value.Pos(), o, "a channel send")
+		}
+		return false
+	case *ast.LabeledStmt:
+		return a.stmt(s.Stmt, e)
+	case *ast.BranchStmt:
+		// break/continue/goto end this path conservatively: obligations
+		// live here are re-checked where control actually resumes only for
+		// returns; loop exits via break are assumed balanced.
+		return true
+	case *ast.IncDecStmt:
+		a.expr(s.X, e, false)
+		return false
+	case *ast.EmptyStmt:
+		return false
+	default:
+		// Everything else (go through unhandled statements' expressions
+		// conservatively so calls inside them still take effect).
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				a.call(call, e, false)
+				return false
+			}
+			return true
+		})
+		return false
+	}
+}
+
+// copyInto replaces e's obligation states with those of src for shared
+// variables (used when the other branch terminated).
+func copyInto(e, src env) {
+	for v, o := range e {
+		if so, ok := src[v]; ok {
+			*o = *so
+		}
+	}
+	for v, so := range src {
+		if _, ok := e[v]; !ok {
+			e[v] = so
+		}
+	}
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// caseBodies interprets switch/select clause bodies against clones and
+// merges the survivors. exhaustive reports whether one clause always runs
+// (a default exists, or select which always takes some clause).
+func (a *txnAnalysis) caseBodies(body *ast.BlockStmt, e env, exhaustive bool) bool {
+	var survivors []env
+	allTerm := true
+	for _, c := range body.List {
+		ce := e.clone()
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, x := range c.List {
+				a.expr(x, e, false)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				a.stmt(c.Comm, ce)
+			}
+			stmts = c.Body
+		}
+		term := false
+		for _, st := range stmts {
+			if a.stmt(st, ce) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			survivors = append(survivors, ce)
+			allTerm = false
+		}
+	}
+	if exhaustive && allTerm && len(body.List) > 0 {
+		return true
+	}
+	if len(survivors) > 0 {
+		if exhaustive {
+			// Some clause always runs: the post state is the merge of the
+			// surviving clauses alone.
+			copyInto(e, survivors[0])
+			survivors = survivors[1:]
+		}
+		// Otherwise the fall-past-every-case path keeps the entry state,
+		// which e already holds; merge the survivors into it.
+		for _, s := range survivors {
+			e.merge(s)
+		}
+	}
+	return false
+}
+
+// deferStmt handles deferred finishers: defer txn.Abort(), defer
+// txn.Commit(), defer to a finisher with the handle as argument, and defer
+// of a closure that finishes a captured handle.
+func (a *txnAnalysis) deferStmt(s *ast.DeferStmt, e env) {
+	call := s.Call
+	// defer txn.Abort() / defer txn.Commit()
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if o := a.trackedOperand(sel.X, e); o != nil && (sel.Sel.Name == "Abort" || sel.Sel.Name == "Commit") {
+			o.deferred = true
+			return
+		}
+	}
+	// defer func() { ... txn.Abort() ... }()
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for v, o := range e {
+			if closureFinishes(a.pkg.Info, lit, v) {
+				o.deferred = true
+			}
+		}
+		_ = lit
+		return
+	}
+	// defer finishHelper(txn, ...)
+	a.call(call, e, false)
+}
+
+// closureFinishes reports whether the closure body contains a Commit or
+// Abort call on the captured variable v.
+func closureFinishes(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Commit" && sel.Sel.Name != "Abort" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// goStmt: handing a live handle to another goroutine is an escape (the
+// contract says a Txn is single-goroutine).
+func (a *txnAnalysis) goStmt(s *ast.GoStmt, e env) {
+	for _, arg := range s.Call.Args {
+		a.expr(arg, e, false)
+		if o := a.trackedOperand(arg, e); o != nil && !o.param {
+			a.escape(arg.Pos(), o, "a go statement")
+		}
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		for v, o := range e {
+			if o.state == oblLive && capturesVar(a.pkg.Info, lit, v) {
+				a.escape(lit.Pos(), o, "a goroutine closure")
+			}
+		}
+	}
+}
+
+func capturesVar(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ---- assignments and escapes ----
+
+func (a *txnAnalysis) assign(s *ast.AssignStmt, e env) {
+	for _, r := range s.Rhs {
+		a.expr(r, e, false)
+	}
+	// Stores into non-variable places (fields, maps, slices, derefs) are
+	// escapes when the value is a live handle.
+	for i, l := range s.Lhs {
+		var r ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			r = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			r = s.Rhs[0]
+		}
+		switch lhs := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			a.bind(lhs, r, e)
+		default:
+			a.expr(l, e, false)
+			if r == nil {
+				continue
+			}
+			if o := a.trackedOperand(r, e); o != nil && !o.param {
+				a.escape(r.Pos(), o, describeStore(l))
+			} else if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && a.producesTxn(call) {
+				// Producer result stored straight into a field/map/deref
+				// with no intermediate variable.
+				tmp := &obligation{pos: call.Pos(), call: renderCall(call), state: oblLive}
+				a.escape(r.Pos(), tmp, describeStore(l))
+			}
+		}
+	}
+}
+
+func describeStore(l ast.Expr) string {
+	switch ast.Unparen(l).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.StarExpr:
+		return "a pointer target"
+	default:
+		return "a store"
+	}
+}
+
+// bind gives ident its new obligation (or clears tracking) after an
+// assignment of r.
+func (a *txnAnalysis) bind(id *ast.Ident, r ast.Expr, e env) {
+	v := a.varOf(id)
+	if v == nil {
+		return
+	}
+	// Overwriting a variable that still owns a live obligation leaks it —
+	// unless another alias still refers to it, which sharing handles:
+	// dropping one alias keeps the obligation reachable through the rest,
+	// and the exit check only looks at reachable obligations. A fully
+	// orphaned live obligation is exactly a leak; detect it here.
+	if old, ok := e[v]; ok && !old.param && (old.state == oblLive || old.state == oblMaybe) && !old.deferred {
+		if refs(e, old) == 1 && !isTxnProducing(a, r) {
+			// Rebinding to something unrelated while live: leak now.
+			a.report(old.pos, "transaction from %s is overwritten at line %d while still unfinished",
+				old.call, a.m.Fset.Position(id.Pos()).Line)
+		} else if refs(e, old) == 1 && isTxnProducing(a, r) {
+			a.report(old.pos, "transaction from %s is overwritten at line %d by a new transaction while still unfinished",
+				old.call, a.m.Fset.Position(id.Pos()).Line)
+		}
+	}
+	delete(e, v)
+	if r == nil {
+		return
+	}
+	if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && a.producesTxn(call) {
+		e[v] = &obligation{pos: call.Pos(), call: renderCall(call), state: oblLive}
+		return
+	}
+	// Alias: y := x shares the obligation.
+	if o := a.trackedOperand(r, e); o != nil {
+		e[v] = o
+	}
+}
+
+func isTxnProducing(a *txnAnalysis, r ast.Expr) bool {
+	if r == nil {
+		return false
+	}
+	call, ok := ast.Unparen(r).(*ast.CallExpr)
+	return ok && a.producesTxn(call)
+}
+
+func refs(e env, o *obligation) int {
+	n := 0
+	for _, x := range e {
+		if x == o {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *txnAnalysis) varOf(id *ast.Ident) *types.Var {
+	if v, ok := a.pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// trackedOperand returns the obligation of an expression that is a plain
+// reference to a tracked variable (possibly parenthesized).
+func (a *txnAnalysis) trackedOperand(x ast.Expr, e env) *obligation {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := a.varOf(id)
+	if v == nil {
+		return nil
+	}
+	return e[v]
+}
+
+func (a *txnAnalysis) escape(pos token.Pos, o *obligation, where string) {
+	if a.owner {
+		o.state = oblMoved
+		return
+	}
+	a.report(pos, "transaction from %s escapes through %s; the dataflow cannot prove it finishes — move the store into a function annotated //ermia:txn-owner <reason>",
+		o.call, where)
+	o.state = oblMoved // report once, not on every later path
+}
+
+// ---- expressions ----
+
+// expr interprets x; discarded marks an expression statement (whose
+// produced transaction, if any, would be dropped on the floor).
+func (a *txnAnalysis) expr(x ast.Expr, e env, discarded bool) {
+	switch x := x.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		a.call(x, e, discarded)
+	case *ast.ParenExpr:
+		a.expr(x.X, e, discarded)
+	case *ast.UnaryExpr:
+		a.expr(x.X, e, false)
+	case *ast.BinaryExpr:
+		a.expr(x.X, e, false)
+		a.expr(x.Y, e, false)
+	case *ast.StarExpr:
+		a.expr(x.X, e, false)
+	case *ast.SelectorExpr:
+		a.expr(x.X, e, false)
+	case *ast.IndexExpr:
+		a.expr(x.X, e, false)
+		a.expr(x.Index, e, false)
+	case *ast.SliceExpr:
+		a.expr(x.X, e, false)
+	case *ast.TypeAssertExpr:
+		a.expr(x.X, e, false)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			a.expr(val, e, false)
+			if o := a.trackedOperand(val, e); o != nil && !o.param && o.state == oblLive {
+				a.escape(val.Pos(), o, "a composite literal")
+			}
+		}
+	case *ast.FuncLit:
+		// Synchronous closures borrow captured handles; only analyze the
+		// literal body for its own begun transactions.
+		sub := &txnAnalysis{m: a.m, pkg: a.pkg, sums: a.sums, summaryMode: a.summaryMode, owner: a.owner, fname: a.fname + " (closure)"}
+		sub.paramFinished = make(map[int]bool)
+		sub.paramSeen = make(map[int]bool)
+		if x.Body != nil {
+			if !sub.stmt(x.Body, make(env)) {
+				sub.exitCheck(make(env), x.Body.End())
+			}
+		}
+		a.findings = append(a.findings, sub.findings...)
+	case *ast.KeyValueExpr:
+		a.expr(x.Value, e, false)
+	}
+}
+
+// call interprets one call expression: finish/use semantics on tracked
+// receivers, finisher/owner semantics on tracked arguments, and discarded
+// producer results.
+func (a *txnAnalysis) call(call *ast.CallExpr, e env, discarded bool) {
+	// Arguments and function position first (inner calls run first).
+	a.expr(call.Fun, e, false)
+	for _, arg := range call.Args {
+		a.expr(arg, e, false)
+	}
+
+	// Method call on a tracked handle.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if o := a.trackedOperand(sel.X, e); o != nil {
+			a.method(call, sel.Sel.Name, o)
+		}
+	}
+
+	callee := calleeOf(a.pkg.Info, call)
+	sum := a.sums[callee]
+
+	// Tracked handles passed as arguments.
+	for i, arg := range call.Args {
+		o := a.trackedOperand(arg, e)
+		if o == nil {
+			continue
+		}
+		switch {
+		case sum != nil && sum.owner:
+			if o.state == oblDone {
+				a.report(arg.Pos(), "finished transaction from %s handed to txn-owner %s", o.call, callee.Name())
+			}
+			o.state = oblMoved
+		case sum != nil && sum.finishes[i]:
+			switch o.state {
+			case oblDone:
+				a.report(arg.Pos(), "transaction from %s is already finished; %s would finish it twice", o.call, callee.Name())
+			case oblMoved:
+			default:
+				o.state = oblDone
+			}
+		default:
+			// Borrow: unresolved callee or non-finishing helper.
+		}
+	}
+
+	// A produced transaction with nowhere to go leaks immediately.
+	if discarded && a.producesTxn(call) {
+		a.report(call.Pos(), "result of %s is a live transaction but is discarded; it can never be finished", renderCall(call))
+	}
+}
+
+// method applies Commit/Abort/use semantics for a method call on a tracked
+// handle.
+func (a *txnAnalysis) method(call *ast.CallExpr, name string, o *obligation) {
+	switch name {
+	case "Commit":
+		switch o.state {
+		case oblLive:
+			o.state = oblDone
+		case oblDone:
+			a.report(call.Pos(), "transaction from %s is already finished; this Commit finishes it twice", o.call)
+		case oblMaybe:
+			a.report(call.Pos(), "transaction from %s may already be finished on some path; this Commit can finish it twice", o.call)
+			o.state = oblDone
+		}
+	case "Abort":
+		// Abort is the defensive finisher: legal on a live handle and —
+		// per the engine contract — after a failed Commit, so any number
+		// of Aborts after a finish are tolerated.
+		o.state = oblDone
+	default:
+		switch o.state {
+		case oblDone:
+			a.report(call.Pos(), "use of transaction from %s after it finished (%s on a finished handle)", o.call, name)
+		case oblMaybe:
+			a.report(call.Pos(), "transaction from %s may already be finished on some path reaching this %s", o.call, name)
+		}
+	}
+}
+
+// producesTxn reports whether the call yields a fresh transaction the
+// caller must finish: a resolved producer per summary, or an unresolvable
+// (interface) call whose method name is Begin-like and whose result is
+// txn-typed.
+func (a *txnAnalysis) producesTxn(call *ast.CallExpr) bool {
+	tv, ok := a.pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	hasTxnResult := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isTxnType(t.At(i).Type()) {
+				hasTxnResult = true
+			}
+		}
+	default:
+		hasTxnResult = isTxnType(tv.Type)
+	}
+	if !hasTxnResult {
+		return false
+	}
+	if callee := calleeOf(a.pkg.Info, call); callee != nil {
+		if s := a.sums[callee]; s != nil {
+			return s.producer
+		}
+		// Resolved but extra-module (stdlib): only by name.
+		return beginLikeName(callee.Name())
+	}
+	// Dynamic dispatch: judge by the spelled method name.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if beginLikeName(fun.Sel.Name) {
+			return true
+		}
+		if sel, ok := a.pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if s := a.sums[f]; s != nil {
+					return s.producer
+				}
+				return beginLikeName(f.Name())
+			}
+		}
+	case *ast.Ident:
+		return beginLikeName(fun.Name)
+	}
+	return false
+}
+
+func renderCall(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "the Begin call"
+}
+
+// isTerminalCall reports whether the expression statement never returns:
+// panic, os.Exit, log.Fatal*, runtime.Goexit.
+func isTerminalCall(info *types.Info, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	callee := calleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() {
+	case "os":
+		return callee.Name() == "Exit"
+	case "log":
+		return strings.HasPrefix(callee.Name(), "Fatal") || strings.HasPrefix(callee.Name(), "Panic")
+	case "runtime":
+		return callee.Name() == "Goexit"
+	}
+	return false
+}

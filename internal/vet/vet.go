@@ -1,11 +1,15 @@
 // Package vet is ermia-vet's engine: a from-scratch, stdlib-only static
 // analysis driver (go/parser, go/ast, go/types, go/importer — no x/tools)
-// plus five repo-specific analyzers enforcing the invariants the Go compiler
-// cannot see:
+// plus nine repo-specific analyzers enforcing the invariants the Go
+// compiler cannot see:
 //
 //   - atomicmix: a struct field accessed both through sync/atomic and by
 //     plain load/store is a torn-read data race waiting for the right
 //     interleaving.
+//   - cancelpoll: every loop in //ermia:cancellable code must provably
+//     poll a cancellation signal (a channel, a context, or an audited
+//     //ermia:cancelpoint) on every iteration, so drains and deadlines
+//     cannot strand a goroutine.
 //   - epochguard: functions that dereference latch-free version chains
 //     (//ermia:guarded) may only be called from other guarded functions or
 //     from audited guard boundaries (//ermia:guard-entry), proving chain
@@ -13,14 +17,27 @@
 //   - errclass: every exported sentinel error is classified by the retry
 //     taxonomy and round-trips through the wire-status bijection; switches
 //     over //ermia:exhaustive enum types must cover every constant.
+//   - hotalloc: //ermia:hotpath functions must have zero heap escapes per
+//     the real compiler's escape analysis (go build -gcflags=-m).
 //   - lockorder: the static mutex acquisition-order graph must be acyclic.
-//   - nodeterminism: files marked //ermia:deterministic (crash-sweep and
-//     replay infrastructure) must not read clocks, use math/rand, or
-//     iterate maps in unspecified order.
+//   - nodeterminism: files marked //ermia:deterministic (crash-sweep,
+//     replay, and fault-injection infrastructure) must not read clocks,
+//     use math/rand, or iterate maps in unspecified order.
+//   - txnlifecycle: every engine.Txn produced by a Begin* call reaches
+//     exactly one Commit or Abort on every path — no leaks, no
+//     use-after-finish, no double-finish — with interprocedural summaries
+//     for helpers and //ermia:txn-owner audits for handles whose ownership
+//     escapes the function.
+//   - wirecompat: the wire registry (Msg* and Status constants in
+//     internal/proto) is append-only against the committed wire.golden
+//     snapshot; renumbering, reuse, or removal of a committed value is a
+//     protocol break.
 //
 // Findings are suppressed, one site at a time, with a justified
 // "//ermia:allow <analyzer> <reason>" comment on (or immediately above) the
-// offending line.
+// offending line. The driver validates the directives themselves — unknown
+// verbs, malformed allows, and allows that no longer suppress anything are
+// findings too (pseudo-analyzer "directives").
 package vet
 
 import (
@@ -53,10 +70,14 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
+		CancelPoll,
 		EpochGuard,
 		ErrClass,
+		HotAlloc,
 		LockOrder,
 		NoDeterminism,
+		TxnLifecycle,
+		WireCompat,
 	}
 }
 
@@ -80,9 +101,14 @@ func ByName(names []string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the module and returns the surviving
-// findings: deterministic order, //ermia:allow suppressions applied.
+// findings: deterministic order, //ermia:allow suppressions applied, plus
+// the driver's own directive diagnostics (unknown verbs, malformed or
+// unjustified allows, and stale suppressions — an allow whose analyzer ran
+// and reported nothing on the covered lines is dead weight that would
+// silently mask a future regression). Driver diagnostics carry the
+// pseudo-analyzer name "directives".
 func Run(m *Module, analyzers []*Analyzer) []Finding {
-	allows := collectAllows(m)
+	allows, dirFindings := collectDirectives(m)
 	var out []Finding
 	for _, a := range analyzers {
 		for _, f := range a.Run(m) {
@@ -91,6 +117,25 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 			}
 			out = append(out, f)
 		}
+	}
+	inRun := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
+	for _, e := range allows.entries {
+		if !e.used && inRun[e.analyzer] {
+			dirFindings = append(dirFindings, Finding{
+				Analyzer: "directives",
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("//ermia:allow %s suppresses nothing; delete the stale suppression", e.analyzer),
+			})
+		}
+	}
+	for _, f := range dirFindings {
+		if allows.allowed("directives", f.Pos) {
+			continue
+		}
+		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -111,48 +156,125 @@ func Run(m *Module, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-// allowSet records //ermia:allow directives: analyzer name -> file -> lines
-// the suppression covers.
-type allowSet map[string]map[string]map[int]bool
+// knownVerbs is every directive the suite understands; anything else after
+// "//ermia:" is a typo that would otherwise rot silently (an annotation
+// that suppresses or asserts nothing).
+var knownVerbs = map[string]bool{
+	"allow":         true,
+	"cancellable":   true,
+	"cancelpoint":   true,
+	"classify":      true,
+	"deterministic": true,
+	"exhaustive":    true,
+	"guard-entry":   true,
+	"guarded":       true,
+	"hotpath":       true,
+	"status":        true,
+	"txn-owner":     true,
+}
 
-func (s allowSet) add(analyzer, file string, line int) {
-	byFile := s[analyzer]
+// allowEntry is one //ermia:allow directive, tracking whether it actually
+// suppressed a finding this run.
+type allowEntry struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
+// allowSet indexes allow directives: analyzer name -> file -> covered line.
+type allowSet struct {
+	byLine  map[string]map[string]map[int]*allowEntry
+	entries []*allowEntry
+}
+
+func (s *allowSet) add(e *allowEntry) {
+	byFile := s.byLine[e.analyzer]
 	if byFile == nil {
-		byFile = make(map[string]map[int]bool)
-		s[analyzer] = byFile
+		byFile = make(map[string]map[int]*allowEntry)
+		s.byLine[e.analyzer] = byFile
 	}
-	lines := byFile[file]
+	lines := byFile[e.pos.Filename]
 	if lines == nil {
-		lines = make(map[int]bool)
-		byFile[file] = lines
+		lines = make(map[int]*allowEntry)
+		byFile[e.pos.Filename] = lines
 	}
 	// A directive covers its own line (trailing comment) and the next line
 	// (comment on the line above the flagged statement).
-	lines[line] = true
-	lines[line+1] = true
+	lines[e.pos.Line] = e
+	lines[e.pos.Line+1] = e
+	s.entries = append(s.entries, e)
 }
 
-func (s allowSet) allowed(analyzer string, pos token.Position) bool {
-	return s[analyzer][pos.Filename][pos.Line]
+func (s *allowSet) allowed(analyzer string, pos token.Position) bool {
+	e := s.byLine[analyzer][pos.Filename][pos.Line]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
 }
 
-func collectAllows(m *Module) allowSet {
-	s := make(allowSet)
+// collectDirectives gathers the allow suppressions and validates every
+// directive in the module: unknown verbs, allows that name no (or an
+// unknown) analyzer, and allows without a justification are findings.
+func collectDirectives(m *Module) (*allowSet, []Finding) {
+	validNames := map[string]bool{"directives": true}
+	for _, a := range Analyzers() {
+		validNames[a.Name] = true
+	}
+	s := &allowSet{byLine: make(map[string]map[string]map[int]*allowEntry)}
+	var findings []Finding
 	for _, p := range m.Pkgs {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					d, ok := parseDirective(c.Text)
-					if !ok || d.verb != "allow" || len(d.args) == 0 {
+					if !ok {
 						continue
 					}
 					pos := m.Fset.Position(c.Pos())
-					s.add(d.args[0], pos.Filename, pos.Line)
+					if !knownVerbs[d.verb] {
+						findings = append(findings, Finding{
+							Analyzer: "directives",
+							Pos:      pos,
+							Message:  fmt.Sprintf("unknown directive //ermia:%s; the suite understands none of its arguments", d.verb),
+						})
+						continue
+					}
+					if d.verb != "allow" {
+						continue
+					}
+					if len(d.args) == 0 {
+						findings = append(findings, Finding{
+							Analyzer: "directives",
+							Pos:      pos,
+							Message:  "//ermia:allow names no analyzer; write //ermia:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					if !validNames[d.args[0]] {
+						findings = append(findings, Finding{
+							Analyzer: "directives",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//ermia:allow names unknown analyzer %q; it suppresses nothing", d.args[0]),
+						})
+						continue
+					}
+					if len(d.args) < 2 {
+						findings = append(findings, Finding{
+							Analyzer: "directives",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//ermia:allow %s carries no reason; every suppression must say why", d.args[0]),
+						})
+						// Still honor it: an unjustified allow is a finding,
+						// not a re-opened one.
+					}
+					s.add(&allowEntry{analyzer: d.args[0], pos: pos})
 				}
 			}
 		}
 	}
-	return s
+	return s, findings
 }
 
 // RelFindings rewrites finding file names relative to root with forward

@@ -10,15 +10,26 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== ermia-vet (atomicmix, epochguard, errclass, lockorder, nodeterminism) =="
+echo "== ermia-vet (atomicmix, cancelpoll, epochguard, errclass, hotalloc, lockorder, nodeterminism, txnlifecycle, wirecompat) =="
 if ! go run ./cmd/ermia-vet ./...; then
 	echo "" >&2
 	echo "check.sh: ermia-vet found invariant violations (listed above)." >&2
 	echo "Fix each finding or suppress a justified exception with" >&2
 	echo "'//ermia:allow <analyzer> <reason>' on the offending line." >&2
+	echo "A wirecompat finding for a genuinely new message or status means" >&2
+	echo "the registry snapshot needs appending: run" >&2
+	echo "'go run ./cmd/ermia-vet -update-wire-golden' and commit the result." >&2
 	echo "See DESIGN.md, section 'Static analysis'." >&2
 	exit 1
 fi
+
+echo "== allocation budgets (AllocsPerRun, hot-path encode/decode/mvcc) =="
+# The hotalloc analyzer above gates //ermia:hotpath functions to zero heap
+# escapes at compile time; these tests pin the per-op allocation count of
+# the functions whose allocations are intentional (frame read/write,
+# response building, version creation) so they cannot silently grow.
+go test -count=1 -run 'TestAllocBudgets|TestRespPayloadAllocBudget' \
+	./internal/proto/ ./internal/mvcc/ ./internal/server/
 
 echo "== go build =="
 go build ./...
