@@ -4,6 +4,7 @@
 //	ermia-demo -dir /tmp/ermia-data
 //	ermia-demo -dir /tmp/ermia-data -serve :7244     # shell + network server
 //	ermia-demo -connect localhost:7244               # shell over the wire
+//	ermia-demo -shard-map shards.json                # shell over a sharded fleet
 //
 // Commands (one per line on stdin):
 //
@@ -21,6 +22,10 @@
 // same database is simultaneously exposed to ermia-demo -connect peers; the
 // shell and remote clients see each other's commits. With -connect no local
 // database is opened at all — every command runs over the wire protocol.
+// With -shard-map every command is routed across the fleet the map
+// describes: single-shard transactions take the fast path, multi-shard puts
+// commit with two-phase commit, and stats shows the per-shard pool counters
+// plus the fast/cross commit split.
 package main
 
 import (
@@ -39,13 +44,37 @@ func main() {
 	serializable := flag.Bool("serializable", true, "enable SSN serializability")
 	serve := flag.String("serve", "", "also serve this database for -connect peers on the given address")
 	connect := flag.String("connect", "", "connect to a remote ermia-server instead of opening a database")
+	shardMap := flag.String("shard-map", "", "shard map JSON file; route commands across a sharded fleet instead of one database")
+	decisionLog := flag.String("decision-log", "", "router mode: durable two-phase-commit decision log path (empty: memory-only)")
 	flag.Parse()
 
 	var eng ermia.Engine
-	var db *ermia.DB     // non-nil only with a local engine
-	var cl *ermia.Client // non-nil only with -connect
+	var db *ermia.DB          // non-nil only with a local engine
+	var cl *ermia.Client      // non-nil only with -connect
+	var rt *ermia.ShardRouter // non-nil only with -shard-map
 
 	switch {
+	case *shardMap != "":
+		if *connect != "" || *serve != "" || *dir != "" {
+			fmt.Fprintln(os.Stderr, "ermia-demo: -shard-map excludes -connect, -dir and -serve")
+			os.Exit(2)
+		}
+		m, err := ermia.LoadShardMap(*shardMap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard map:", err)
+			os.Exit(1)
+		}
+		r, err := ermia.NewShardRouter(m, ermia.ShardRouterOptions{
+			DecisionLog:  *decisionLog,
+			VerifyShards: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "router:", err)
+			os.Exit(1)
+		}
+		defer r.Close()
+		rt, eng = r, r
+		fmt.Printf("routing across %d shards (map v%d)\n", len(m.Shards), m.Version)
 	case *connect != "":
 		if *serve != "" || *dir != "" {
 			fmt.Fprintln(os.Stderr, "ermia-demo: -connect excludes -dir and -serve")
@@ -178,8 +207,17 @@ func main() {
 			}
 			fmt.Printf("pruned %d versions\n", db.RunGC())
 		case "stats":
+			if rt != nil {
+				fast, cross := rt.CommitCounts()
+				fmt.Printf("router: fast-path commits=%d cross-shard (2pc) commits=%d\n", fast, cross)
+				for i, ps := range rt.PoolStats() {
+					fmt.Printf("shard %d pool: requests=%d retries=%d conn-losses=%d rotations=%d\n",
+						i, ps.Requests, ps.Retries, ps.ConnLosses, ps.Rotations)
+				}
+				continue
+			}
 			if cl != nil {
-				s, err := cl.Stats()
+				s, err := cl.ServerStats()
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
@@ -199,6 +237,9 @@ func main() {
 					fmt.Printf("replication: subscribers=%d batches=%d shipped-lsn=%d acked-lsn=%d lag=%dB\n",
 						s.ReplSubscribers, s.ReplBatches, s.ReplShippedOffset, s.ReplAckedOffset, lag)
 				}
+				ps := cl.Stats()
+				fmt.Printf("pool: requests=%d retries=%d conn-losses=%d rotations=%d\n",
+					ps.Requests, ps.Retries, ps.ConnLosses, ps.Rotations)
 				continue
 			}
 			s := db.Stats()

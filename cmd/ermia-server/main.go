@@ -29,6 +29,18 @@
 // itself after the configured silence, claiming the next primary epoch so
 // a healed old primary is fenced instead of split-brained. Pair with
 // -sync-repl on the primary for zero acked-commit loss across failover.
+//
+// With -shard-map the server serves as one shard of a horizontally
+// partitioned deployment:
+//
+//	ermia-server -addr :4100 -dir /var/lib/ermia-s0 -shard-map shards.json -shard-id 0
+//
+// The map file names every shard's address plus the per-table placement
+// rules, and the server announces its shard id and map version to
+// connecting routers, which fence themselves off a mismatched shard
+// (stale-map protection). Point an ermia.ShardRouter (or ermia-demo
+// -shard-map) at the same file to run transactions across the fleet; see
+// DESIGN.md "Sharding & distributed commit".
 package main
 
 import (
@@ -63,6 +75,8 @@ func main() {
 		replHB       = flag.Duration("repl-heartbeat", time.Second, "emit replication heartbeats this often while caught up (0: disable liveness signal)")
 		hbTimeout    = flag.Duration("heartbeat-timeout", 0, "replica mode: declare the stream dead after this much silence and redial (0: block forever)")
 		autoPromote  = flag.Duration("auto-promote", 0, "replica mode: promote automatically after this much primary silence (0: promotion stays operator-driven)")
+		shardMap     = flag.String("shard-map", "", "shard map JSON file; serve as one shard of it and announce the identity to routers")
+		shardID      = flag.Uint("shard-id", 0, "this server's shard index within -shard-map")
 	)
 	flag.Parse()
 
@@ -89,6 +103,24 @@ func main() {
 		SyncReplWait:  *syncReplWait,
 		Epoch:         *epoch,
 		ReplHeartbeat: *replHB,
+	}
+	if *shardMap != "" {
+		m, err := ermia.LoadShardMap(*shardMap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ermia-server: shard map:", err)
+			os.Exit(2)
+		}
+		if int(*shardID) >= len(m.Shards) {
+			fmt.Fprintf(os.Stderr, "ermia-server: -shard-id %d out of range (map has %d shards)\n", *shardID, len(m.Shards))
+			os.Exit(2)
+		}
+		base.ShardID = uint32(*shardID)
+		base.ShardMapVersion = m.Version
+		base.ShardMapBlob = m.EncodeBinary()
+		fmt.Printf("serving as shard %d of map v%d (%d shards)\n", *shardID, m.Version, len(m.Shards))
+	} else if *shardID != 0 {
+		fmt.Fprintln(os.Stderr, "ermia-server: -shard-id requires -shard-map")
+		os.Exit(2)
 	}
 
 	opts := ermia.Options{Dir: *dir, Serializable: *serializable}

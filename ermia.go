@@ -29,6 +29,7 @@ import (
 	"ermia/internal/query"
 	"ermia/internal/repl"
 	"ermia/internal/server"
+	"ermia/internal/shard"
 	"ermia/internal/silo"
 	"ermia/internal/wal"
 )
@@ -562,3 +563,65 @@ func DecodeQueryPlan(data []byte) (*QueryPlan, error) { return query.DecodePlan(
 // QueryRowIter streams a remote query's results (client.RowIter
 // re-exported); obtained from Client.Query.
 type QueryRowIter = client.RowIter
+
+// ---- Horizontal sharding & distributed commit ----
+//
+// internal/shard re-exported: a versioned shard map partitions tables
+// across independent ermia-server processes (hash of a configurable key
+// prefix, or full replication for read-mostly catalogs), and a Router
+// implements the same Engine interface over the whole fleet. Transactions
+// that touch one shard commit exactly like an unsharded client (the fast
+// path); transactions that wrote on several shards commit with two-phase
+// commit — durable prepare records on every participant, a durable
+// coordinator decision log, and presumed-abort recovery for coordinator
+// crashes. See DESIGN.md ("Sharding & distributed commit").
+//
+//	m, _ := ermia.LoadShardMap("shards.json")
+//	r, _ := ermia.NewShardRouter(m, ermia.ShardRouterOptions{DecisionLog: "decisions.log"})
+//	defer r.Close()
+//	err := ermia.WithRetry(r, 0, func(txn ermia.Txn) error { ... })
+
+// ShardMap is the versioned placement policy: the shard servers (with
+// optional replicas) and the per-table partitioning rules.
+type ShardMap = shard.Map
+
+// ShardInfo is one shard's primary address plus replica fallbacks.
+type ShardInfo = shard.ShardInfo
+
+// ShardTableRule is one table's placement rule: hash of a key prefix
+// (PrefixLen) or full replication (Replicated).
+type ShardTableRule = shard.TableRule
+
+// ShardRouter is the sharded Engine: single-shard fast path, merge scans,
+// and two-phase commit across shards.
+type ShardRouter = shard.Router
+
+// ShardRouterOptions configures a ShardRouter (pool sizes, decision-log
+// path, dial hook, shard-identity verification).
+type ShardRouterOptions = shard.Options
+
+// NewShardRouter dials every shard in m and returns a router over them.
+func NewShardRouter(m *ShardMap, opts ShardRouterOptions) (*ShardRouter, error) {
+	return shard.NewRouter(m, opts)
+}
+
+// LoadShardMap reads and validates a shard map from a JSON file.
+func LoadShardMap(path string) (*ShardMap, error) { return shard.LoadMapFile(path) }
+
+// ParseShardMap parses and validates a shard map from JSON bytes.
+func ParseShardMap(data []byte) (*ShardMap, error) { return shard.ParseMapJSON(data) }
+
+// PoolStats is one shard client pool's transport counters (requests,
+// retries, connection losses, failover rotations); see Client.Stats and
+// ShardRouter.PoolStats.
+type PoolStats = client.PoolStats
+
+// Distributed-commit errors. ErrTxnInDoubt is retryable under the
+// idempotent-body contract: the outcome is indeterminate until the
+// coordinator's resolver delivers the logged decision (retries conflict
+// against the prepared writes until then). ErrShardMoved reports a stale
+// shard map and is retryable after a map refresh.
+var (
+	ErrTxnInDoubt = engine.ErrTxnInDoubt
+	ErrShardMoved = engine.ErrShardMoved
+)

@@ -744,6 +744,7 @@ var Experiments = map[string]func(Params) error{
 	"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
 	"fig12": Fig12, "table1": Table1, "server": ServerBench, "repl": ReplBench,
 	"ckpt": CkptBench, "chaos": ChaosBench, "query": QueryBench,
+	"shard": ShardBench,
 }
 
 // ExperimentOrder lists experiments in paper order for "all"; "server",
@@ -751,4 +752,5 @@ var Experiments = map[string]func(Params) error{
 var ExperimentOrder = []string{
 	"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "table1", "server", "repl", "ckpt", "chaos", "query",
+	"shard",
 }

@@ -83,6 +83,49 @@ type Client struct {
 
 	tmu    sync.Mutex
 	tables map[string]*clientTable // handle identity: same name, same handle
+
+	// counters are the pool-level health counters surfaced by Stats. They
+	// attribute wire-layer overhead (redials, retries, failovers) separately
+	// from the server's own counters, which is what lets a shard-bench run
+	// tell "the workload is slow" apart from "the pool is churning".
+	counters poolCounters
+}
+
+// poolCounters backs PoolStats; shared by the client and its connections.
+type poolCounters struct {
+	requests   atomic.Uint64
+	retries    atomic.Uint64
+	connLosses atomic.Uint64
+	rotations  atomic.Uint64
+}
+
+// PoolStats is a snapshot of the client pool's own counters (as opposed to
+// ServerStats, which fetches the remote server's).
+type PoolStats struct {
+	// Requests counts request frames issued on pool connections, including
+	// pings and retried attempts.
+	Requests uint64
+	// Retries counts client-internal transparent retries: stale table
+	// handles re-created after a server restart.
+	Retries uint64
+	// ConnLosses counts pool connections that died (transport error,
+	// request timeout) — client Close excluded.
+	ConnLosses uint64
+	// Rotations counts address-rotation advances: explicit failovers off a
+	// distrusted server plus dial-time skips of an unreachable or deposed
+	// address.
+	Rotations uint64
+}
+
+// Stats returns the pool-level counter snapshot. It is purely local — no
+// network round trip; use ServerStats for the remote server's counters.
+func (c *Client) Stats() PoolStats {
+	return PoolStats{
+		Requests:   c.counters.requests.Load(),
+		Retries:    c.counters.retries.Load(),
+		ConnLosses: c.counters.connLosses.Load(),
+		Rotations:  c.counters.rotations.Load(),
+	}
 }
 
 // Dial connects to a server. The first connection is dialed eagerly so a
@@ -124,7 +167,7 @@ func (c *Client) conn(i int) (*conn, error) {
 	addrs := 1 + len(c.opts.FallbackAddrs)
 	var firstErr error
 	for attempt := 0; attempt < addrs; attempt++ {
-		cn, err := dialConn(c.addr(), c.opts)
+		cn, err := dialConn(c.addr(), c.opts, &c.counters)
 		if err == nil {
 			// Ping handshake: learn the server's epoch before trusting it.
 			// A deposed primary that healed back into view reports an epoch
@@ -149,6 +192,7 @@ func (c *Client) conn(i int) (*conn, error) {
 			firstErr = err
 		}
 		c.addrIdx = (c.addrIdx + 1) % addrs
+		c.counters.rotations.Add(1)
 	}
 	if errors.Is(firstErr, engine.ErrStaleEpoch) {
 		return nil, firstErr
@@ -177,6 +221,7 @@ func (c *Client) rotate(cn *conn, cause error) {
 	c.mu.Lock()
 	c.addrIdx = (c.addrIdx + 1) % (1 + len(c.opts.FallbackAddrs))
 	c.mu.Unlock()
+	c.counters.rotations.Add(1)
 }
 
 // keepalive pings cn every KeepaliveInterval until it breaks, refreshing the
@@ -404,10 +449,14 @@ type ServerStats struct {
 	Queries          uint64
 	QueryRows        uint64
 	QueriesCancelled uint64
+
+	PreparedTxns  uint32
+	ShardPrepares uint64
+	ShardDecides  uint64
 }
 
-// Stats fetches the server's counters.
-func (c *Client) Stats() (ServerStats, error) {
+// ServerStats fetches the remote server's counters.
+func (c *Client) ServerStats() (ServerStats, error) {
 	var out ServerStats
 	cn, err := c.conn(0)
 	if err != nil {
@@ -436,6 +485,9 @@ func (c *Client) Stats() (ServerStats, error) {
 	out.Queries = d.U64()
 	out.QueryRows = d.U64()
 	out.QueriesCancelled = d.U64()
+	out.PreparedTxns = d.U32()
+	out.ShardPrepares = d.U64()
+	out.ShardDecides = d.U64()
 	return out, d.Err()
 }
 

@@ -38,6 +38,9 @@ type conn struct {
 	// of engine.ErrDeadlineExceeded; see clientTxn.Commit for why repeated
 	// commit deadlines trigger a rotation probe.
 	lateCommits atomic.Int32
+
+	// counters points at the owning client's pool counters.
+	counters *poolCounters
 }
 
 type response struct {
@@ -50,7 +53,7 @@ type response struct {
 // for a response; call maps it onto engine.ErrDeadlineExceeded.
 var errRequestTimeout = errors.New("client: request timed out awaiting response")
 
-func dialConn(addr string, opts Options) (*conn, error) {
+func dialConn(addr string, opts Options, counters *poolCounters) (*conn, error) {
 	dial := opts.Dial
 	if dial == nil {
 		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -69,6 +72,7 @@ func dialConn(addr string, opts Options) (*conn, error) {
 		reqTimeout: opts.RequestTimeout,
 		bw:         bufio.NewWriterSize(nc, 64<<10),
 		pending:    make(map[uint64]chan response),
+		counters:   counters,
 	}
 	go c.readLoop()
 	return c, nil
@@ -100,6 +104,9 @@ func (c *conn) fail(cause error) {
 	if !c.broken {
 		c.broken = true
 		c.cause = cause
+		if !errors.Is(cause, errClientClosed) {
+			c.counters.connLosses.Add(1)
+		}
 	}
 	pending := c.pending
 	c.pending = make(map[uint64]chan response)
@@ -132,6 +139,7 @@ func (c *conn) call(typ byte, payload []byte) (proto.Status, string, *proto.Dec,
 	id := c.nextID
 	c.pending[id] = ch
 	c.pmu.Unlock()
+	c.counters.requests.Add(1)
 
 	var dlMillis uint32
 	if c.reqTimeout > 0 {

@@ -69,6 +69,7 @@ func (t *clientTxn) op(typ byte, tbl engine.Table, key, value []byte) (*proto.De
 			// table's creation; re-create and retry once, transparently.
 			if errors.Is(err, proto.ErrUnknownTable) && attempt == 0 {
 				if err := ct.recreate(t.cn); err == nil {
+					t.cn.counters.retries.Add(1)
 					continue
 				}
 			}
@@ -144,6 +145,7 @@ func (t *clientTxn) Scan(tbl engine.Table, lo, hi []byte, fn func(key, value []b
 			if errors.Is(err, proto.ErrUnknownTable) && !recreated {
 				recreated = true
 				if err := ct.recreate(t.cn); err == nil {
+					t.cn.counters.retries.Add(1)
 					continue
 				}
 			}

@@ -85,6 +85,22 @@ var (
 	// availability error, not a conflict — retrying against the same stale
 	// server cannot succeed; clients rotate to the current primary instead.
 	ErrStaleEpoch = errors.New("engine: stale primary epoch (fenced)")
+	// ErrTxnInDoubt reports a cross-shard commit whose outcome could not be
+	// learned before the coordinator lost contact with a prepared
+	// participant: every shard holds the transaction's writes durably in a
+	// prepare record, the decision is (or will be) logged, but at least one
+	// participant has not yet applied it. The outcome is indeterminate from
+	// the caller's point of view — exactly the ErrConnLost situation — so it
+	// is classified retryable under RunWithRetry's idempotent-body contract;
+	// retries conflict against the still-held write locks until the
+	// coordinator's resolver delivers the decision.
+	ErrTxnInDoubt = errors.New("engine: cross-shard transaction in doubt")
+	// ErrShardMoved reports a request routed with a stale shard map: the
+	// participant's map version differs from the coordinator's, so the key
+	// ranges the coordinator assumed may no longer live there. Retryable —
+	// the router refreshes its shard map and re-routes, which parallels how
+	// ErrConnLost triggers a redial.
+	ErrShardMoved = errors.New("engine: shard map version mismatch (moved)")
 )
 
 // IsRetryable reports whether err is a concurrency conflict the application
@@ -96,7 +112,9 @@ func IsRetryable(err error) bool {
 		errors.Is(err, ErrPhantom) ||
 		errors.Is(err, ErrConnLost) ||
 		errors.Is(err, ErrDeadlineExceeded) ||
-		errors.Is(err, ErrOverloaded)
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrTxnInDoubt) ||
+		errors.Is(err, ErrShardMoved)
 }
 
 // Table identifies one table (index + storage) inside a DB. Concrete

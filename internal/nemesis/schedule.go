@@ -32,6 +32,7 @@ type event struct {
 	to     string
 	nbytes int64 // actCut: bytes allowed through before the cut
 	lat    time.Duration
+	shard  int // shard-nemesis: participant index for shard-scoped faults
 	desc   string
 }
 
@@ -77,6 +78,66 @@ func genSchedule(seed uint64, total time.Duration) []event {
 			ev.act = actCrash
 			ev.dur = time.Duration(40+rng.Intn(120)) * time.Millisecond
 			ev.desc = fmt.Sprintf("crash primary, down %v", ev.dur)
+		}
+		evs = append(evs, ev)
+		elapsed += ev.gap + ev.dur
+	}
+	return evs
+}
+
+// ---- shard-nemesis schedule ----
+
+// Additional actions used only by the shard-nemesis schedule. They reuse
+// the event struct; ev.shard selects the participant for shard-scoped
+// faults.
+const (
+	actPartition          action = iota + 100 // generic from<->to partition, then heal
+	actShardCrash                             // participant server crash + restart
+	actCoordCrashPrepare                      // coordinator dies post-prepare, recovers after dur
+	actCoordCrashDecision                     // coordinator dies post-decision, recovers after dur
+)
+
+// genShardSchedule derives the shard-nemesis fault schedule from the seed.
+// Coordinator crashes land on both sides of the commit point so some runs
+// must presume abort and some must drive a logged commit forward.
+func genShardSchedule(seed uint64, total time.Duration) []event {
+	rng := xrand.New(seed ^ 0x7368617264) // "shard"
+	links := [][2]string{
+		{epRouter, epShard0}, {epShard0, epRouter},
+		{epRouter, epShard1}, {epShard1, epRouter},
+	}
+	var evs []event
+	var elapsed time.Duration
+	for elapsed < total {
+		ev := event{gap: time.Duration(10+rng.Intn(50)) * time.Millisecond}
+		switch p := rng.Intn(100); {
+		case p < 22:
+			l := links[rng.Intn(len(links))]
+			ev.act, ev.from, ev.to = actCut, l[0], l[1]
+			ev.nbytes = int64(1 + rng.Intn(128))
+			ev.desc = fmt.Sprintf("cut %s->%s after %dB", ev.from, ev.to, ev.nbytes)
+		case p < 40:
+			ev.act, ev.from, ev.to = actPartition, epRouter, epShard(rng.Intn(2))
+			ev.dur = time.Duration(40+rng.Intn(160)) * time.Millisecond
+			ev.desc = fmt.Sprintf("partition %s<->%s %v", ev.from, ev.to, ev.dur)
+		case p < 52:
+			l := links[rng.Intn(len(links))]
+			ev.act, ev.from, ev.to = actLatency, l[0], l[1]
+			ev.lat = time.Duration(200+rng.Intn(1800)) * time.Microsecond
+			ev.dur = time.Duration(30+rng.Intn(120)) * time.Millisecond
+			ev.desc = fmt.Sprintf("latency %s->%s %v for %v", ev.from, ev.to, ev.lat, ev.dur)
+		case p < 72:
+			ev.act, ev.shard = actShardCrash, rng.Intn(2)
+			ev.dur = time.Duration(40+rng.Intn(160)) * time.Millisecond
+			ev.desc = fmt.Sprintf("crash shard%d, down %v", ev.shard, ev.dur)
+		case p < 86:
+			ev.act = actCoordCrashPrepare
+			ev.dur = time.Duration(50+rng.Intn(200)) * time.Millisecond
+			ev.desc = fmt.Sprintf("coordinator crash after prepare, recover in %v", ev.dur)
+		default:
+			ev.act = actCoordCrashDecision
+			ev.dur = time.Duration(50+rng.Intn(200)) * time.Millisecond
+			ev.desc = fmt.Sprintf("coordinator crash after decision, recover in %v", ev.dur)
 		}
 		evs = append(evs, ev)
 		elapsed += ev.gap + ev.dur

@@ -1,0 +1,530 @@
+// Shard nemesis: a deterministic chaos harness for the two-phase-commit
+// path of the shard router. One RunShard assembles a two-shard cluster
+// wired through internal/faultconn, points workers running cross-shard
+// balance transfers at the router, and executes a seeded schedule of
+// partitions, mid-frame cuts, participant crashes, and coordinator crashes
+// injected at the two most hostile instants of 2PC — after every prepare
+// has acked but before the decision is logged, and after the decision is
+// durable but before any participant hears it. While the cluster burns,
+// the harness checks the invariants DESIGN.md claims for distributed
+// commit:
+//
+//   - Atomicity: transfers move balance between accounts on different
+//     shards; the grand total is conserved at the end. A torn 2PC (one
+//     shard committed, the other aborted) shifts the total and is caught
+//     mechanically.
+//
+//   - Acked durability: every transfer whose retry loop returned nil is
+//     marked by a unique key written in the same transaction; all acked
+//     markers must be readable after the dust settles, no matter which
+//     coordinator or participant crashed in between.
+//
+//   - Convergent recovery: after healing, draining the coordinator's
+//     decision log (ResolveInDoubt) reaches a state with no prepared
+//     transactions parked anywhere — in-doubt is a transient, not a leak.
+//
+// Transfers are idempotent under retry by construction: each (worker, seq)
+// pair writes a marker key in the same transaction as the balance updates,
+// and every retry first reads the marker — if a previous indeterminate
+// attempt actually committed, the retry observes the marker and becomes a
+// no-op. While a prepared transaction is still undecided its write locks
+// block the retry's writes, so an in-doubt transfer can never double-apply.
+package nemesis
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ermia/internal/core"
+	"ermia/internal/engine"
+	"ermia/internal/faultconn"
+	"ermia/internal/server"
+	"ermia/internal/shard"
+	"ermia/internal/wal"
+	"ermia/internal/xrand"
+)
+
+// Endpoint names on the shard-nemesis fault network.
+const (
+	epRouter = "router"
+	epShard0 = "shard0"
+	epShard1 = "shard1"
+)
+
+func epShard(i int) string {
+	if i == 0 {
+		return epShard0
+	}
+	return epShard1
+}
+
+// ShardConfig parameterizes one shard-nemesis run. The zero value of every
+// field gets a sensible default; only Seed is meaningfully distinct.
+type ShardConfig struct {
+	// Seed drives the fault schedule and all workload randomness.
+	Seed uint64
+	// Duration is the chaos window. Verification happens after it, on a
+	// healed network with every server back up. Default 2s.
+	Duration time.Duration
+	// Workers is the number of concurrent transfer goroutines. Default 3.
+	Workers int
+	// Accounts is how many balance accounts live on each shard. Default 8.
+	Accounts int
+}
+
+// ShardResult reports what one shard-nemesis run did and every invariant
+// violation it found. A clean run has len(Violations) == 0.
+type ShardResult struct {
+	Seed         uint64
+	Schedule     []string // executed fault schedule, deterministic per seed
+	Acked        int      // transfers positively acknowledged to a worker
+	Attempts     int      // transaction function invocations (retries included)
+	InDoubt      int      // commits that returned ErrTxnInDoubt to a worker
+	ShardCrashes int      // participant crash+restart cycles
+	CoordCrashes int      // injected coordinator crashes mid-2PC
+	Resolved     int      // in-doubt transactions driven to a decision
+	Violations   []string
+}
+
+// ---- harness ----
+
+type shardHarness struct {
+	cfg ShardConfig
+	net *faultconn.Network
+	res *ShardResult
+
+	m      *shard.Map
+	dbs    [2]*core.DB
+	srvMu  sync.Mutex
+	srvs   [2]*server.Server
+	router *shard.Router
+	tbl    engine.Table
+
+	// accts[s] holds the account keys living on shard s.
+	accts [2][][]byte
+	total int64
+
+	// One-shot arming of the router's coordinator-crash hooks. The armed
+	// flag is consumed by the next cross-shard commit to reach that point.
+	armPrepare  atomic.Bool
+	armDecision atomic.Bool
+
+	frontier []atomic.Uint64 // per-worker highest acked transfer seq
+	attempts atomic.Int64
+	inDoubt  atomic.Int64
+	resolved atomic.Int64
+
+	vioMu sync.Mutex
+	vios  []string
+}
+
+func (h *shardHarness) dialer(from string) func(string, time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		return h.net.DialTimeout(from, addr, timeout)
+	}
+}
+
+func (h *shardHarness) violate(format string, args ...any) {
+	h.vioMu.Lock()
+	defer h.vioMu.Unlock()
+	h.vios = append(h.vios, fmt.Sprintf(format, args...))
+}
+
+func (h *shardHarness) startShard(i int) error {
+	srv, err := server.New(server.Config{
+		DB:              h.dbs[i],
+		ShardID:         uint32(i),
+		ShardMapVersion: h.m.Version,
+		ShardMapBlob:    h.m.EncodeBinary(),
+		WriteTimeout:    2 * time.Second,
+		IdleTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := h.net.Listen(epShard(i))
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	go srv.Serve(ln)
+	h.srvMu.Lock()
+	h.srvs[i] = srv
+	h.srvMu.Unlock()
+	return nil
+}
+
+func (h *shardHarness) crashShard(i int) {
+	h.srvMu.Lock()
+	srv := h.srvs[i]
+	h.srvs[i] = nil
+	h.srvMu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// recoverCoordinator models the coordinator process coming back after a
+// crash: one synchronous pass over the decision log. Failures are fine
+// mid-chaos (the network may still be burning); the final verification
+// drains the log on a healed network.
+func (h *shardHarness) recoverCoordinator() {
+	n, _ := h.router.ResolveInDoubt()
+	h.resolved.Add(int64(n))
+}
+
+func acctKey(i int) []byte    { return []byte(fmt.Sprintf("acct-%04d", i)) }
+func xferKey(w, s int) []byte { return []byte(fmt.Sprintf("xfer-w%d-%06d", w, s)) }
+
+func i64val(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func getBalance(txn engine.Txn, tbl engine.Table, key []byte) (int64, error) {
+	v, err := txn.Get(tbl, key)
+	if err != nil {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("account %q holds %d bytes, want 8", key, len(v))
+	}
+	return int64(binary.LittleEndian.Uint64(v)), nil
+}
+
+const initialBalance = 1000
+
+// assignAccounts probes candidate keys until each shard owns cfg.Accounts
+// of them. Placement is the router's own whole-key hash, so the harness and
+// the router always agree on where an account lives.
+func (h *shardHarness) assignAccounts() {
+	rule := h.m.RuleFor("acct")
+	for i := 0; len(h.accts[0]) < h.cfg.Accounts || len(h.accts[1]) < h.cfg.Accounts; i++ {
+		k := acctKey(i)
+		s := h.m.ShardOf(rule, k)
+		if len(h.accts[s]) < h.cfg.Accounts {
+			h.accts[s] = append(h.accts[s], k)
+		}
+	}
+	h.total = int64(2 * h.cfg.Accounts * initialBalance)
+}
+
+// transferWorker moves balance between a random account on each shard until
+// the deadline. All per-transfer randomness (direction, endpoints, amount)
+// is drawn once per sequence number; retries of the same transfer reuse it.
+func (h *shardHarness) transferWorker(w int, deadline time.Time) {
+	rng := xrand.New2(h.cfg.Seed, uint64(w)+0x5a5a)
+	policy := engine.RetryPolicy{
+		BaseDelay: time.Millisecond,
+		MaxDelay:  25 * time.Millisecond,
+		Jitter:    0.5,
+		Seed:      h.cfg.Seed*1099511628211 + uint64(w) + 1,
+	}
+	seq := 0
+	for time.Now().Before(deadline) {
+		src := h.accts[0][rng.Intn(len(h.accts[0]))]
+		dst := h.accts[1][rng.Intn(len(h.accts[1]))]
+		if rng.Intn(2) == 1 {
+			src, dst = dst, src
+		}
+		amt := int64(1 + rng.Intn(50))
+		marker := xferKey(w, seq)
+		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(250*time.Millisecond))
+		err := policy.Run(ctx, h.router, w, func(txn engine.Txn) error {
+			h.attempts.Add(1)
+			// Idempotence guard: a marker means an earlier indeterminate
+			// attempt of this very transfer committed. Commit the no-op.
+			if _, gerr := txn.Get(h.tbl, marker); gerr == nil {
+				return nil
+			} else if !errors.Is(gerr, engine.ErrNotFound) {
+				return gerr
+			}
+			sb, gerr := getBalance(txn, h.tbl, src)
+			if gerr != nil {
+				return gerr
+			}
+			db, gerr := getBalance(txn, h.tbl, dst)
+			if gerr != nil {
+				return gerr
+			}
+			if uerr := txn.Update(h.tbl, src, i64val(sb-amt)); uerr != nil {
+				return uerr
+			}
+			if uerr := txn.Update(h.tbl, dst, i64val(db+amt)); uerr != nil {
+				return uerr
+			}
+			return txn.Insert(h.tbl, marker, i64val(amt))
+		})
+		cancel()
+		if err == nil {
+			h.frontier[w].Store(uint64(seq + 1))
+			seq++
+			continue
+		}
+		if errors.Is(err, engine.ErrTxnInDoubt) {
+			h.inDoubt.Add(1)
+		}
+		// The same sequence number is retried, so an indeterminate earlier
+		// attempt can only be detected (via its marker), never repeated.
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// executeShard replays the pre-generated schedule against the cluster.
+func (h *shardHarness) executeShard(evs []event) {
+	for _, ev := range evs {
+		time.Sleep(ev.gap)
+		switch ev.act {
+		case actCut:
+			h.net.CutAfter(ev.from, ev.to, ev.nbytes)
+		case actPartition:
+			h.net.Partition(ev.from, ev.to)
+			time.Sleep(ev.dur)
+			h.net.Heal(ev.from, ev.to)
+		case actLatency:
+			h.net.SetLatency(ev.from, ev.to, ev.lat, ev.lat/2)
+			time.Sleep(ev.dur)
+			h.net.SetLatency(ev.from, ev.to, 0, 0)
+		case actShardCrash:
+			h.crashShard(ev.shard)
+			h.res.ShardCrashes++
+			time.Sleep(ev.dur)
+			if err := h.startShard(ev.shard); err != nil {
+				h.violate("harness: shard %d restart: %v", ev.shard, err)
+				return
+			}
+		case actCoordCrashPrepare:
+			h.armPrepare.Store(true)
+			h.res.CoordCrashes++
+			time.Sleep(ev.dur)
+			h.recoverCoordinator()
+		case actCoordCrashDecision:
+			h.armDecision.Store(true)
+			h.res.CoordCrashes++
+			time.Sleep(ev.dur)
+			h.recoverCoordinator()
+		}
+	}
+}
+
+// RunShard executes one shard-nemesis schedule and returns what it found.
+// The error return is for harness failures (setup, unverifiable end state);
+// invariant violations land in ShardResult.Violations.
+func RunShard(cfg ShardConfig) (*ShardResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Accounts <= 0 {
+		cfg.Accounts = 8
+	}
+	h := &shardHarness{
+		cfg:      cfg,
+		net:      faultconn.NewNetwork(cfg.Seed),
+		res:      &ShardResult{Seed: cfg.Seed},
+		frontier: make([]atomic.Uint64, cfg.Workers),
+	}
+	evs := genShardSchedule(cfg.Seed, cfg.Duration)
+	for _, ev := range evs {
+		h.res.Schedule = append(h.res.Schedule, ev.desc)
+	}
+
+	h.m = &shard.Map{
+		Version: 1,
+		Shards: []shard.ShardInfo{
+			{Addr: epShard0},
+			{Addr: epShard1},
+		},
+	}
+	for i := 0; i < 2; i++ {
+		db, err := core.Open(core.Config{WAL: wal.Config{
+			SegmentSize: 4 << 20,
+			BufferSize:  1 << 20,
+			Storage:     wal.NewMemStorage(),
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("nemesis: shard %d engine: %w", i, err)
+		}
+		defer db.Close()
+		h.dbs[i] = db
+		if err := h.startShard(i); err != nil {
+			return nil, fmt.Errorf("nemesis: shard %d server: %w", i, err)
+		}
+	}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			h.crashShard(i)
+		}
+	}()
+
+	dlogDir, err := os.MkdirTemp("", "nemesis-dlog")
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: decision log dir: %w", err)
+	}
+	defer os.RemoveAll(dlogDir)
+	r, err := shard.NewRouter(h.m, shard.Options{
+		PoolSize:          2,
+		Dial:              h.dialer(epRouter),
+		DialTimeout:       150 * time.Millisecond,
+		RequestTimeout:    250 * time.Millisecond,
+		KeepaliveInterval: 50 * time.Millisecond,
+		DecisionLog:       filepath.Join(dlogDir, "decisions.log"),
+		CrashAfterPrepare: func(gid []byte) error {
+			if h.armPrepare.CompareAndSwap(true, false) {
+				return errors.New("nemesis: injected coordinator crash after prepare")
+			}
+			return nil
+		},
+		CrashAfterDecision: func(gid []byte) error {
+			if h.armDecision.CompareAndSwap(true, false) {
+				return errors.New("nemesis: injected coordinator crash after decision")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nemesis: router: %w", err)
+	}
+	defer r.Close()
+	h.router = r
+	if h.tbl = r.CreateTable("acct"); h.tbl == nil {
+		return nil, fmt.Errorf("nemesis: create table failed")
+	}
+	h.assignAccounts()
+	if err := h.seedBalances(); err != nil {
+		return nil, fmt.Errorf("nemesis: seed balances: %w", err)
+	}
+
+	// Chaos window: transfers and the fault schedule overlap.
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) { defer wg.Done(); h.transferWorker(w, deadline) }(w)
+	}
+	h.executeShard(evs)
+	wg.Wait()
+
+	// Settle: heal the network, revive any shard that is still down, drain
+	// the decision log, then verify on the quiesced cluster.
+	h.net.HealAll()
+	for i := 0; i < 2; i++ {
+		h.srvMu.Lock()
+		alive := h.srvs[i] != nil
+		h.srvMu.Unlock()
+		if !alive {
+			if err := h.startShard(i); err != nil {
+				return nil, fmt.Errorf("nemesis: shard %d revive: %w", i, err)
+			}
+		}
+	}
+	h.drainInDoubt()
+	h.verifyShard()
+
+	h.res.Acked = 0
+	for w := range h.frontier {
+		h.res.Acked += int(h.frontier[w].Load())
+	}
+	h.res.Attempts = int(h.attempts.Load())
+	h.res.InDoubt = int(h.inDoubt.Load())
+	h.res.Resolved = int(h.resolved.Load())
+	h.vioMu.Lock()
+	h.res.Violations = append([]string(nil), h.vios...)
+	h.vioMu.Unlock()
+	return h.res, nil
+}
+
+// seedBalances funds every account in one transaction — itself a
+// cross-shard 2PC commit, executed on the still-healthy network.
+func (h *shardHarness) seedBalances() error {
+	policy := engine.RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: h.cfg.Seed + 3}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return policy.Run(ctx, h.router, h.cfg.Workers, func(txn engine.Txn) error {
+		for s := 0; s < 2; s++ {
+			for _, k := range h.accts[s] {
+				if err := txn.Insert(h.tbl, k, i64val(initialBalance)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// drainInDoubt drives every decision-log entry to completion on the healed
+// network. Convergence failure is itself a violation: in-doubt state must
+// be transient once the cluster is reachable.
+func (h *shardHarness) drainInDoubt() {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := h.router.ResolveInDoubt()
+		h.resolved.Add(int64(n))
+		if err == nil && n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.violate("harness: in-doubt transactions never drained: resolved=%d err=%v", n, err)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// verifyShard checks the end-state invariants: conservation of the balance
+// total (cross-shard atomicity — a torn commit shifts the sum) and acked
+// durability (every acked transfer's marker is readable).
+func (h *shardHarness) verifyShard() {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := h.tryVerifyShard()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.violate("harness: verification reads never succeeded: %v", err)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (h *shardHarness) tryVerifyShard() error {
+	txn := h.router.BeginReadOnly(h.cfg.Workers + 1)
+	defer txn.Abort()
+	var sum int64
+	for s := 0; s < 2; s++ {
+		for _, k := range h.accts[s] {
+			bal, err := getBalance(txn, h.tbl, k)
+			if err != nil {
+				return err
+			}
+			sum += bal
+		}
+	}
+	if sum != h.total {
+		h.violate("conservation broken: balances sum to %d, want %d (a cross-shard commit tore)", sum, h.total)
+	}
+	for w := 0; w < h.cfg.Workers; w++ {
+		acked := int(h.frontier[w].Load())
+		for s := 0; s < acked; s++ {
+			if _, err := txn.Get(h.tbl, xferKey(w, s)); errors.Is(err, engine.ErrNotFound) {
+				h.violate("acked transfer w%d seq %d lost (acked frontier %d)", w, s, acked)
+			} else if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

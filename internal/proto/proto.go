@@ -122,6 +122,28 @@ const (
 	// answers OK (cancelling a finished or unknown id is a no-op), aborting
 	// the snapshot transaction and releasing its worker slot.
 	MsgQueryEnd
+	// MsgShardPrepare is phase one of a cross-shard two-phase commit: the
+	// coordinator asks a participant to make a named open transaction's
+	// write set durable without committing it. Payload: u64 txn id, u64
+	// observed primary epoch (same fence as MsgBegin — a deposed primary
+	// must not ack a prepare), u64 shard-map version, gid (bytes), u32 op
+	// count, then per op: u8 op code (MsgInsert/MsgUpdate/MsgDelete), table
+	// name (bytes), key (bytes), value (bytes, empty for deletes). The
+	// server writes a prepare record through its group committer, parks the
+	// transaction — its locks stay held — and acks only once the record is
+	// durable. Appended after MsgQueryEnd to keep existing wire values
+	// stable.
+	MsgShardPrepare
+	// MsgShardDecide delivers the coordinator's decision for a prepared
+	// transaction: payload gid (bytes), u8 commit flag (1 commit, 0 abort).
+	// Commit decisions ack after the commit is durable; unknown gids answer
+	// OK so retries and presumed-abort cleanup are idempotent.
+	MsgShardDecide
+	// MsgShardMap fetches the serving shard's identity: response u32 shard
+	// id, u64 shard-map version, then the server's configured shard-map
+	// blob (bytes, possibly empty). Routers use it at dial time to verify
+	// they are talking to the shard the map says lives at this address.
+	MsgShardMap
 )
 
 // Begin request flag bits.

@@ -82,6 +82,15 @@ const (
 	// StatusQueryOverflow reports a query whose result or internal
 	// materialization exceeded the server's row budget.
 	StatusQueryOverflow
+	// StatusTxnInDoubt reports a prepared cross-shard transaction whose
+	// commit decision could not be applied or learned; the writes are
+	// durable in a prepare record and resolution is pending. Appended after
+	// StatusQueryOverflow to keep existing wire values stable.
+	StatusTxnInDoubt
+	// StatusShardMoved reports a request carrying a shard-map version that
+	// does not match the participant's: the router's map is stale and must
+	// be refreshed before re-routing.
+	StatusShardMoved
 )
 
 // Server-side request errors with no engine sentinel. They are fatal to the
@@ -123,6 +132,8 @@ var statusTable = []struct {
 	{StatusQueryBadPlan, engine.ErrBadQueryPlan},
 	{StatusQueryCancelled, engine.ErrQueryCancelled},
 	{StatusQueryOverflow, engine.ErrQueryOverflow},
+	{StatusTxnInDoubt, engine.ErrTxnInDoubt},
+	{StatusShardMoved, engine.ErrShardMoved},
 }
 
 // StatusOf maps a server-side error to its wire status plus a detail string

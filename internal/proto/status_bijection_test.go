@@ -37,6 +37,8 @@ var sentinelValues = map[string]error{
 	"ErrBadQueryPlan":     engine.ErrBadQueryPlan,
 	"ErrQueryCancelled":   engine.ErrQueryCancelled,
 	"ErrQueryOverflow":    engine.ErrQueryOverflow,
+	"ErrTxnInDoubt":       engine.ErrTxnInDoubt,
+	"ErrShardMoved":       engine.ErrShardMoved,
 }
 
 // engineSentinel is one parsed sentinel declaration.

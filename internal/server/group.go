@@ -12,6 +12,17 @@ type commitAck struct {
 	sess  *session
 	reqID uint64
 
+	// typ is the request type the released acknowledgment answers; zero
+	// means MsgCommit. Shard prepare/decide acks ride the same committer —
+	// that is the "piggybacked on the group committer" design — and must be
+	// released under their own frame type.
+	typ byte
+
+	// count marks acknowledgments that represent an acked write commit and
+	// therefore belong in the per-epoch single-writer audit. Prepare acks
+	// (durable but undecided) leave it false.
+	count bool
+
 	// epoch is the primary epoch observed at commit time; counted per epoch
 	// on a successful acknowledgment so the dual-primary audit can prove
 	// epochs never interleave acked writes.
@@ -161,8 +172,12 @@ func (g *groupCommitter) awaitReplicated(batch []commitAck) {
 // respondOne releases a single commit acknowledgment with the given status,
 // counting successful commits against their epoch.
 func (g *groupCommitter) respondOne(a commitAck, st proto.Status, detail string) {
-	a.sess.respond(proto.MsgCommit, a.reqID, respPayload(st, detail, nil))
-	if st == proto.StatusOK {
+	typ := a.typ
+	if typ == 0 {
+		typ = proto.MsgCommit
+	}
+	a.sess.respond(typ, a.reqID, respPayload(st, detail, nil))
+	if st == proto.StatusOK && a.count {
 		g.srv.noteCommit(a.epoch)
 	}
 	a.sess.wg.Done()

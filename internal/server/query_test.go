@@ -77,7 +77,7 @@ func TestQueryStreamsAllRowsOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := c.Stats()
+	st, err := c.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestQueryEarlyCloseReleasesSlot(t *testing.T) {
 	}
 	it2.Close()
 
-	st, err := c.Stats()
+	st, err := c.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}

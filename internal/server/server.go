@@ -134,6 +134,20 @@ type Config struct {
 	// QueryChunkRows caps rows in one MsgQueryRow response chunk (the byte
 	// cap is fixed at 256KiB). Default 256.
 	QueryChunkRows int
+	// ShardID is this server's shard number in a sharded deployment, served
+	// by the MsgShardMap frame so routers can verify an address actually
+	// hosts the shard their map claims. Meaningful only with a non-zero
+	// ShardMapVersion; standalone servers leave both zero.
+	ShardID uint32
+	// ShardMapVersion is the shard-map version this server was deployed
+	// under. When non-zero, MsgShardPrepare requests carrying a different
+	// version are refused with StatusShardMoved (the router's map is stale).
+	// Zero disables the check (standalone or test deployments).
+	ShardMapVersion uint64
+	// ShardMapBlob is the encoded shard map the operator deployed this
+	// server with, served verbatim by MsgShardMap so a client can bootstrap
+	// routing from any one shard. Optional.
+	ShardMapBlob []byte
 }
 
 // StatsSnapshot is the server-level counter set served by the Stats frame.
@@ -161,6 +175,11 @@ type StatsSnapshot struct {
 	Queries          uint64 // queries opened since start
 	QueryRows        uint64 // result rows streamed to clients
 	QueriesCancelled uint64 // queries ended other than by stream completion
+
+	// Sharding / two-phase-commit counters.
+	PreparedTxns  uint32 // transactions currently parked in the prepared state
+	ShardPrepares uint64 // prepare requests acknowledged
+	ShardDecides  uint64 // decide requests applied (commit or abort)
 }
 
 // Server serves one engine over TCP.
@@ -202,6 +221,18 @@ type Server struct {
 	replShipped     atomic.Uint64
 	replAcked       atomic.Uint64
 	checkpoints     atomic.Uint64
+
+	// prepared parks cross-shard transactions between prepare and decide.
+	// Entries are server-global (a decide may arrive on any connection, and
+	// the preparing session may die first); each holds its engine
+	// transaction — locks intact — and its worker slot until the
+	// coordinator's decision lands. See shard.go.
+	prepMu        sync.Mutex
+	prepared      map[string]*preparedTxn
+	prepTblOnce   sync.Once
+	prepTbl       engine.Table
+	shardPrepares atomic.Uint64
+	shardDecides  atomic.Uint64
 
 	// epoch is the primary epoch this server believes it serves in; stamped
 	// into repl batches and Ping responses, checked against the client's
@@ -256,12 +287,17 @@ func New(cfg Config) (*Server, error) {
 		slots:        make(chan int, cfg.Workers),
 		sessions:     make(map[*session]struct{}),
 		commitEpochs: make(map[uint64]uint64),
+		prepared:     make(map[string]*preparedTxn),
 	}
 	s.epoch.Store(cfg.Epoch)
 	for i := 0; i < cfg.Workers; i++ {
 		s.slots <- i
 	}
 	s.resolveDurability()
+	// Re-lock in-doubt cross-shard transactions from their durable prepare
+	// records before accepting any connection, so no new writer can slip in
+	// under keys a prepared transaction still owns.
+	s.recoverPrepared()
 	s.gc = newGroupCommitter(s)
 	go s.gc.run()
 	return s, nil
@@ -435,6 +471,10 @@ func (s *Server) Stats() StatsSnapshot {
 		Queries:          s.queriesTotal.Load(),
 		QueryRows:        s.queryRows.Load(),
 		QueriesCancelled: s.queryCancels.Load(),
+
+		PreparedTxns:  s.preparedCount(),
+		ShardPrepares: s.shardPrepares.Load(),
+		ShardDecides:  s.shardDecides.Load(),
 	}
 }
 
@@ -510,6 +550,10 @@ func (s *Server) shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	// Prepared cross-shard transactions outlive their sessions; abort the
+	// in-memory side now (their durable prepare records re-lock them at the
+	// next start, where the coordinator's retried decide resolves them).
+	s.abortPrepared()
 	s.gc.close()
 	return err
 }

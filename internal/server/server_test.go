@@ -471,7 +471,7 @@ func TestGroupCommitBatches(t *testing.T) {
 	}
 	wg.Wait()
 
-	stats, err := srvStatsClient.Stats()
+	stats, err := srvStatsClient.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}

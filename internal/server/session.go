@@ -270,6 +270,12 @@ func (s *session) dispatch(req request) {
 		s.handleQueryRow(req, d)
 	case proto.MsgQueryEnd:
 		s.handleQueryEnd(req, d)
+	case proto.MsgShardPrepare:
+		s.handleShardPrepare(req, d)
+	case proto.MsgShardDecide:
+		s.handleShardDecide(req, d)
+	case proto.MsgShardMap:
+		s.handleShardMap(req)
 	default:
 		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
 	}
@@ -282,7 +288,7 @@ func (s *session) dispatch(req request) {
 func (s *session) expire(req request) {
 	switch req.typ {
 	case proto.MsgGet, proto.MsgInsert, proto.MsgUpdate, proto.MsgDelete,
-		proto.MsgScan, proto.MsgCommit, proto.MsgAbort:
+		proto.MsgScan, proto.MsgCommit, proto.MsgAbort, proto.MsgShardPrepare:
 		d := proto.NewDec(req.payload)
 		txnID := d.U64()
 		if d.Err() == nil {
@@ -515,7 +521,7 @@ func (s *session) handleCommit(req request, d *proto.Dec) {
 			s.respond(proto.MsgCommit, reqID, respPayload(st, detail, nil))
 		}(req.id)
 	default: // DurabilityGroup
-		ack := commitAck{sess: s, reqID: req.id, epoch: ep, deadline: req.deadline}
+		ack := commitAck{sess: s, reqID: req.id, epoch: ep, deadline: req.deadline, count: true}
 		if s.srv.cfg.SyncRepl {
 			// The replica must acknowledge applying the log through this
 			// commit's bytes before the client hears OK. Deadline-less
@@ -610,6 +616,10 @@ func (s *session) handleStats(req request) {
 	body = proto.AppendU64(body, st.Queries)
 	body = proto.AppendU64(body, st.QueryRows)
 	body = proto.AppendU64(body, st.QueriesCancelled)
+	// Sharding counters append after the query block, same reasoning.
+	body = proto.AppendU32(body, st.PreparedTxns)
+	body = proto.AppendU64(body, st.ShardPrepares)
+	body = proto.AppendU64(body, st.ShardDecides)
 	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
 }
 

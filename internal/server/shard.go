@@ -1,0 +1,518 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// This file is the participant side of cross-shard two-phase commit. The
+// protocol state a participant owns is deliberately tiny:
+//
+//   - An open transaction becomes PREPARED when MsgShardPrepare lands: its
+//     logical write set is persisted as a record in the ShardPrepTable
+//     system table (committed through the ordinary engine path, so the
+//     group committer's WaitDurable covers it), and the transaction itself
+//     is moved out of its session into the server-global prepared registry
+//     with its locks and worker slot intact. The prepare ack is released
+//     only once the record is durable — from then on the writes can survive
+//     any crash.
+//
+//   - MsgShardDecide resolves it: commit (or abort) the parked transaction,
+//     delete the record, and ack the decide only after both are durable.
+//     The coordinator forgets a transaction only after every participant's
+//     positive decide ack, so an undeleted record can never be orphaned: it
+//     is always either re-locked at startup and resolved by a retried
+//     decide, or resolved through the record-replay path below.
+//
+//   - At startup, recoverPrepared replays every surviving record into a
+//     fresh transaction (idempotently — the record may belong to a
+//     transaction that already committed but crashed before cleanup) and
+//     parks it, re-establishing first-updater-wins locks before the first
+//     connection is accepted. Two prepared records can never conflict with
+//     each other: overlapping write sets would have aborted one of the
+//     transactions before it could prepare.
+//
+// Decisions are idempotent by construction: deciding a gid with no parked
+// transaction and no record answers OK, so coordinators retry blindly
+// across connection losses, participant restarts, and duplicated frames.
+
+// ShardPrepTable is the system table holding durable prepare records,
+// keyed by coordinator-chosen global transaction id (gid). The "__" prefix
+// keeps it out of the way of application tables.
+const ShardPrepTable = "__shard2pc"
+
+// preparedTxn is one transaction parked between prepare and decide.
+type preparedTxn struct {
+	txn   engine.Txn
+	slot  int
+	epoch uint64
+}
+
+// prepOp is one logical write replayed from (or persisted into) a prepare
+// record; ops use the wire op codes (MsgInsert/MsgUpdate/MsgDelete).
+type prepOp struct {
+	op    byte
+	table string
+	key   []byte
+	value []byte
+}
+
+// encodePrepRecord serializes a prepare record value: the preparing epoch
+// (diagnostic) and the ordered logical write set.
+func encodePrepRecord(epoch uint64, ops []prepOp) []byte {
+	p := proto.AppendU64(nil, epoch)
+	p = proto.AppendU32(p, uint32(len(ops)))
+	for _, op := range ops {
+		p = proto.AppendU8(p, op.op)
+		p = proto.AppendBytes(p, []byte(op.table))
+		p = proto.AppendBytes(p, op.key)
+		p = proto.AppendBytes(p, op.value)
+	}
+	return p
+}
+
+func decodePrepRecord(v []byte) ([]prepOp, error) {
+	d := proto.NewDec(v)
+	d.U64() // epoch, informational
+	n := d.U32()
+	var ops []prepOp
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		op := prepOp{op: d.U8(), table: string(d.Bytes())}
+		op.key = append([]byte(nil), d.Bytes()...)
+		op.value = append([]byte(nil), d.Bytes()...)
+		ops = append(ops, op)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// prepTable lazily creates/opens the prepare-record system table. Nil when
+// the engine refuses catalog changes (a replica).
+func (s *Server) prepTable() engine.Table {
+	s.prepTblOnce.Do(func() {
+		if t := s.db.OpenTable(ShardPrepTable); t != nil {
+			s.prepTbl = t
+			return
+		}
+		s.prepTbl = s.db.CreateTable(ShardPrepTable)
+	})
+	return s.prepTbl
+}
+
+// parkPrepared moves a transaction into the prepared registry.
+func (s *Server) parkPrepared(gid []byte, pt *preparedTxn) {
+	s.prepMu.Lock()
+	s.prepared[string(gid)] = pt
+	s.prepMu.Unlock()
+}
+
+// takePrepared removes and returns the parked transaction for gid, or nil.
+func (s *Server) takePrepared(gid []byte) *preparedTxn {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	pt, ok := s.prepared[string(gid)]
+	if ok {
+		delete(s.prepared, string(gid))
+	}
+	return pt
+}
+
+func (s *Server) preparedCount() uint32 {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	return uint32(len(s.prepared))
+}
+
+// abortPrepared aborts every parked transaction (shutdown path). Their
+// durable records survive and re-lock them at the next start.
+func (s *Server) abortPrepared() {
+	s.prepMu.Lock()
+	parked := s.prepared
+	s.prepared = make(map[string]*preparedTxn)
+	s.prepMu.Unlock()
+	for _, pt := range parked {
+		pt.txn.Abort()
+		s.aborts.Add(1)
+		s.releaseSlot(pt.slot)
+	}
+}
+
+// recordSlotWait bounds the slot-acquisition retry of prepare-record
+// bookkeeping transactions. Unlike Begin admission these must not give up
+// on the first empty pool: a record that cannot be deleted blocks the
+// coordinator's cleanup, and the wait happens on one session's handler
+// goroutine only.
+const recordSlotWait = time.Second
+
+// recordSlot acquires a worker slot for a record-bookkeeping transaction,
+// retrying briefly before surfacing ErrOverloaded.
+//
+//ermia:cancellable
+func (s *Server) recordSlot() (int, error) {
+	deadline := time.Now().Add(recordSlotWait)
+	for {
+		if w, ok := s.acquireSlot(); ok {
+			return w, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, engine.ErrOverloaded
+		}
+		select {
+		case <-s.doneCh:
+			return 0, engine.ErrShutdown
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// putPrepareRecord persists the write set under gid in its own small
+// transaction; the caller's prepared transaction keeps its locks untouched
+// (the record key lives in a disjoint system table).
+func (s *Server) putPrepareRecord(gid []byte, epoch uint64, ops []prepOp) error {
+	tbl := s.prepTable()
+	if tbl == nil {
+		return engine.ErrReplicaReadOnly
+	}
+	slot, err := s.recordSlot()
+	if err != nil {
+		return err
+	}
+	defer s.releaseSlot(slot)
+	rec := encodePrepRecord(epoch, ops)
+	txn := s.db.Begin(slot)
+	if err := txn.Insert(tbl, gid, rec); err != nil {
+		// A coordinator retrying prepare after an indeterminate ack may
+		// collide with its own earlier record; overwrite it.
+		if !errors.Is(err, engine.ErrDuplicate) {
+			txn.Abort()
+			return err
+		}
+		if err := txn.Update(tbl, gid, rec); err != nil {
+			txn.Abort()
+			return err
+		}
+	}
+	return txn.Commit()
+}
+
+// deletePrepareRecord removes gid's record in its own small transaction.
+// Missing records are fine (already cleaned, or never written under
+// DurabilityNone crash schedules).
+func (s *Server) deletePrepareRecord(gid []byte) error {
+	tbl := s.prepTable()
+	if tbl == nil {
+		return nil
+	}
+	slot, err := s.recordSlot()
+	if err != nil {
+		return err
+	}
+	defer s.releaseSlot(slot)
+	txn := s.db.Begin(slot)
+	if err := txn.Delete(tbl, gid); err != nil {
+		txn.Abort()
+		if errors.Is(err, engine.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	return txn.Commit()
+}
+
+// replayOps re-applies a prepare record's logical writes idempotently: the
+// record may describe work that was never committed (re-establishing its
+// locks) or work that committed but crashed before record cleanup (in
+// which case every op lands on its own prior result).
+func replayOps(s *Server, txn engine.Txn, ops []prepOp) error {
+	for _, op := range ops {
+		tbl := s.db.OpenTable(op.table)
+		if tbl == nil {
+			if tbl = s.db.CreateTable(op.table); tbl == nil {
+				return engine.ErrReplicaReadOnly
+			}
+		}
+		var err error
+		switch op.op {
+		case proto.MsgInsert:
+			if err = txn.Insert(tbl, op.key, op.value); errors.Is(err, engine.ErrDuplicate) {
+				err = txn.Update(tbl, op.key, op.value)
+			}
+		case proto.MsgUpdate:
+			if err = txn.Update(tbl, op.key, op.value); errors.Is(err, engine.ErrNotFound) {
+				err = txn.Insert(tbl, op.key, op.value)
+			}
+		case proto.MsgDelete:
+			if err = txn.Delete(tbl, op.key); errors.Is(err, engine.ErrNotFound) {
+				err = nil
+			}
+		default:
+			return proto.ErrBadRequest
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverPrepared runs at New, before any connection is accepted: every
+// surviving prepare record is replayed into a fresh transaction and parked,
+// so the in-doubt write sets hold their locks again and no new writer can
+// slip under them. Replays cannot conflict with each other (prepared write
+// sets are disjoint by first-updater-wins) and there is no concurrent load
+// yet.
+//
+//ermia:txn-owner prepared registry owns the replayed handle; handleShardDecide commits/aborts it and shutdown's abortPrepared reclaims leftovers
+func (s *Server) recoverPrepared() {
+	tbl := s.db.OpenTable(ShardPrepTable)
+	if tbl == nil {
+		return // no records ever written here (or a replica: resolved after promotion)
+	}
+	type rec struct {
+		gid []byte
+		ops []prepOp
+	}
+	var recs []rec
+	slot, ok := s.acquireSlot()
+	if !ok {
+		return
+	}
+	ro := s.db.BeginReadOnly(slot)
+	ro.Scan(tbl, nil, nil, func(k, v []byte) bool {
+		if ops, err := decodePrepRecord(v); err == nil {
+			recs = append(recs, rec{gid: append([]byte(nil), k...), ops: ops})
+		}
+		return true
+	})
+	ro.Abort()
+	s.releaseSlot(slot)
+
+	for _, r := range recs {
+		slot, ok := s.acquireSlot()
+		if !ok {
+			return // more records than worker slots; the rest resolve via decideByRecord
+		}
+		txn := s.db.Begin(slot)
+		if err := replayOps(s, txn, r.ops); err != nil {
+			// Cannot re-lock (degraded or replica engine); leave the record
+			// for the record-replay decide path.
+			txn.Abort()
+			s.releaseSlot(slot)
+			continue
+		}
+		s.parkPrepared(r.gid, &preparedTxn{txn: txn, slot: slot, epoch: s.epoch.Load()})
+	}
+}
+
+// decideByRecord resolves a decision for a gid with no parked transaction:
+// if a record survives (participant restarted without re-locking, or a
+// prior decide failed mid-way), apply the decision through it — one
+// transaction that replays the writes (commit only) and deletes the record,
+// atomically. Returns whether anything was applied.
+func (s *Server) decideByRecord(gid []byte, commit bool) (bool, error) {
+	tbl := s.prepTable()
+	if tbl == nil {
+		return false, nil
+	}
+	slot, err := s.recordSlot()
+	if err != nil {
+		return false, err
+	}
+	defer s.releaseSlot(slot)
+	txn := s.db.Begin(slot)
+	v, err := txn.Get(tbl, gid)
+	if err != nil {
+		txn.Abort()
+		if errors.Is(err, engine.ErrNotFound) {
+			return false, nil // already resolved: idempotent OK
+		}
+		return false, err
+	}
+	if commit {
+		ops, derr := decodePrepRecord(v)
+		if derr != nil {
+			txn.Abort()
+			return false, derr
+		}
+		if err := replayOps(s, txn, ops); err != nil {
+			txn.Abort()
+			return false, err
+		}
+	}
+	if err := txn.Delete(tbl, gid); err != nil {
+		txn.Abort()
+		return false, err
+	}
+	if err := txn.Commit(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// handleShardPrepare is phase one: persist the write set, park the
+// transaction, ack when durable. Refusals leave the transaction open and
+// owned by this session — the coordinator aborts it through the normal
+// path.
+//
+//ermia:txn-owner prepared registry takes the handle from s.txns; handleShardDecide finishes it and shutdown's abortPrepared reclaims leftovers
+func (s *session) handleShardPrepare(req request, d *proto.Dec) {
+	txnID := d.U64()
+	cliEpoch := d.U64()
+	mapVersion := d.U64()
+	gid := d.Bytes()
+	n := d.U32()
+	var ops []prepOp
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		op := prepOp{op: d.U8(), table: string(d.Bytes())}
+		op.key = append([]byte(nil), d.Bytes()...)
+		op.value = append([]byte(nil), d.Bytes()...)
+		ops = append(ops, op)
+	}
+	if d.Err() != nil || len(gid) == 0 || uint32(len(ops)) != n {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	// Same fence as Begin: a deposed primary must never ack a prepare — its
+	// record could not survive the failover its clients already observed.
+	if cliEpoch > s.srv.epoch.Load() {
+		s.respond(req.typ, req.id, respPayload(proto.StatusStaleEpoch, "", nil))
+		return
+	}
+	if v := s.srv.cfg.ShardMapVersion; v != 0 && mapVersion != v {
+		s.respond(req.typ, req.id, respPayload(proto.StatusShardMoved, "", nil))
+		return
+	}
+	ot, ok := s.txns[txnID]
+	if !ok {
+		s.respond(req.typ, req.id, respPayload(proto.StatusUnknownTxn, "", nil))
+		return
+	}
+	if ot.readOnly {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "read-only transaction cannot prepare", nil))
+		return
+	}
+	ep := s.srv.epoch.Load()
+	if err := s.srv.putPrepareRecord(gid, ep, ops); err != nil {
+		st, detail := proto.StatusOf(err)
+		s.respond(req.typ, req.id, respPayload(st, detail, nil))
+		return
+	}
+	// Park: out of the session registry (keeping the worker slot) into the
+	// server-global one, where any connection's decide can find it.
+	delete(s.txns, txnID)
+	s.openTxns.Add(-1)
+	s.srv.openTxns.Add(-1)
+	s.srv.parkPrepared(gid, &preparedTxn{txn: ot.txn, slot: ot.slot, epoch: ep})
+	s.srv.shardPrepares.Add(1)
+	s.ackDurable(req, ep, false)
+}
+
+// handleShardDecide applies the coordinator's decision. The ack is released
+// only after the decision's effects — commit or abort, plus record cleanup
+// — are durable, because the coordinator erases its own decision log entry
+// on a positive ack and must never need to re-deliver after that.
+func (s *session) handleShardDecide(req request, d *proto.Dec) {
+	gid := d.Bytes()
+	flag := d.U8()
+	if d.Err() != nil || len(gid) == 0 {
+		s.respond(req.typ, req.id, respPayload(proto.StatusBadRequest, "", nil))
+		return
+	}
+	commit := flag != 0
+	if pt := s.srv.takePrepared(gid); pt != nil {
+		if commit {
+			err := pt.txn.Commit()
+			s.srv.releaseSlot(pt.slot)
+			if err != nil {
+				// The locks died with the failed commit but the record
+				// survives; the coordinator's retry resolves through
+				// decideByRecord.
+				s.srv.aborts.Add(1)
+				st, detail := proto.StatusOf(err)
+				s.respond(req.typ, req.id, respPayload(st, detail, nil))
+				return
+			}
+		} else {
+			pt.txn.Abort()
+			s.srv.releaseSlot(pt.slot)
+			s.srv.aborts.Add(1)
+		}
+		if err := s.srv.deletePrepareRecord(gid); err != nil {
+			// Decision applied but cleanup failed: refuse the ack so the
+			// coordinator retries; the retry lands in decideByRecord and
+			// finishes the cleanup idempotently.
+			st, detail := proto.StatusOf(err)
+			s.respond(req.typ, req.id, respPayload(st, detail, nil))
+			return
+		}
+		s.srv.shardDecides.Add(1)
+		s.ackDurable(req, s.srv.epoch.Load(), commit)
+		return
+	}
+	applied, err := s.srv.decideByRecord(gid, commit)
+	if err != nil {
+		st, detail := proto.StatusOf(err)
+		s.respond(req.typ, req.id, respPayload(st, detail, nil))
+		return
+	}
+	if !applied {
+		// Nothing to do: already resolved (or never prepared here).
+		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+		return
+	}
+	s.srv.shardDecides.Add(1)
+	s.ackDurable(req, s.srv.epoch.Load(), commit)
+}
+
+// ackDurable releases a 2PC acknowledgment under the server's durability
+// policy, exactly as handleCommit does for ordinary commits: group acks
+// ride the shared committer (one WaitDurable covers every ack gathered
+// behind the in-flight sync), per-commit pays its own sync, none acks
+// immediately. isCommit marks acks that represent an acked write commit
+// for the per-epoch single-writer audit.
+func (s *session) ackDurable(req request, epoch uint64, isCommit bool) {
+	switch s.srv.cfg.Durability {
+	case DurabilityNone:
+		if isCommit {
+			s.srv.noteCommit(epoch)
+		}
+		s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", nil))
+	case DurabilityPerCommit:
+		s.wg.Add(1)
+		go func(typ byte, reqID uint64) {
+			defer s.wg.Done()
+			st, detail := proto.StatusOf(s.srv.syncCommit())
+			if st == proto.StatusOK && isCommit {
+				s.srv.noteCommit(epoch)
+			}
+			s.respond(typ, reqID, respPayload(st, detail, nil))
+		}(req.typ, req.id)
+	default: // DurabilityGroup
+		ack := commitAck{sess: s, reqID: req.id, typ: req.typ, epoch: epoch, deadline: req.deadline, count: isCommit}
+		if s.srv.cfg.SyncRepl {
+			if log := s.srv.shipLog(); log != nil {
+				ack.target = log.CurrentOffset()
+			}
+			replCap := time.Now().Add(s.srv.cfg.SyncReplWait)
+			if ack.deadline.IsZero() || replCap.Before(ack.deadline) {
+				ack.deadline = replCap
+			}
+		}
+		s.wg.Add(1)
+		s.srv.gc.enqueue(ack)
+	}
+}
+
+// handleShardMap serves this server's sharding identity: shard id, map
+// version, and the operator-supplied map blob.
+func (s *session) handleShardMap(req request) {
+	body := proto.AppendU32(nil, s.srv.cfg.ShardID)
+	body = proto.AppendU64(body, s.srv.cfg.ShardMapVersion)
+	body = proto.AppendBytes(body, s.srv.cfg.ShardMapBlob)
+	s.respond(req.typ, req.id, respPayload(proto.StatusOK, "", body))
+}

@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// dlogEntry is one cross-shard transaction the coordinator is (or was)
+// responsible for. An entry is born at prepare time (P), gains a decision
+// (C/A), and dies once every participant has acknowledged the decision (D).
+type dlogEntry struct {
+	gid     []byte
+	shards  []int
+	decided bool
+	commit  bool
+}
+
+// decisionLog is the coordinator's durable memory. Two-phase commit's
+// in-doubt window is exactly the span between the last prepare ack and the
+// last decide ack; if the coordinator dies inside it, participants sit
+// prepared — locks held, outcome unknown — until someone tells them the
+// decision. The log closes that window: a P record before any prepare is
+// sent names the participants, a fsynced C record makes the commit decision
+// durable BEFORE any participant learns it, and a D record retires the
+// entry once every decide is acked. Recovery is presumed-abort: an entry
+// with no C means no participant can have committed, so the decision is
+// abort; an entry with C is re-driven as commit. Both re-deliveries are
+// safe because participants treat decides idempotently.
+//
+// With no path configured the log is memory-only: resolution still works
+// for the life of the process (the background resolver), but a coordinator
+// crash orphans prepared transactions until an operator intervenes —
+// production routers should always set Options.DecisionLog.
+type decisionLog struct {
+	mu      sync.Mutex
+	f       *os.File // nil = memory-only
+	pending map[string]*dlogEntry
+}
+
+// openDecisionLog opens (creating if needed) the log at path and replays
+// it into the in-memory pending set. Empty path means memory-only.
+func openDecisionLog(path string) (*decisionLog, error) {
+	l := &decisionLog{pending: make(map[string]*dlogEntry)}
+	if path == "" {
+		return l, nil
+	}
+	if err := l.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	return l, nil
+}
+
+// replay loads an existing log file. Torn trailing lines (a crash mid-
+// append) are ignored; every complete record before them is honored.
+func (l *decisionLog) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		gid, err := hex.DecodeString(fields[1])
+		if err != nil {
+			continue
+		}
+		key := string(gid)
+		switch fields[0] {
+		case "P":
+			e := &dlogEntry{gid: gid}
+			if len(fields) >= 3 {
+				for _, s := range strings.Split(fields[2], ",") {
+					n, err := strconv.Atoi(s)
+					if err != nil {
+						e = nil
+						break
+					}
+					e.shards = append(e.shards, n)
+				}
+			}
+			if e != nil {
+				l.pending[key] = e
+			}
+		case "C", "A":
+			if e := l.pending[key]; e != nil {
+				e.decided = true
+				e.commit = fields[0] == "C"
+			}
+		case "D":
+			delete(l.pending, key)
+		}
+	}
+	return sc.Err()
+}
+
+// appendLine writes one record; sync forces it to stable storage before
+// returning, which is required for records whose existence other nodes
+// will be told about (P before prepares go out, C before commits do).
+func (l *decisionLog) appendLine(line string, sync bool) error {
+	if l.f == nil {
+		return nil
+	}
+	if _, err := l.f.WriteString(line + "\n"); err != nil {
+		return err
+	}
+	if sync {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// begin records intent: gid with its participant set. Durable before any
+// prepare is sent, so recovery always knows whom to talk to.
+func (l *decisionLog) begin(gid []byte, shards []int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	parts := make([]string, len(shards))
+	for i, s := range shards {
+		parts[i] = strconv.Itoa(s)
+	}
+	if err := l.appendLine(fmt.Sprintf("P %s %s", hex.EncodeToString(gid), strings.Join(parts, ",")), true); err != nil {
+		return err
+	}
+	l.pending[string(gid)] = &dlogEntry{gid: gid, shards: shards}
+	return nil
+}
+
+// decide records the outcome. A commit decision MUST be durable before any
+// participant is told to commit — that fsync is the commit point of the
+// whole cross-shard transaction. Abort decisions are also logged (it turns
+// recovery's presumed abort into an explicit one) but the fsync is not
+// load-bearing there.
+func (l *decisionLog) decide(gid []byte, commit bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tag := "A"
+	if commit {
+		tag = "C"
+	}
+	if err := l.appendLine(tag+" "+hex.EncodeToString(gid), commit); err != nil {
+		return err
+	}
+	if e := l.pending[string(gid)]; e != nil {
+		e.decided = true
+		e.commit = commit
+	}
+	return nil
+}
+
+// finish retires an entry after every participant acked the decision. Not
+// fsynced: losing a D merely re-sends idempotent decides at recovery.
+func (l *decisionLog) finish(gid []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.pending[string(gid)]; !ok {
+		return nil
+	}
+	if err := l.appendLine("D "+hex.EncodeToString(gid), false); err != nil {
+		return err
+	}
+	delete(l.pending, string(gid))
+	return nil
+}
+
+// entry returns a snapshot of the pending entry for gid, or nil.
+func (l *decisionLog) entry(key string) *dlogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.pending[key]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	cp.shards = append([]int(nil), e.shards...)
+	return &cp
+}
+
+// pendingGids snapshots the gids of all unresolved entries.
+func (l *decisionLog) pendingGids() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, 0, len(l.pending))
+	for _, e := range l.pending {
+		out = append(out, append([]byte(nil), e.gid...))
+	}
+	return out
+}
+
+func (l *decisionLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,216 @@
+// Package shard layers horizontal partitioning over the ERMIA network
+// stack: a versioned shard map assigns tables' key spaces to N independent
+// ermia-server processes, a Router implements engine.DB on top of
+// per-shard client pools so unmodified workloads (enginetest, tpcc, the
+// facade) run against a sharded deployment, and a two-phase-commit
+// coordinator makes cross-shard transactions atomic and durable while
+// transactions that touch a single shard take a fast path with zero
+// coordination overhead — the property that lets partition-local TPC-C
+// scale near-linearly with the shard count.
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"ermia/internal/proto"
+)
+
+// ShardInfo locates one shard: a primary address plus optional replica
+// addresses used as client failover fallbacks (PR-5/7 semantics: after a
+// promotion the router's pool rotates onto the replica).
+type ShardInfo struct {
+	Addr     string   `json:"addr"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// TableRule describes how one table's key space is distributed.
+//
+// The default (no rule) hashes the whole key, which spreads every key
+// uniformly — correct for any workload, pessimal for range scans and
+// multi-key transactions. A PrefixLen > 0 hashes only the first PrefixLen
+// key bytes, so keys sharing that prefix co-locate: TPC-C's
+// warehouse-prefixed keys with PrefixLen 4 put a whole warehouse on one
+// shard, which is what makes home-warehouse transactions single-shard.
+// Replicated tables (read-mostly catalogs like ITEM) are written to every
+// shard and read from any one.
+type TableRule struct {
+	Table      string `json:"table"`
+	Replicated bool   `json:"replicated,omitempty"`
+	PrefixLen  int    `json:"prefix_len,omitempty"`
+}
+
+// Map is the versioned routing table. The version fences configuration
+// drift: every prepare carries it, and a participant deployed under a
+// different version refuses with engine.ErrShardMoved rather than
+// accepting writes for key ranges that may have moved.
+type Map struct {
+	Version uint64      `json:"version"`
+	Shards  []ShardInfo `json:"shards"`
+	Rules   []TableRule `json:"rules,omitempty"`
+}
+
+// Validate checks structural invariants.
+func (m *Map) Validate() error {
+	if m.Version == 0 {
+		return fmt.Errorf("shard: map version must be non-zero")
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	for i, sh := range m.Shards {
+		if sh.Addr == "" {
+			return fmt.Errorf("shard: shard %d has no address", i)
+		}
+	}
+	seen := make(map[string]bool, len(m.Rules))
+	for _, r := range m.Rules {
+		if r.Table == "" {
+			return fmt.Errorf("shard: rule with empty table name")
+		}
+		if seen[r.Table] {
+			return fmt.Errorf("shard: duplicate rule for table %q", r.Table)
+		}
+		seen[r.Table] = true
+		if r.PrefixLen < 0 {
+			return fmt.Errorf("shard: rule for %q has negative prefix length", r.Table)
+		}
+		if r.Replicated && r.PrefixLen != 0 {
+			return fmt.Errorf("shard: rule for %q is replicated and prefix-hashed at once", r.Table)
+		}
+	}
+	return nil
+}
+
+// RuleFor returns the routing rule for table; absent tables get the
+// default whole-key hash rule.
+func (m *Map) RuleFor(table string) TableRule {
+	for _, r := range m.Rules {
+		if r.Table == table {
+			return r
+		}
+	}
+	return TableRule{Table: table}
+}
+
+// hashPrefix is FNV-1a over the rule's key prefix (whole key when
+// PrefixLen is 0 or the key is shorter).
+func hashPrefix(key []byte, prefixLen int) uint32 {
+	if prefixLen > 0 && len(key) > prefixLen {
+		key = key[:prefixLen]
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return h.Sum32()
+}
+
+// ShardOf maps a hash-partitioned key to its shard. For replicated tables
+// it returns a deterministic shard usable as a read target; writes to
+// replicated tables must go everywhere (the Router handles that).
+func (m *Map) ShardOf(rule TableRule, key []byte) int {
+	return int(hashPrefix(key, rule.PrefixLen) % uint32(len(m.Shards)))
+}
+
+// SingleShardRange reports whether every key in [lo, hi) maps to one shard
+// under rule, and which. With one shard everything is local. With a
+// positive PrefixLen, a bounded range whose endpoints share the full
+// prefix is confined to that prefix's shard: any key admitted by the
+// bounds must carry the same prefix bytes (a differing byte before
+// PrefixLen would push the key outside [lo, hi)).
+func (m *Map) SingleShardRange(rule TableRule, lo, hi []byte) (int, bool) {
+	if len(m.Shards) == 1 {
+		return 0, true
+	}
+	if rule.Replicated {
+		// Caller reads from any one shard; report shard of lo for
+		// determinism.
+		return m.ShardOf(rule, lo), true
+	}
+	p := rule.PrefixLen
+	if p <= 0 || hi == nil || len(lo) < p || len(hi) < p {
+		return 0, false
+	}
+	if !bytes.Equal(lo[:p], hi[:p]) {
+		return 0, false
+	}
+	return m.ShardOf(rule, lo), true
+}
+
+// EncodeBinary serializes the map with the wire encoding helpers; the blob
+// is what ermia-server serves on MsgShardMap.
+func (m *Map) EncodeBinary() []byte {
+	p := proto.AppendU64(nil, m.Version)
+	p = proto.AppendU32(p, uint32(len(m.Shards)))
+	for _, sh := range m.Shards {
+		p = proto.AppendBytes(p, []byte(sh.Addr))
+		p = proto.AppendU32(p, uint32(len(sh.Replicas)))
+		for _, r := range sh.Replicas {
+			p = proto.AppendBytes(p, []byte(r))
+		}
+	}
+	p = proto.AppendU32(p, uint32(len(m.Rules)))
+	for _, r := range m.Rules {
+		p = proto.AppendBytes(p, []byte(r.Table))
+		flag := byte(0)
+		if r.Replicated {
+			flag = 1
+		}
+		p = proto.AppendU8(p, flag)
+		p = proto.AppendU32(p, uint32(r.PrefixLen))
+	}
+	return p
+}
+
+// DecodeBinary parses a map blob produced by EncodeBinary.
+func DecodeBinary(b []byte) (*Map, error) {
+	d := proto.NewDec(b)
+	m := &Map{Version: d.U64()}
+	ns := d.U32()
+	for i := uint32(0); i < ns && d.Err() == nil; i++ {
+		sh := ShardInfo{Addr: string(d.Bytes())}
+		nr := d.U32()
+		for j := uint32(0); j < nr && d.Err() == nil; j++ {
+			sh.Replicas = append(sh.Replicas, string(d.Bytes()))
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+	nu := d.U32()
+	for i := uint32(0); i < nu && d.Err() == nil; i++ {
+		r := TableRule{Table: string(d.Bytes())}
+		r.Replicated = d.U8() != 0
+		r.PrefixLen = int(d.U32())
+		m.Rules = append(m.Rules, r)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: bad map blob: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseMapJSON parses the operator-facing JSON map format (the -shard-map
+// file of ermia-server and ermia-demo).
+func ParseMapJSON(b []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: bad map JSON: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadMapFile reads and parses a JSON shard-map file.
+func LoadMapFile(path string) (*Map, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMapJSON(b)
+}

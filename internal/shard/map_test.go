@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMap(n int, rules ...TableRule) *Map {
+	m := &Map{Version: 1, Rules: rules}
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, ShardInfo{Addr: fmt.Sprintf("127.0.0.1:%d", 7000+i)})
+	}
+	return m
+}
+
+func TestShardOfPrefixGrouping(t *testing.T) {
+	m := testMap(3, TableRule{Table: "t", PrefixLen: 4})
+	rule := m.RuleFor("t")
+	home := m.ShardOf(rule, []byte("wh01-anything"))
+	for _, suffix := range []string{"", "-a", "-zzz", "-d05-c0999"} {
+		k := []byte("wh01" + suffix)
+		if got := m.ShardOf(rule, k); got != home {
+			t.Errorf("key %q on shard %d, want %d (same prefix must co-locate)", k, got, home)
+		}
+	}
+	if got := m.ShardOf(rule, []byte("wh")); got < 0 || got >= 3 {
+		t.Errorf("short key shard %d out of range", got)
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	m := testMap(3)
+	rule := m.RuleFor("t")
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[m.ShardOf(rule, []byte(fmt.Sprintf("key-%03d", i)))] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("100 keys landed on %d of 3 shards", len(seen))
+	}
+}
+
+func TestSingleShardRange(t *testing.T) {
+	m := testMap(3, TableRule{Table: "t", PrefixLen: 4}, TableRule{Table: "cat", Replicated: true})
+	hashRule := m.RuleFor("t")
+	defRule := m.RuleFor("other")
+
+	if sh, ok := m.SingleShardRange(hashRule, []byte("wh01-a"), []byte("wh01-z")); !ok {
+		t.Error("same-prefix range should be single-shard")
+	} else if want := m.ShardOf(hashRule, []byte("wh01")); sh != want {
+		t.Errorf("range on shard %d, want %d", sh, want)
+	}
+	if _, ok := m.SingleShardRange(hashRule, []byte("wh01"), []byte("wh02")); ok {
+		t.Error("cross-prefix range must not be single-shard")
+	}
+	if _, ok := m.SingleShardRange(hashRule, []byte("wh"), []byte("wh01-z")); ok {
+		t.Error("lo shorter than prefix must not be single-shard")
+	}
+	if _, ok := m.SingleShardRange(hashRule, []byte("wh01-a"), nil); ok {
+		t.Error("unbounded range must not be single-shard")
+	}
+	if _, ok := m.SingleShardRange(defRule, []byte("a"), []byte("z")); ok {
+		t.Error("whole-key-hash range must not be single-shard")
+	}
+	if _, ok := m.SingleShardRange(m.RuleFor("cat"), []byte("a"), nil); !ok {
+		t.Error("replicated range should read one shard")
+	}
+
+	one := testMap(1)
+	if sh, ok := one.SingleShardRange(one.RuleFor("t"), nil, nil); !ok || sh != 0 {
+		t.Errorf("one-shard map: got (%d, %v), want (0, true)", sh, ok)
+	}
+}
+
+func TestMapBinaryRoundTrip(t *testing.T) {
+	m := &Map{
+		Version: 7,
+		Shards: []ShardInfo{
+			{Addr: "10.0.0.1:4100", Replicas: []string{"10.0.0.2:4100", "10.0.0.3:4100"}},
+			{Addr: "10.0.0.4:4100"},
+		},
+		Rules: []TableRule{
+			{Table: "warehouse", PrefixLen: 4},
+			{Table: "item", Replicated: true},
+		},
+	}
+	got, err := DecodeBinary(m.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || len(got.Shards) != 2 || len(got.Rules) != 2 {
+		t.Fatalf("round trip mangled map: %+v", got)
+	}
+	if got.Shards[0].Addr != "10.0.0.1:4100" || len(got.Shards[0].Replicas) != 2 {
+		t.Errorf("shard 0 mangled: %+v", got.Shards[0])
+	}
+	if !got.Rules[1].Replicated || got.Rules[0].PrefixLen != 4 {
+		t.Errorf("rules mangled: %+v", got.Rules)
+	}
+	if _, err := DecodeBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated blob decoded without error")
+	}
+}
+
+func TestParseMapJSON(t *testing.T) {
+	m, err := ParseMapJSON([]byte(`{
+		"version": 3,
+		"shards": [
+			{"addr": "127.0.0.1:4100", "replicas": ["127.0.0.1:4101"]},
+			{"addr": "127.0.0.1:4200"}
+		],
+		"rules": [
+			{"table": "warehouse", "prefix_len": 4},
+			{"table": "item", "replicated": true}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 3 || len(m.Shards) != 2 || m.RuleFor("item").Replicated != true {
+		t.Fatalf("parsed map wrong: %+v", m)
+	}
+
+	bad := []string{
+		`{"shards": [{"addr": "a:1"}]}`,                                                    // version 0
+		`{"version": 1}`,                                                                   // no shards
+		`{"version": 1, "shards": [{"addr": ""}]}`,                                         // empty addr
+		`{"version": 1, "shards": [{"addr": "a:1"}], "rules": [{"table": "t"}, {"table": "t"}]}`, // dup rule
+		`{"version": 1, "shards": [{"addr": "a:1"}], "rules": [{"table": "t", "replicated": true, "prefix_len": 2}]}`,
+	}
+	for _, s := range bad {
+		if _, err := ParseMapJSON([]byte(s)); err == nil {
+			t.Errorf("invalid map accepted: %s", s)
+		}
+	}
+}

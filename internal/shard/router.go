@@ -1,0 +1,440 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ermia/internal/client"
+	"ermia/internal/engine"
+	"ermia/internal/proto"
+)
+
+// Options configures a Router. The zero value is usable with NewRouter —
+// one connection per shard, TCP dialing, memory-only decision log.
+type Options struct {
+	// PoolSize is the per-shard connection pool size (client.Options
+	// semantics: worker w pins to connection w%PoolSize). Default 1.
+	PoolSize int
+	// DialTimeout, RequestTimeout, KeepaliveInterval pass through to each
+	// shard's client pool.
+	DialTimeout       time.Duration
+	RequestTimeout    time.Duration
+	KeepaliveInterval time.Duration
+	// Dial, when set, replaces TCP dialing — the fault-injection seam for
+	// tests and the nemesis harness, same as client.Options.Dial.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// DecisionLog is the path of the coordinator's durable decision log.
+	// Empty means memory-only: fine for tests and single-process demos,
+	// wrong for production (a coordinator crash would orphan prepared
+	// transactions).
+	DecisionLog string
+	// VerifyShards asks each server for its shard identity at dial time
+	// and fails NewRouter with engine.ErrShardMoved if an address hosts a
+	// different shard id or map version than the map claims.
+	VerifyShards bool
+
+	// CrashAfterPrepare, when set, runs after every participant has acked
+	// prepare but BEFORE the commit decision is logged. Returning an error
+	// simulates a coordinator crash at the most hostile instant: the
+	// commit call abandons the transaction in-doubt (prepared everywhere,
+	// decided nowhere) and recovery must presume abort. Test/nemesis hook.
+	CrashAfterPrepare func(gid []byte) error
+	// CrashAfterDecision runs after the commit decision is durably logged
+	// but before any participant is told. Returning an error abandons the
+	// transaction with the decision on disk; recovery must drive it to
+	// commit on every shard. Test/nemesis hook.
+	CrashAfterDecision func(gid []byte) error
+}
+
+// Router is a sharded engine.DB: it routes every operation to the shard
+// that owns the key, runs transactions that touch one shard exactly as a
+// plain client would (the fast path — no coordinator state, no extra
+// frames, no decision-log write), and commits transactions that wrote on
+// several shards with two-phase commit. Routers are safe for concurrent
+// use; individual transactions follow the usual single-goroutine contract.
+type Router struct {
+	m    *Map
+	opts Options
+
+	clients []*client.Client
+	dlog    *decisionLog
+
+	gidPrefix uint64
+	gidSeq    atomic.Uint64
+
+	// fastCommits / crossCommits split committed read-write transactions
+	// by path, so benchmarks can report how much traffic paid for 2PC.
+	fastCommits  atomic.Uint64
+	crossCommits atomic.Uint64
+
+	tmu    sync.Mutex
+	tables map[string]*routerTable
+
+	rmu       sync.Mutex
+	resolving map[string]bool
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewRouter dials every shard in m and returns a Router over them. Any
+// decision-log entries left by a previous incarnation are re-driven in the
+// background (see ResolveInDoubt for the synchronous form).
+func NewRouter(m *Map, opts Options) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	dlog, err := openDecisionLog(opts.DecisionLog)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		m:         m,
+		opts:      opts,
+		dlog:      dlog,
+		gidPrefix: uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32,
+		tables:    make(map[string]*routerTable),
+		resolving: make(map[string]bool),
+		stop:      make(chan struct{}),
+	}
+	for i, sh := range m.Shards {
+		c, err := client.Dial(client.Options{
+			Addr:              sh.Addr,
+			FallbackAddrs:     sh.Replicas,
+			PoolSize:          opts.PoolSize,
+			DialTimeout:       opts.DialTimeout,
+			RequestTimeout:    opts.RequestTimeout,
+			KeepaliveInterval: opts.KeepaliveInterval,
+			Dial:              opts.Dial,
+		})
+		if err == nil && opts.VerifyShards {
+			var id client.ShardIdentity
+			if id, err = c.FetchShardIdentity(); err == nil {
+				if int(id.ShardID) != i || (id.MapVersion != 0 && id.MapVersion != m.Version) {
+					err = fmt.Errorf("%w: %s identifies as shard %d v%d, map says shard %d v%d",
+						engine.ErrShardMoved, sh.Addr, id.ShardID, id.MapVersion, i, m.Version)
+				}
+			}
+		}
+		if err != nil {
+			for _, prev := range r.clients {
+				prev.Close()
+			}
+			dlog.close()
+			return nil, fmt.Errorf("shard %d (%s): %w", i, sh.Addr, err)
+		}
+		r.clients = append(r.clients, c)
+	}
+	for _, gid := range dlog.pendingGids() {
+		r.resolveLater(gid)
+	}
+	return r, nil
+}
+
+// Map returns the routing map the router was built with.
+func (r *Router) Map() *Map { return r.m }
+
+// PoolStats returns each shard's client-pool counter snapshot, indexed by
+// shard id.
+func (r *Router) PoolStats() []client.PoolStats {
+	out := make([]client.PoolStats, len(r.clients))
+	for i, c := range r.clients {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// CommitCounts reports committed read-write transactions split by path:
+// fast (single-shard, no coordination) and cross (two-phase commit).
+func (r *Router) CommitCounts() (fast, cross uint64) {
+	return r.fastCommits.Load(), r.crossCommits.Load()
+}
+
+// routerTable is a table handle with router-wide identity (same name, same
+// handle), mirroring the client's handle-identity contract.
+type routerTable struct{ name string }
+
+func (t *routerTable) Name() string { return t.name }
+
+func (r *Router) table(name string) *routerTable {
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	t, ok := r.tables[name]
+	if !ok {
+		t = &routerTable{name: name}
+		r.tables[name] = t
+	}
+	return t
+}
+
+// tableOn resolves the per-shard handle for name. CreateTable (not
+// OpenTable) keeps the resolution self-healing: a shard restarted from an
+// older checkpoint re-creates the table instead of failing every op.
+func (r *Router) tableOn(shard int, name string) engine.Table {
+	return r.clients[shard].CreateTable(name)
+}
+
+// CreateTable implements engine.DB: DDL broadcasts to every shard (the
+// table exists everywhere; only its rows are partitioned).
+func (r *Router) CreateTable(name string) engine.Table {
+	for _, c := range r.clients {
+		c.CreateTable(name)
+	}
+	return r.table(name)
+}
+
+// OpenTable implements engine.DB; existence is judged by shard 0, which is
+// authoritative because DDL always broadcasts.
+func (r *Router) OpenTable(name string) engine.Table {
+	if r.clients[0].OpenTable(name) == nil {
+		return nil
+	}
+	return r.table(name)
+}
+
+// Begin implements engine.DB.
+func (r *Router) Begin(worker int) engine.Txn {
+	return &routerTxn{r: r, worker: worker}
+}
+
+// BeginReadOnly implements engine.DB.
+func (r *Router) BeginReadOnly(worker int) engine.Txn {
+	return &routerTxn{r: r, worker: worker, readOnly: true}
+}
+
+// Close stops the background resolver and closes every shard pool and the
+// decision log. Unresolved in-doubt transactions stay in the log for the
+// next incarnation.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.wg.Wait()
+		for _, c := range r.clients {
+			if err := c.Close(); err != nil && r.closeErr == nil {
+				r.closeErr = err
+			}
+		}
+		if err := r.dlog.close(); err != nil && r.closeErr == nil {
+			r.closeErr = err
+		}
+	})
+	return r.closeErr
+}
+
+var _ engine.DB = (*Router)(nil)
+
+// newGID mints a globally-unique transaction id: an instance prefix (so
+// two router incarnations sharing a decision log cannot collide) plus a
+// sequence number.
+func (r *Router) newGID() []byte {
+	p := proto.AppendU64(nil, r.gidPrefix)
+	return proto.AppendU64(p, r.gidSeq.Add(1))
+}
+
+// commitCross is the two-phase commit coordinator, reached only when a
+// transaction wrote on two or more shards.
+//
+//	log P (fsync)  →  prepare all (parallel, on each txn's own session)
+//	log C (fsync)  →  decide commit all (parallel, any connection)
+//	log D          →  done
+//
+// The C fsync is the commit point: before it, recovery presumes abort and
+// every participant can be rolled back; after it, the transaction WILL
+// commit on every shard — participants hold durable prepare records, so
+// crashes on either side only delay the decides, never change the outcome.
+// A decide that cannot be delivered leaves the transaction in-doubt: the
+// caller gets engine.ErrTxnInDoubt (retryable only under idempotent
+// bodies) and a background resolver re-drives the decision until every
+// shard acks.
+func (r *Router) commitCross(writers []*childTxn) error {
+	gid := r.newGID()
+	shards := make([]int, len(writers))
+	for i, c := range writers {
+		shards[i] = c.shard
+	}
+	if err := r.dlog.begin(gid, shards); err != nil {
+		for _, c := range writers {
+			c.txn.Abort()
+		}
+		return fmt.Errorf("shard: decision log: %w", err)
+	}
+
+	// Phase one. Each prepare rides its transaction's pinned connection
+	// (transaction ids are session-scoped) and acks only once the prepare
+	// record is durable under the shard's commit policy.
+	errs := make([]error, len(writers))
+	var wg sync.WaitGroup
+	for i, c := range writers {
+		wg.Add(1)
+		go func(i int, c *childTxn) {
+			defer wg.Done()
+			errs[i] = r.clients[c.shard].ShardPrepare(c.txn, gid, r.m.Version, c.writes)
+		}(i, c)
+	}
+	wg.Wait()
+	var prepErr error
+	for _, e := range errs {
+		if e != nil {
+			prepErr = e
+			break
+		}
+	}
+	if prepErr != nil {
+		// Abort decision. Participants whose prepare failed cleanly still
+		// own their transaction (plain abort); every shard additionally
+		// gets a decide-abort, which covers prepares that landed but whose
+		// ack was lost — deciding an unknown gid is an idempotent no-op.
+		_ = r.dlog.decide(gid, false)
+		allAcked := true
+		for i, c := range writers {
+			if errs[i] != nil {
+				c.txn.Abort()
+			}
+			if err := r.clients[c.shard].ShardDecide(gid, false); err != nil {
+				allAcked = false
+			}
+		}
+		if allAcked {
+			_ = r.dlog.finish(gid)
+		} else {
+			r.resolveLater(gid)
+		}
+		return prepErr
+	}
+
+	if hook := r.opts.CrashAfterPrepare; hook != nil {
+		if err := hook(gid); err != nil {
+			// Simulated coordinator death before the decision: no decides
+			// go out, no resolver is scheduled. Only recovery (a new
+			// router over the same decision log) can resolve — to abort,
+			// since no C record exists.
+			return fmt.Errorf("%w: coordinator crashed after prepare (gid %x)", engine.ErrTxnInDoubt, gid)
+		}
+	}
+
+	if err := r.dlog.decide(gid, true); err != nil {
+		// The commit decision could not be made durable, so it was never
+		// made: presume abort, exactly as recovery would.
+		for _, c := range writers {
+			_ = r.clients[c.shard].ShardDecide(gid, false)
+		}
+		r.resolveLater(gid)
+		return fmt.Errorf("shard: decision log: %w", err)
+	}
+
+	if hook := r.opts.CrashAfterDecision; hook != nil {
+		if err := hook(gid); err != nil {
+			// Simulated death after the commit point: the C record is on
+			// disk, participants are prepared. Recovery must finish the
+			// commit on every shard.
+			return fmt.Errorf("%w: coordinator crashed after decision (gid %x)", engine.ErrTxnInDoubt, gid)
+		}
+	}
+
+	// Phase two. Acks are durability acks (they ride each shard's group
+	// committer), so a nil here means the cross-shard transaction is
+	// committed and durable everywhere.
+	acked := make([]bool, len(writers))
+	for i, c := range writers {
+		wg.Add(1)
+		go func(i int, c *childTxn) {
+			defer wg.Done()
+			acked[i] = r.clients[c.shard].ShardDecide(gid, true) == nil
+		}(i, c)
+	}
+	wg.Wait()
+	for _, a := range acked {
+		if !a {
+			r.resolveLater(gid)
+			return fmt.Errorf("%w: commit decided but not acknowledged by every shard (gid %x)", engine.ErrTxnInDoubt, gid)
+		}
+	}
+	_ = r.dlog.finish(gid)
+	r.crossCommits.Add(1)
+	return nil
+}
+
+// resolveOne re-drives the logged decision for one pending gid to every
+// participant, retiring the entry once all ack. Presumed abort: an entry
+// without a durable commit decision is driven to abort.
+func (r *Router) resolveOne(key string) error {
+	e := r.dlog.entry(key)
+	if e == nil {
+		return nil
+	}
+	commit := e.decided && e.commit
+	for _, sh := range e.shards {
+		if sh < 0 || sh >= len(r.clients) {
+			continue
+		}
+		if err := r.clients[sh].ShardDecide(e.gid, commit); err != nil {
+			return err
+		}
+	}
+	return r.dlog.finish(e.gid)
+}
+
+// resolveLater schedules background resolution for gid, retrying with
+// backoff until it succeeds or the router closes. At most one resolver
+// runs per gid.
+func (r *Router) resolveLater(gid []byte) {
+	key := string(gid)
+	r.rmu.Lock()
+	if r.resolving[key] {
+		r.rmu.Unlock()
+		return
+	}
+	r.resolving[key] = true
+	r.rmu.Unlock()
+	r.wg.Add(1)
+	go r.resolveLoop(key)
+}
+
+//ermia:cancellable
+func (r *Router) resolveLoop(key string) {
+	defer r.wg.Done()
+	defer func() {
+		r.rmu.Lock()
+		delete(r.resolving, key)
+		r.rmu.Unlock()
+	}()
+	backoff := 10 * time.Millisecond
+	for {
+		if r.resolveOne(key) == nil {
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// ResolveInDoubt synchronously re-drives every pending decision-log entry
+// once, returning how many were retired and the first delivery error.
+// Recovery tooling and tests call it after restarting a router over an
+// existing decision log; the background resolver keeps retrying whatever
+// this pass could not reach.
+func (r *Router) ResolveInDoubt() (resolved int, err error) {
+	for _, gid := range r.dlog.pendingGids() {
+		if e := r.resolveOne(string(gid)); e != nil {
+			if err == nil {
+				err = e
+			}
+			r.resolveLater(gid)
+			continue
+		}
+		resolved++
+	}
+	return resolved, err
+}

@@ -1,0 +1,26 @@
+package tpcc
+
+import "testing"
+
+// TestCrossPartitionDefaults pins the spec's cross-partition probabilities:
+// an untouched Config keeps the paper's 1% remote-item / 15% remote-payment
+// mix, explicit values override, and negatives mean fully partition-local.
+func TestCrossPartitionDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	if c.RemoteItemPct != 1 || c.RemotePaymentPct != 15 {
+		t.Fatalf("defaults = %d%%/%d%%, want 1%%/15%%", c.RemoteItemPct, c.RemotePaymentPct)
+	}
+
+	c = Config{RemoteItemPct: 10, RemotePaymentPct: 40}
+	c.setDefaults()
+	if c.RemoteItemPct != 10 || c.RemotePaymentPct != 40 {
+		t.Fatalf("explicit = %d%%/%d%%, want 10%%/40%%", c.RemoteItemPct, c.RemotePaymentPct)
+	}
+
+	c = Config{RemoteItemPct: -1, RemotePaymentPct: -1}
+	c.setDefaults()
+	if c.RemoteItemPct != 0 || c.RemotePaymentPct != 0 {
+		t.Fatalf("negative = %d%%/%d%%, want 0%%/0%%", c.RemoteItemPct, c.RemotePaymentPct)
+	}
+}

@@ -41,6 +41,16 @@ type Config struct {
 	Access AccessMode
 	// StockThreshold is Q2*'s restock threshold.
 	StockThreshold int64
+	// RemoteItemPct is the probability (percent) that a NewOrder sources
+	// its items from a remote warehouse — the spec's (and the paper's)
+	// cross-partition knob. 0 means the spec default of 1; negative
+	// disables remote items entirely. Sharded benchmarks sweep this to
+	// dial the cross-shard transaction ratio.
+	RemoteItemPct int
+	// RemotePaymentPct is the probability (percent) that a Payment pays
+	// on behalf of a remote warehouse's customer. 0 means the spec
+	// default of 15; negative disables remote payments.
+	RemotePaymentPct int
 }
 
 func (c *Config) setDefaults() {
@@ -55,6 +65,16 @@ func (c *Config) setDefaults() {
 	}
 	if c.StockThreshold == 0 {
 		c.StockThreshold = 14
+	}
+	if c.RemoteItemPct == 0 {
+		c.RemoteItemPct = 1
+	} else if c.RemoteItemPct < 0 {
+		c.RemoteItemPct = 0
+	}
+	if c.RemotePaymentPct == 0 {
+		c.RemotePaymentPct = 15
+	} else if c.RemotePaymentPct < 0 {
+		c.RemotePaymentPct = 0
 	}
 }
 

@@ -28,14 +28,15 @@ func orderIDRace(err error) error {
 	return err
 }
 
-// runNewOrder implements the NEW-ORDER transaction. 1% of executions are
-// cross-partition: their items come from a remote warehouse.
+// runNewOrder implements the NEW-ORDER transaction. Config.RemoteItemPct
+// percent of executions (spec default 1%) are cross-partition: their items
+// come from a remote warehouse.
 func (d *Driver) runNewOrder(worker int, rng *xrand.Rand) error {
 	w := d.homeWarehouse(worker, rng)
 	dist := rng.Range(1, DistrictsPerWarehouse)
 	cid := rng.NURand(1023, 1, d.customersPerDistrict())
 	olCnt := rng.Range(5, 15)
-	remote := d.cfg.Warehouses > 1 && rng.Intn(100) == 0
+	remote := d.cfg.Warehouses > 1 && rng.Intn(100) < d.cfg.RemoteItemPct
 	rollback := rng.Intn(100) == 0
 
 	txn := d.db.Begin(worker)
@@ -170,13 +171,14 @@ func (d *Driver) lookupCustomer(txn engine.Txn, w, dist int, rng *xrand.Rand) (i
 	return rng.NURand(1023, 1, d.customersPerDistrict()), nil
 }
 
-// runPayment implements the PAYMENT transaction; 15% of executions pay on
-// behalf of a remote customer (cross-partition).
+// runPayment implements the PAYMENT transaction; Config.RemotePaymentPct
+// percent of executions (spec default 15%) pay on behalf of a remote
+// customer (cross-partition).
 func (d *Driver) runPayment(worker int, rng *xrand.Rand) error {
 	w := d.homeWarehouse(worker, rng)
 	dist := rng.Range(1, DistrictsPerWarehouse)
 	cw, cd := w, dist
-	if d.cfg.Warehouses > 1 && rng.Intn(100) < 15 {
+	if d.cfg.Warehouses > 1 && rng.Intn(100) < d.cfg.RemotePaymentPct {
 		for {
 			cw = rng.Range(1, d.cfg.Warehouses)
 			if cw != w {

@@ -40,7 +40,7 @@ go test ./...
 echo "== go test -race (core, wal, epoch, engine, server, client, repl, faultconn; -short) =="
 go test -race -short -count=1 ./internal/core/ ./internal/wal/ ./internal/epoch/ \
 	./internal/engine/ ./internal/server/ ./internal/client/ ./internal/repl/ \
-	./internal/faultconn/ ./internal/query/
+	./internal/faultconn/ ./internal/query/ ./internal/shard/
 
 echo "== nemesis smoke (fixed seeds, -race) =="
 # A bounded chaos sweep: every seed replays a deterministic fault schedule
@@ -48,7 +48,11 @@ echo "== nemesis smoke (fixed seeds, -race) =="
 # replica cluster under retrying load, and must lose no acked commit, show
 # no snapshot regression, and never ack writes under one epoch on two
 # primaries. A failing seed's schedule is printed by the test; replay it
-# with nemesis.Run(nemesis.Config{Seed: <seed>}).
+# with nemesis.Run(nemesis.Config{Seed: <seed>}). The shard variant
+# (TestShardNemesis*) does the same to a two-shard fleet + 2PC router,
+# crashing the coordinator between prepare and decision, and must conserve
+# cross-shard balance totals, keep every acked transfer, and drain the
+# decision log after healing; replay with nemesis.RunShard.
 go test -race -count=1 ./internal/nemesis/
 
 echo "== fuzz smoke (FuzzCheckpointBlob + FuzzQueryPlan, 10s each) =="
